@@ -1,0 +1,68 @@
+// Shared setup for the per-figure benchmark harnesses.
+//
+// Every bench binary reproduces one table or figure of the paper
+// (see DESIGN.md section 4) and prints the same rows/series the paper
+// reports, so output can be compared side by side. All randomness is
+// seeded: each binary is deterministic end to end.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/tracon.hpp"
+#include "sched/fifo.hpp"
+#include "sched/mibs.hpp"
+#include "sim/dynamic_scenario.hpp"
+#include "sim/static_scenario.hpp"
+#include "util/summary.hpp"
+#include "util/table.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/mixes.hpp"
+
+namespace tracon::bench {
+
+/// Builds the standard evaluation system: paper testbed host, the eight
+/// benchmarks profiled against the 125-workload synthetic generator.
+inline core::Tracon make_system() {
+  core::Tracon sys;
+  sys.register_applications(workload::paper_benchmarks());
+  return sys;
+}
+
+/// Average static-scenario FIFO baseline over `repeats` seeds (the
+/// paper reports the average of repeated runs).
+struct StaticBaseline {
+  double runtime = 0.0;
+  double iops = 0.0;
+};
+
+inline StaticBaseline fifo_static_baseline(
+    const sim::PerfTable& table, const std::vector<std::size_t>& tasks,
+    std::size_t machines, int repeats = 20, std::uint64_t seed = 900) {
+  StaticBaseline b;
+  for (int r = 0; r < repeats; ++r) {
+    sched::FifoScheduler fifo(seed + static_cast<std::uint64_t>(r));
+    sim::StaticOutcome o = sim::run_static(table, fifo, tasks, machines);
+    b.runtime += o.total_runtime;
+    b.iops += o.total_iops;
+  }
+  b.runtime /= repeats;
+  b.iops /= repeats;
+  return b;
+}
+
+/// Placement policy for fixed-batch static allocation: every task must
+/// be placed, so beneficial-join admission is disabled.
+inline sched::PlacementPolicy static_policy() {
+  sched::PlacementPolicy p;
+  p.beneficial_joins_only = false;
+  return p;
+}
+
+inline void print_header(const char* figure, const char* what) {
+  std::printf("== %s: %s ==\n", figure, what);
+}
+
+}  // namespace tracon::bench

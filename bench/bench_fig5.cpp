@@ -1,0 +1,40 @@
+// Fig 5: NLM's ability to identify the best co-runner. For each
+// application, the predicted minimum runtime over all possible
+// neighbours is compared with the measured minimum, average, and
+// maximum runtimes. The paper's claim: the predicted minimum tracks the
+// measured minimum and never exceeds the measured average or maximum.
+#include "bench_common.hpp"
+
+using namespace tracon;
+
+int main() {
+  bench::print_header("Fig 5",
+                      "predicted min runtime vs measured min/avg/max");
+  core::Tracon sys = bench::make_system();
+  sys.train(model::ModelKind::kNonlinear);
+  const sim::PerfTable& t = sys.perf_table();
+  const sched::TablePredictor& pred = sys.predictor();
+
+  TableWriter out({"benchmark", "predicted-min", "measured-min",
+                   "measured-avg", "measured-max"});
+  int violations = 0;
+  for (std::size_t a = 0; a < t.num_apps(); ++a) {
+    double pmin = 1e300, mmin = 1e300, mmax = 0.0, msum = 0.0;
+    for (std::size_t b = 0; b < t.num_apps(); ++b) {
+      pmin = std::min(pmin, pred.predict_runtime(a, b));
+      double m = t.runtime(a, b);
+      mmin = std::min(mmin, m);
+      mmax = std::max(mmax, m);
+      msum += m;
+    }
+    double mavg = msum / static_cast<double>(t.num_apps());
+    if (pmin > mavg) ++violations;
+    out.add_row_numeric(t.app_name(a), {pmin, mmin, mavg, mmax}, 1);
+  }
+  out.print(std::cout);
+  std::printf(
+      "\npredicted-min above measured-avg for %d of %zu benchmarks "
+      "(paper: never).\n",
+      violations, t.num_apps());
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig 6: NLM's predicted maximum IOPS per application compared with the
+// measured minimum, average, and maximum IOPS over all co-runners. The
+// paper's claim: the predicted maximum stays within a small distance of
+// the measured maximum throughput.
+#include "bench_common.hpp"
+
+using namespace tracon;
+
+int main() {
+  bench::print_header("Fig 6", "predicted max IOPS vs measured min/avg/max");
+  core::Tracon sys = bench::make_system();
+  sys.train(model::ModelKind::kNonlinear);
+  const sim::PerfTable& t = sys.perf_table();
+  const sched::TablePredictor& pred = sys.predictor();
+
+  TableWriter out({"benchmark", "predicted-max", "measured-min",
+                   "measured-avg", "measured-max", "rel-gap"});
+  double worst_gap = 0.0;
+  for (std::size_t a = 0; a < t.num_apps(); ++a) {
+    double pmax = 0.0, mmin = 1e300, mmax = 0.0, msum = 0.0;
+    for (std::size_t b = 0; b < t.num_apps(); ++b) {
+      pmax = std::max(pmax, pred.predict_iops(a, b));
+      double m = t.iops(a, b);
+      mmin = std::min(mmin, m);
+      mmax = std::max(mmax, m);
+      msum += m;
+    }
+    double mavg = msum / static_cast<double>(t.num_apps());
+    double gap = std::abs(pmax - mmax) / mmax;
+    worst_gap = std::max(worst_gap, gap);
+    out.add_row_numeric(t.app_name(a), {pmax, mmin, mavg, mmax, gap}, 2);
+  }
+  out.print(std::cout);
+  std::printf("\nworst relative gap to measured max: %.2f (paper: small).\n",
+              worst_gap);
+  return 0;
+}

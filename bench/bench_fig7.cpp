@@ -1,0 +1,106 @@
+// Fig 7: online model learning. An initial blastn model is trained on
+// 500 profiling points collected with local storage; the environment
+// then switches to remote iSCSI storage. Prediction error jumps (the
+// paper: runtime error 12% -> 160%, IOPS 12% -> 83%) and TRACON's
+// adaptive wrapper — which replaces old training data with runtime
+// observations and rebuilds every 160 points — pulls it back to ~10%.
+// A control model kept on local storage stays flat.
+#include "bench_common.hpp"
+#include "model/adaptive.hpp"
+#include "model/profiler.hpp"
+#include "util/rng.hpp"
+#include "virt/host_sim.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace tracon;
+
+namespace {
+
+/// A random background workload in the generator's envelope.
+virt::AppBehavior random_background(Rng& rng, int id) {
+  workload::SyntheticConfig cfg;
+  virt::AppBehavior a;
+  a.name = "rand-" + std::to_string(id);
+  a.solo_runtime_s = 60.0;
+  a.cpu_util = rng.uniform(0.0, cfg.max_cpu);
+  a.read_iops = rng.uniform(0.0, cfg.max_read_iops);
+  a.write_iops = rng.uniform(0.0, cfg.max_write_iops);
+  const double kbs[3] = {16.0, 64.0, 256.0};
+  const double sig[3] = {0.4, 0.7, 0.9};
+  a.request_kb = kbs[rng.index(3)];
+  a.sequentiality = sig[rng.index(3)];
+  return a;
+}
+
+model::Observation observe_pair(model::Profiler& prof,
+                                const virt::AppBehavior& target,
+                                const virt::AppBehavior& bg) {
+  virt::PairMeasurement pm = prof.measure(target, bg);
+  model::Observation obs;
+  obs.features = monitor::concat_profiles(prof.solo_profile(target),
+                                          prof.solo_profile(bg));
+  obs.runtime = pm.runtime_s;
+  obs.iops = pm.iops;
+  return obs;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig 7", "online model learning (local -> iSCSI)");
+
+  constexpr int kInitialPoints = 500;
+  constexpr int kStreamPoints = 480;
+  constexpr int kBin = 40;
+
+  virt::AppBehavior blastn = *workload::benchmark_by_name("blastn");
+  model::Profiler local(virt::HostSimulator(virt::HostConfig::paper_testbed()));
+  model::Profiler iscsi(virt::HostSimulator(virt::HostConfig::iscsi_testbed()));
+
+  // Initial model: 500 local profiling points.
+  Rng rng(77);
+  model::TrainingSet initial;
+  for (int i = 0; i < kInitialPoints; ++i) {
+    virt::AppBehavior bg = random_background(rng, i);
+    initial.add(observe_pair(local, blastn, bg));
+  }
+
+  model::AdaptiveConfig acfg;  // rebuild per 160 points, window 500
+  model::AdaptiveModel adaptive_rt(initial, model::Response::kRuntime, acfg);
+  model::AdaptiveModel adaptive_io(initial, model::Response::kIops, acfg);
+  model::AdaptiveModel control_rt(initial, model::Response::kRuntime, acfg);
+
+  // Stream runtime observations: adaptive models see the iSCSI host,
+  // the control keeps observing local storage.
+  for (int i = 0; i < kStreamPoints; ++i) {
+    virt::AppBehavior bg = random_background(rng, 100000 + i);
+    model::Observation remote = observe_pair(iscsi, blastn, bg);
+    adaptive_rt.observe(remote);
+    adaptive_io.observe(remote);
+    control_rt.observe(observe_pair(local, blastn, bg));
+  }
+
+  TableWriter out({"data points", "runtime err (iSCSI)", "IOPS err (iSCSI)",
+                   "runtime err (local ctrl)"});
+  auto bin_mean = [&](const std::vector<double>& e, int lo) {
+    double s = 0.0;
+    for (int i = lo; i < lo + kBin; ++i) s += e[static_cast<std::size_t>(i)];
+    return s / kBin;
+  };
+  for (int lo = 0; lo + kBin <= kStreamPoints; lo += kBin) {
+    out.add_row_numeric(
+        std::to_string(lo) + "-" + std::to_string(lo + kBin),
+        {bin_mean(adaptive_rt.error_history(), lo),
+         bin_mean(adaptive_io.error_history(), lo),
+         bin_mean(control_rt.error_history(), lo)},
+        3);
+  }
+  out.print(std::cout);
+  std::printf(
+      "\nrebuilds: runtime=%zu iops=%zu control=%zu (rebuild interval 160)\n"
+      "paper shape: error spikes on the storage switch, returns to ~10%%\n"
+      "within a few rebuilds; the unchanged environment stays flat.\n",
+      adaptive_rt.rebuild_count(), adaptive_io.rebuild_count(),
+      control_rt.rebuild_count());
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Storage-device ablation (the paper's future work: "explore I/O
+// interference effects on various storage devices, e.g., RAID and
+// solid-state drives (SSD), as well as network storage systems").
+//
+// For each device model we report (a) the worst and mean pairwise
+// slowdown across the eight benchmarks — how much interference exists —
+// and (b) the dynamic normalized throughput of MIBS_8 vs FIFO — how
+// much an interference-aware scheduler is still worth. Expectation: on
+// SSD the sequentiality-collapse channel disappears, interference
+// flattens, and scheduling gains shrink accordingly; RAID sits between
+// disk and SSD; iSCSI behaves like a slower disk.
+#include "bench_common.hpp"
+
+using namespace tracon;
+
+namespace {
+
+struct Device {
+  const char* name;
+  virt::HostConfig config;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Storage ablation",
+                      "interference and scheduling value by device");
+
+  const std::vector<Device> devices = {
+      {"hard-disk", virt::HostConfig::paper_testbed()},
+      {"raid0-4", virt::HostConfig::raid_testbed()},
+      {"ssd", virt::HostConfig::ssd_testbed()},
+      {"iscsi", virt::HostConfig::iscsi_testbed()},
+  };
+
+  TableWriter out({"device", "max slowdown", "mean slowdown",
+                   "MIBS_8 (margin 0.15)", "MIBS_8 (margin -0.25)"});
+  for (const Device& dev : devices) {
+    core::TraconConfig cfg;
+    cfg.host = dev.config;
+    core::Tracon sys(cfg);
+    sys.register_applications(workload::paper_benchmarks());
+    sys.train(model::ModelKind::kNonlinear);
+    const sim::PerfTable& t = sys.perf_table();
+
+    double worst = 0.0, mean = 0.0;
+    for (std::size_t a = 0; a < t.num_apps(); ++a) {
+      for (std::size_t b = 0; b < t.num_apps(); ++b) {
+        double s = t.runtime(a, b) / t.solo_runtime(a);
+        worst = std::max(worst, s);
+        mean += s / static_cast<double>(t.num_apps() * t.num_apps());
+      }
+    }
+
+    sim::DynamicConfig dyn;
+    dyn.machines = 32;
+    dyn.lambda_per_min = 80.0;
+    dyn.duration_s = 18'000.0;
+    dyn.mix = workload::MixKind::kHeavy;
+    auto fifo = sys.make_scheduler(core::SchedulerKind::kFifo,
+                                   sched::Objective::kRuntime);
+    auto base = sim::run_dynamic(t, *fifo, dyn);
+    sched::PlacementPolicy strict;  // disk-calibrated default
+    sched::PlacementPolicy relaxed;
+    relaxed.join_margin = -0.25;
+    auto strict_s = sys.make_scheduler(core::SchedulerKind::kMibs,
+                                       sched::Objective::kRuntime, 8, 60.0,
+                                       strict);
+    auto relaxed_s = sys.make_scheduler(core::SchedulerKind::kMibs,
+                                        sched::Objective::kRuntime, 8, 60.0,
+                                        relaxed);
+    auto a = sim::run_dynamic(t, *strict_s, dyn);
+    auto b = sim::run_dynamic(t, *relaxed_s, dyn);
+    out.add_row_numeric(dev.name,
+                        {worst, mean,
+                         static_cast<double>(a.completed) /
+                             static_cast<double>(base.completed),
+                         static_cast<double>(b.completed) /
+                             static_cast<double>(base.completed)},
+                        3);
+  }
+  out.print(std::cout);
+  std::printf(
+      "\nexpected: interference (and therefore the value of interference-\n"
+      "aware scheduling) is largest on the single spindle, smaller on\n"
+      "RAID, and nearly gone on SSD. The beneficial-join margin must be\n"
+      "calibrated per device: the strict disk setting over-reserves on\n"
+      "RAID/SSD, the relaxed one gives up part of the disk gain.\n");
+  return 0;
+}

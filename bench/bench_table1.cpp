@@ -1,0 +1,38 @@
+// Table 1: normalized App1 runtime in VM1 while various App2 run in VM2.
+//
+// Paper values for reference:
+//   Calc    | CPU-hi 1.96 | IO-hi 1.26  | CPU&IO-med 1.77 | CPU&IO-hi 2.52
+//   SeqRead | CPU-hi 1.03 | IO-hi 10.23 | CPU&IO-med 1.78 | CPU&IO-hi 16.11
+#include "bench_common.hpp"
+#include "virt/host_sim.hpp"
+
+using namespace tracon;
+
+int main() {
+  bench::print_header("Table 1",
+                      "normalized App1 runtime under App2 interference");
+
+  virt::HostConfig cfg = virt::HostConfig::paper_testbed();
+  cfg.noise_sigma = 0.0;  // the paper averages three runs; report the mean
+  virt::HostSimulator sim(cfg);
+
+  const std::vector<virt::AppBehavior> foregrounds = {
+      workload::calc_app(), workload::seqread_app()};
+  const std::vector<virt::AppBehavior> backgrounds = {
+      workload::cpu_high_app(), workload::io_high_app(),
+      workload::cpu_io_medium_app(), workload::cpu_io_high_app()};
+
+  TableWriter out({"App1\\App2", "CPU high", "I/O high", "CPU&I/O med",
+                   "CPU&I/O high"});
+  for (const auto& fg : foregrounds) {
+    double solo = sim.solo(fg).runtime_s;
+    std::vector<double> row;
+    for (const auto& bg : backgrounds)
+      row.push_back(sim.measure_pair(fg, bg).runtime_s / solo);
+    out.add_row_numeric(fg.name, row, 2);
+  }
+  out.print(std::cout);
+  std::printf(
+      "paper:   calc 1.96/1.26/1.77/2.52 ; seqread 1.03/10.23/1.78/16.11\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Online model adaptation: what happens when the environment changes
+// under a trained model.
+//
+// A blastn interference model is trained on the local-disk testbed,
+// then the storage moves to remote iSCSI (different bandwidth, latency,
+// and Dom0 cost). The adaptive wrapper tracks prediction errors with a
+// drift detector and rebuilds from a sliding window — the example
+// prints the error trajectory before/after each rebuild.
+#include <cstdio>
+
+#include "model/adaptive.hpp"
+#include "model/profiler.hpp"
+#include "util/rng.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/synthetic.hpp"
+
+int main() {
+  using namespace tracon;
+
+  virt::AppBehavior blastn = *workload::benchmark_by_name("blastn");
+  model::Profiler local(
+      virt::HostSimulator(virt::HostConfig::paper_testbed()));
+  model::Profiler iscsi(
+      virt::HostSimulator(virt::HostConfig::iscsi_testbed()));
+
+  // Initial training data: blastn against the 125 synthetic workloads
+  // on the local host.
+  auto synth = workload::synthetic_workloads();
+  model::TrainingSet initial = local.profile_against(blastn, synth);
+
+  model::AdaptiveConfig cfg;
+  cfg.rebuild_interval = 64;  // smaller than the paper's 160 for brevity
+  cfg.window_size = 256;
+  model::AdaptiveModel adaptive(initial, model::Response::kRuntime, cfg);
+  std::printf("initial model: %s\n\n", adaptive.current().describe().c_str());
+
+  // Stream observations from the iSCSI environment: pick random
+  // backgrounds and feed (features, actual runtime) pairs.
+  Rng rng(99);
+  std::printf("%-8s %-10s %-8s\n", "obs#", "rel.err", "rebuilds");
+  double bin_err = 0.0;
+  constexpr int kBin = 16;
+  for (int i = 1; i <= 320; ++i) {
+    const virt::AppBehavior& bg = synth[rng.index(synth.size())];
+    virt::PairMeasurement pm = iscsi.measure(blastn, bg);
+    model::Observation obs;
+    obs.features = monitor::concat_profiles(iscsi.solo_profile(blastn),
+                                            iscsi.solo_profile(bg));
+    obs.runtime = pm.runtime_s;
+    obs.iops = pm.iops;
+    bin_err += adaptive.observe(obs);
+    if (i % kBin == 0) {
+      std::printf("%-8d %-10.3f %-8zu\n", i, bin_err / kBin,
+                  adaptive.rebuild_count());
+      bin_err = 0.0;
+    }
+  }
+  std::printf(
+      "\nThe error starts high (the local-disk model mispredicts the\n"
+      "iSCSI host) and falls back to the usual ~10%% once rebuilds have\n"
+      "replaced the stale training data — the paper's Fig 7.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: the TRACON pipeline in ~40 lines.
+//
+//   1. Build a system on the simulated virtualized testbed.
+//   2. Register applications — this profiles them (solo runs + pairwise
+//      interference measurements + training data vs the synthetic
+//      workload generator).
+//   3. Train the nonlinear interference model (NLM).
+//   4. Ask the model about a co-location, then let the MIBS scheduler
+//      place a small batch.
+#include <cstdio>
+
+#include "core/tracon.hpp"
+#include "sim/static_scenario.hpp"
+#include "workload/benchmarks.hpp"
+
+int main() {
+  using namespace tracon;
+
+  // 1-2. Profile the paper's eight data-intensive benchmarks.
+  core::Tracon system;
+  system.register_applications(workload::paper_benchmarks());
+
+  // 3. Fit the degree-2 interference model per application.
+  system.train(model::ModelKind::kNonlinear);
+
+  // 4a. What does the model expect if video shares a machine with
+  //     blastn, versus sharing with email?
+  const auto& table = system.perf_table();
+  const auto& predictor = system.predictor();
+  std::size_t video = 7, blastn = 5, email = 0;
+  std::printf("video solo runtime:            %6.1f s\n",
+              table.solo_runtime(video));
+  std::printf("video next to blastn: predicted %6.1f s, measured %6.1f s\n",
+              predictor.predict_runtime(video, blastn),
+              table.runtime(video, blastn));
+  std::printf("video next to email:  predicted %6.1f s, measured %6.1f s\n",
+              predictor.predict_runtime(video, email),
+              table.runtime(video, email));
+
+  // 4b. Schedule a batch of 8 tasks onto 4 machines (2 VMs each).
+  std::vector<std::size_t> tasks = {7, 5, 0, 0, 6, 1, 2, 3};
+  auto fifo = system.make_scheduler(core::SchedulerKind::kFifo,
+                                    sched::Objective::kRuntime);
+  sched::PlacementPolicy place_all;
+  place_all.beneficial_joins_only = false;  // fixed batch: place everything
+  auto mibs = system.make_scheduler(core::SchedulerKind::kMibs,
+                                    sched::Objective::kRuntime, tasks.size(),
+                                    0.0, place_all);
+  auto base = sim::run_static(table, *fifo, tasks, 4);
+  auto smart = sim::run_static(table, *mibs, tasks, 4);
+  std::printf("\nbatch of %zu tasks on 4 machines:\n", tasks.size());
+  std::printf("  FIFO     total runtime %7.1f s\n", base.total_runtime);
+  std::printf("  MIBS_RT  total runtime %7.1f s  (speedup %.2fx)\n",
+              smart.total_runtime, base.total_runtime / smart.total_runtime);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Comparing FIFO, MIOS, MIBS, and MIX on a dynamic cluster.
+//
+// Tasks from the heavy I/O mix arrive as a Poisson process on a
+// 32-machine cluster; each scheduler runs the identical workload (same
+// seed). The interference-aware schedulers keep capacity by refusing
+// capacity-negative co-locations; the table shows completed tasks,
+// rejected arrivals, and the mean realized runtime per task.
+#include <cstdio>
+
+#include "core/tracon.hpp"
+#include "sim/dynamic_scenario.hpp"
+#include "workload/benchmarks.hpp"
+
+int main() {
+  using namespace tracon;
+
+  core::Tracon system;
+  system.register_applications(workload::paper_benchmarks());
+  system.train(model::ModelKind::kNonlinear);
+
+  sim::DynamicConfig cfg;
+  cfg.machines = 32;
+  cfg.lambda_per_min = 60.0;
+  cfg.duration_s = 4 * 3600.0;
+  cfg.mix = workload::MixKind::kHeavy;
+
+  std::printf("heavy I/O mix, %zu machines, lambda=%.0f/min, %.0f h\n\n",
+              cfg.machines, cfg.lambda_per_min, cfg.duration_s / 3600.0);
+  std::printf("%-10s %10s %9s %10s %12s\n", "scheduler", "completed",
+              "dropped", "mean RT", "normalized");
+
+  double fifo_completed = 0.0;
+  for (auto kind : {core::SchedulerKind::kFifo, core::SchedulerKind::kMios,
+                    core::SchedulerKind::kMibs, core::SchedulerKind::kMix}) {
+    auto sched = system.make_scheduler(kind, sched::Objective::kRuntime, 8);
+    sim::DynamicOutcome o = sim::run_dynamic(system.perf_table(), *sched, cfg);
+    if (kind == core::SchedulerKind::kFifo)
+      fifo_completed = static_cast<double>(o.completed);
+    std::printf("%-10s %10zu %9zu %9.1fs %11.3fx\n", sched->name().c_str(),
+                o.completed, o.dropped,
+                o.total_runtime / static_cast<double>(o.completed),
+                static_cast<double>(o.completed) / fifo_completed);
+  }
+  std::printf(
+      "\nFIFO packs any two tasks together and pays for it in interference;\n"
+      "the TRACON schedulers trade a few rejected arrivals for far better\n"
+      "pairings (Fig 9/11 of the paper).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "model/adaptive.hpp"
+
+#include "model/evaluate.hpp"
+#include "util/error.hpp"
+
+namespace tracon::model {
+
+AdaptiveModel::AdaptiveModel(TrainingSet initial, Response response,
+                             AdaptiveConfig cfg)
+    : cfg_(cfg),
+      response_(response),
+      window_(std::move(initial)),
+      drift_(cfg.drift) {
+  TRACON_REQUIRE(cfg_.rebuild_interval > 0, "rebuild interval must be > 0");
+  TRACON_REQUIRE(cfg_.window_size >= cfg_.rebuild_interval,
+                 "window must hold at least one rebuild interval");
+  window_.truncate_to_newest(cfg_.window_size);
+  model_ = train_model(cfg_.kind, window_, response_);
+}
+
+double AdaptiveModel::predict(std::span<const double> features) const {
+  return model_->predict(features);
+}
+
+double AdaptiveModel::observe(const Observation& obs) {
+  double actual = response_ == Response::kRuntime ? obs.runtime : obs.iops;
+  double err = relative_error(model_->predict(obs.features), actual);
+  errors_.push_back(err);
+
+  window_.add(obs);
+  window_.truncate_to_newest(cfg_.window_size);
+  ++fresh_;
+
+  bool drifted = cfg_.drift_triggered_rebuild &&
+                 drift_.observe(err) != monitor::DriftKind::kNone;
+  // A drift rebuild only helps once enough post-change data is in the
+  // window; require a quarter interval of fresh points.
+  bool drift_ready = drifted && fresh_ >= cfg_.rebuild_interval / 4;
+  if (fresh_ >= cfg_.rebuild_interval || drift_ready) rebuild();
+  return err;
+}
+
+void AdaptiveModel::rebuild() {
+  model_ = train_model(cfg_.kind, window_, response_);
+  drift_.reset();
+  fresh_ = 0;
+  ++rebuilds_;
+}
+
+}  // namespace tracon::model

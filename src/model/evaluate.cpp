@@ -1,0 +1,79 @@
+#include "model/evaluate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/summary.hpp"
+
+namespace tracon::model {
+
+double relative_error(double predicted, double actual) {
+  double denom = std::max(std::abs(actual), 1e-9);
+  return std::abs(predicted - actual) / denom;
+}
+
+namespace {
+
+ErrorStats from_errors(const std::vector<double>& errors) {
+  ErrorStats out;
+  if (errors.empty()) return out;
+  Summary s = Summary::of(errors);
+  out.mean = s.mean;
+  out.stddev = s.stddev;
+  out.max = s.max;
+  out.count = s.count;
+  return out;
+}
+
+}  // namespace
+
+ErrorStats evaluate_on(const InterferenceModel& model,
+                       const TrainingSet& test) {
+  std::vector<double> errors;
+  errors.reserve(test.size());
+  for (const auto& obs : test.observations()) {
+    double actual =
+        model.response() == Response::kRuntime ? obs.runtime : obs.iops;
+    errors.push_back(relative_error(model.predict(obs.features), actual));
+  }
+  return from_errors(errors);
+}
+
+ErrorStats cross_validate(ModelKind kind, const TrainingSet& data,
+                          Response response, std::size_t folds,
+                          std::uint64_t seed) {
+  TRACON_REQUIRE(folds >= 2, "cross-validation needs at least two folds");
+  TRACON_REQUIRE(data.size() >= folds, "fewer observations than folds");
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng rng(seed);
+  rng.shuffle(order);
+
+  std::vector<double> errors;
+  errors.reserve(data.size());
+  for (std::size_t f = 0; f < folds; ++f) {
+    std::vector<std::size_t> train_idx, test_idx;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (i % folds == f) {
+        test_idx.push_back(order[i]);
+      } else {
+        train_idx.push_back(order[i]);
+      }
+    }
+    TrainingSet train = data.subset(train_idx);
+    TrainingSet test = data.subset(test_idx);
+    auto model = train_model(kind, train, response);
+    for (const auto& obs : test.observations()) {
+      double actual =
+          response == Response::kRuntime ? obs.runtime : obs.iops;
+      errors.push_back(relative_error(model->predict(obs.features), actual));
+    }
+  }
+  return from_errors(errors);
+}
+
+}  // namespace tracon::model

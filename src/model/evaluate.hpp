@@ -1,0 +1,32 @@
+// Model evaluation: the paper's prediction-error metric
+// |predicted - actual| / actual, aggregated by k-fold cross-validation
+// over a profiling set (Fig 3) or against a held-out test set.
+#pragma once
+
+#include <cstdint>
+
+#include "model/factory.hpp"
+#include "model/training.hpp"
+
+namespace tracon::model {
+
+struct ErrorStats {
+  double mean = 0.0;    ///< mean relative prediction error
+  double stddev = 0.0;  ///< std deviation of the per-point errors
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Relative prediction error; guarded for tiny actuals.
+double relative_error(double predicted, double actual);
+
+/// Errors of a trained model on a test set.
+ErrorStats evaluate_on(const InterferenceModel& model, const TrainingSet& test);
+
+/// k-fold cross-validation: trains `kind` on k-1 folds, evaluates on the
+/// held-out fold, pools all per-point errors. Deterministic given seed.
+ErrorStats cross_validate(ModelKind kind, const TrainingSet& data,
+                          Response response, std::size_t folds = 5,
+                          std::uint64_t seed = 17);
+
+}  // namespace tracon::model

@@ -1,0 +1,37 @@
+// Model construction by kind — the WMM / LM / NLM families the paper
+// compares, plus the NLM ablation without the Dom0 (global CPU) feature.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "model/interference_model.hpp"
+
+namespace tracon::model {
+
+enum class ModelKind {
+  kWmm,
+  kLinear,
+  kNonlinear,
+  kNonlinearNoDom0,  ///< Fig 3 ablation: drops both Dom0 utilizations
+  kNonlinearLog,     ///< extension: degree-2 fit on log(response)
+};
+
+std::string model_kind_name(ModelKind kind);
+
+/// Trains a model of the given kind on `data` for `response`.
+/// Throws std::invalid_argument when `data` is too small for the kind.
+std::unique_ptr<InterferenceModel> train_model(ModelKind kind,
+                                               const TrainingSet& data,
+                                               Response response);
+
+/// A trained runtime + IOPS model pair for one application.
+struct ModelPair {
+  std::unique_ptr<InterferenceModel> runtime;
+  std::unique_ptr<InterferenceModel> iops;
+};
+
+/// Trains both responses at once.
+ModelPair train_model_pair(ModelKind kind, const TrainingSet& data);
+
+}  // namespace tracon::model

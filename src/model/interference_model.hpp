@@ -1,0 +1,50 @@
+// Abstract interface of the interference prediction models.
+//
+// A model predicts one response (foreground runtime or IOPS) from the
+// eight controlled variables of a VM pair. Implementations: WmmModel
+// (PCA + weighted nearest neighbours), LinearModel (stepwise/AIC linear
+// regression), NonlinearModel (degree-2 expansion fit with Gauss-Newton
+// and selected by stepwise/AIC).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/training.hpp"
+#include "monitor/profile.hpp"
+
+namespace tracon::model {
+
+class InterferenceModel {
+ public:
+  virtual ~InterferenceModel() = default;
+
+  /// Predicts the response from the 8 controlled variables
+  /// (vm1 profile then vm2 profile). Predictions are clamped to >= 0.
+  virtual double predict(std::span<const double> features) const = 0;
+
+  /// Short human-readable description ("NLM(runtime), 12 terms").
+  virtual std::string describe() const = 0;
+
+  Response response() const { return response_; }
+
+  /// Convenience: predicts from a (foreground, background) profile pair.
+  double predict_pair(const monitor::AppProfile& fg,
+                      const monitor::AppProfile& bg) const {
+    return predict(monitor::concat_profiles(fg, bg));
+  }
+
+ protected:
+  explicit InterferenceModel(Response r) : response_(r) {}
+
+  /// Selects the active feature subset from a full 8-feature vector.
+  static std::vector<double> select(std::span<const double> features,
+                                    const std::vector<std::size_t>& active);
+
+ private:
+  Response response_;
+};
+
+}  // namespace tracon::model

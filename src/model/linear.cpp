@@ -1,0 +1,47 @@
+#include "model/linear.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tracon::model {
+
+namespace {
+std::size_t active_dim(const std::vector<std::size_t>& active) {
+  return active.empty() ? TrainingSet::kNumFeatures : active.size();
+}
+}  // namespace
+
+LinearModel::LinearModel(const TrainingSet& data, Response response,
+                         LinearConfig cfg)
+    : InterferenceModel(response),
+      cfg_(std::move(cfg)),
+      basis_(stats::PolyBasis::degree1(active_dim(cfg_.active_features))) {
+  TRACON_REQUIRE(data.size() >= basis_.num_terms() + 2,
+                 "not enough observations for the linear model");
+
+  stats::Matrix full = data.feature_matrix();
+  stats::Matrix x = cfg_.active_features.empty()
+                        ? full
+                        : full.select_columns(cfg_.active_features);
+  standardizer_ = Standardizer::fit(x);
+  stats::Matrix z = standardizer_.apply_rows(x);
+  stats::Matrix candidates = basis_.expand_rows(z);
+  selection_ =
+      stats::stepwise_aic(candidates, data.response_vector(response));
+}
+
+double LinearModel::predict(std::span<const double> features) const {
+  std::vector<double> x = select(features, cfg_.active_features);
+  stats::Vector z = standardizer_.apply(x);
+  stats::Vector row = basis_.expand(z);
+  return std::max(0.0, selection_.predict(row));
+}
+
+std::string LinearModel::describe() const {
+  return "LM(" + response_name(response()) + "), " +
+         std::to_string(num_terms()) + " terms, AIC=" +
+         std::to_string(selection_.fit.aic);
+}
+
+}  // namespace tracon::model

@@ -1,0 +1,38 @@
+// Linear interference model (LM), equation (1) of the paper: a linear
+// function of the eight controlled variables, with the variable subset
+// chosen by a bidirectional stepwise algorithm scored by AIC.
+#pragma once
+
+#include "model/interference_model.hpp"
+#include "model/standardize.hpp"
+#include "stats/polynomial.hpp"
+#include "stats/stepwise.hpp"
+
+namespace tracon::model {
+
+struct LinearConfig {
+  /// Feature subset used (indices into the 8 controlled variables);
+  /// empty = all features.
+  std::vector<std::size_t> active_features;
+};
+
+class LinearModel final : public InterferenceModel {
+ public:
+  LinearModel(const TrainingSet& data, Response response,
+              LinearConfig cfg = {});
+
+  double predict(std::span<const double> features) const override;
+  std::string describe() const override;
+
+  /// Number of selected regression terms (including the intercept).
+  std::size_t num_terms() const { return selection_.selected.size(); }
+  double training_aic() const { return selection_.fit.aic; }
+
+ private:
+  LinearConfig cfg_;
+  Standardizer standardizer_;
+  stats::PolyBasis basis_;
+  stats::StepwiseResult selection_;
+};
+
+}  // namespace tracon::model

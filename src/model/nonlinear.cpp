@@ -1,0 +1,75 @@
+#include "model/nonlinear.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/nls.hpp"
+#include "util/error.hpp"
+
+namespace tracon::model {
+
+namespace {
+std::size_t active_dim(const std::vector<std::size_t>& active) {
+  return active.empty() ? TrainingSet::kNumFeatures : active.size();
+}
+}  // namespace
+
+NonlinearModel::NonlinearModel(const TrainingSet& data, Response response,
+                               NonlinearConfig cfg)
+    : InterferenceModel(response),
+      cfg_(std::move(cfg)),
+      basis_(stats::PolyBasis::degree2(active_dim(cfg_.active_features))) {
+  TRACON_REQUIRE(data.size() >= 2 * active_dim(cfg_.active_features) + 4,
+                 "not enough observations for the nonlinear model");
+
+  stats::Matrix full = data.feature_matrix();
+  stats::Matrix x = cfg_.active_features.empty()
+                        ? full
+                        : full.select_columns(cfg_.active_features);
+  standardizer_ = Standardizer::fit(x);
+  stats::Matrix z = standardizer_.apply_rows(x);
+  stats::Matrix candidates = basis_.expand_rows(z);
+  stats::Vector y = data.response_vector(response);
+  if (cfg_.log_response) {
+    for (double& v : y) v = std::log(std::max(v, 1e-6));
+  }
+  selection_ = stats::stepwise_aic(candidates, y);
+
+  if (cfg_.gauss_newton_refine && !selection_.selected.empty()) {
+    // The paper fits the quadratic model with Gauss-Newton; on this
+    // linear-in-parameters form the solver lands on the least-squares
+    // optimum from any start and doubles as a consistency check.
+    stats::Matrix design = candidates.select_columns(selection_.selected);
+    stats::LinearResidual residual(design, y);
+    stats::NlsResult res =
+        stats::gauss_newton(residual, selection_.fit.coefficients);
+    if (res.converged && res.sse <= selection_.fit.sse + 1e-9) {
+      selection_.fit.coefficients = std::move(res.params);
+      selection_.fit.sse = res.sse;
+      refined_ = true;
+    }
+  }
+}
+
+double NonlinearModel::predict(std::span<const double> features) const {
+  std::vector<double> x = select(features, cfg_.active_features);
+  stats::Vector z = standardizer_.apply(x);
+  stats::Vector row = basis_.expand(z);
+  double raw = selection_.predict(row);
+  if (cfg_.log_response) {
+    // Clamp the exponent: far outside the training manifold the
+    // quadratic can explode, and exp() would overflow.
+    return std::exp(std::clamp(raw, -30.0, 30.0));
+  }
+  return std::max(0.0, raw);
+}
+
+std::string NonlinearModel::describe() const {
+  return std::string(cfg_.log_response ? "NLM-log(" : "NLM(") +
+         response_name(response()) + "), " +
+         std::to_string(num_terms()) + "/" +
+         std::to_string(basis_.num_terms()) + " terms, AIC=" +
+         std::to_string(selection_.fit.aic);
+}
+
+}  // namespace tracon::model

@@ -1,0 +1,54 @@
+// Nonlinear interference model (NLM), equation (2) of the paper: every
+// term of the degree-2 expansion of the eight controlled variables is a
+// candidate regressor; a stepwise algorithm scored by AIC selects the
+// term subset and the Gauss-Newton method fits the coefficients.
+#pragma once
+
+#include "model/interference_model.hpp"
+#include "model/standardize.hpp"
+#include "stats/polynomial.hpp"
+#include "stats/stepwise.hpp"
+
+namespace tracon::model {
+
+struct NonlinearConfig {
+  /// Feature subset used (indices into the 8 controlled variables);
+  /// empty = all features. The paper's Fig 3 ablation drops the Dom0
+  /// utilizations (indices 1 and 5).
+  std::vector<std::size_t> active_features;
+  /// Refine stepwise-selected coefficients with Gauss-Newton (the
+  /// paper's fitting procedure). Disabling keeps the plain OLS solution;
+  /// both should agree for this linear-in-parameters model.
+  bool gauss_newton_refine = true;
+  /// Extension (paper future work, "different modeling techniques"):
+  /// fit the degree-2 model on log(response) and exponentiate
+  /// predictions. Interference is multiplicative — a co-runner scales
+  /// runtime by a factor — so the log link stabilizes the variance and
+  /// tames the relative error on collapse-prone responses (IOPS of
+  /// I/O-heavy applications).
+  bool log_response = false;
+};
+
+class NonlinearModel final : public InterferenceModel {
+ public:
+  NonlinearModel(const TrainingSet& data, Response response,
+                 NonlinearConfig cfg = {});
+
+  double predict(std::span<const double> features) const override;
+  std::string describe() const override;
+
+  std::size_t num_terms() const { return selection_.selected.size(); }
+  double training_aic() const { return selection_.fit.aic; }
+  double training_sse() const { return selection_.fit.sse; }
+  bool refined() const { return refined_; }
+  bool log_response() const { return cfg_.log_response; }
+
+ private:
+  NonlinearConfig cfg_;
+  Standardizer standardizer_;
+  stats::PolyBasis basis_;
+  stats::StepwiseResult selection_;
+  bool refined_ = false;
+};
+
+}  // namespace tracon::model

@@ -1,0 +1,65 @@
+#include "model/profiler.hpp"
+
+#include <functional>
+
+#include "util/error.hpp"
+
+namespace tracon::model {
+
+std::uint64_t Profiler::run_seed(const std::string& a,
+                                 const std::string& b) const {
+  std::uint64_t h = seed_;
+  // FNV-style mixing keeps runs deterministic per (seed, fg, bg) triple.
+  for (char c : a) h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+  h = (h ^ 0x7c) * 0x100000001b3ULL;
+  for (char c : b) h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+  return h == 0 ? 1 : h;
+}
+
+const virt::VmRunStats& Profiler::solo_stats(const virt::AppBehavior& app) {
+  auto it = solo_cache_.find(app.name);
+  if (it != solo_cache_.end()) return it->second;
+  virt::VmRunStats stats;
+  if (app.is_idle()) {
+    // An idle "workload" contributes nothing; synthesize empty stats.
+    stats.present = true;
+    stats.completed = true;
+  } else {
+    stats = sim_.solo(app, run_seed(app.name, "<solo>"));
+    TRACON_ASSERT(stats.completed, "solo run did not complete");
+  }
+  return solo_cache_.emplace(app.name, stats).first->second;
+}
+
+monitor::AppProfile Profiler::solo_profile(const virt::AppBehavior& app) {
+  return monitor::AppProfile::from_run_stats(solo_stats(app));
+}
+
+virt::PairMeasurement Profiler::measure(const virt::AppBehavior& target,
+                                        const virt::AppBehavior& background) {
+  if (background.is_idle()) {
+    const virt::VmRunStats& solo = solo_stats(target);
+    return {solo.runtime_s, solo.iops, solo.reads_per_s, solo.writes_per_s};
+  }
+  return sim_.measure_pair(target, background,
+                           run_seed(target.name, background.name));
+}
+
+TrainingSet Profiler::profile_against(
+    const virt::AppBehavior& target,
+    std::span<const virt::AppBehavior> backgrounds, bool include_idle) {
+  TrainingSet ts;
+  monitor::AppProfile fg = solo_profile(target);
+  if (include_idle) {
+    const virt::VmRunStats& solo = solo_stats(target);
+    ts.add(fg, monitor::AppProfile::idle(), solo.runtime_s, solo.iops);
+  }
+  for (const auto& bg : backgrounds) {
+    monitor::AppProfile bgp = solo_profile(bg);
+    virt::PairMeasurement pm = measure(target, bg);
+    ts.add(fg, bgp, pm.runtime_s, pm.iops);
+  }
+  return ts;
+}
+
+}  // namespace tracon::model

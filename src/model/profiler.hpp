@@ -1,0 +1,51 @@
+// Application profiling: drives the host simulator to produce solo
+// profiles and interference training sets, as the paper does on its Xen
+// testbed ("we generate its interference profile by running it on VM1
+// while varying the workloads on VM2").
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+
+#include "model/training.hpp"
+#include "monitor/profile.hpp"
+#include "virt/host_sim.hpp"
+
+namespace tracon::model {
+
+class Profiler {
+ public:
+  explicit Profiler(virt::HostSimulator sim, std::uint64_t seed = 42)
+      : sim_(std::move(sim)), seed_(seed) {}
+
+  const virt::HostSimulator& simulator() const { return sim_; }
+
+  /// Solo run statistics for an app; cached by application name.
+  const virt::VmRunStats& solo_stats(const virt::AppBehavior& app);
+
+  /// Solo application profile (the model's controlled variables).
+  monitor::AppProfile solo_profile(const virt::AppBehavior& app);
+
+  /// Builds the training set for `target`: one co-located measurement
+  /// per background (plus the idle baseline when `include_idle`). Rows
+  /// carry (target solo profile, background solo profile) as features
+  /// and the measured runtime / IOPS under co-location as responses.
+  TrainingSet profile_against(
+      const virt::AppBehavior& target,
+      std::span<const virt::AppBehavior> backgrounds,
+      bool include_idle = true);
+
+  /// One co-located measurement (also used for ground-truth tables).
+  virt::PairMeasurement measure(const virt::AppBehavior& target,
+                                const virt::AppBehavior& background);
+
+ private:
+  std::uint64_t run_seed(const std::string& a, const std::string& b) const;
+
+  virt::HostSimulator sim_;
+  std::uint64_t seed_;
+  std::map<std::string, virt::VmRunStats> solo_cache_;
+};
+
+}  // namespace tracon::model

@@ -1,0 +1,49 @@
+#include "model/standardize.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tracon::model {
+
+Standardizer Standardizer::fit(const stats::Matrix& x) {
+  TRACON_REQUIRE(x.rows() >= 2, "standardizer needs at least two rows");
+  Standardizer s;
+  const std::size_t d = x.cols();
+  const std::size_t n = x.rows();
+  s.mean_.assign(d, 0.0);
+  s.scale_.assign(d, 1.0);
+  for (std::size_t c = 0; c < d; ++c) {
+    double m = 0.0;
+    for (std::size_t r = 0; r < n; ++r) m += x(r, c);
+    m /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      double dv = x(r, c) - m;
+      var += dv * dv;
+    }
+    var /= static_cast<double>(n - 1);
+    s.mean_[c] = m;
+    s.scale_[c] = var > 1e-20 ? std::sqrt(var) : 1.0;
+  }
+  return s;
+}
+
+stats::Vector Standardizer::apply(std::span<const double> x) const {
+  TRACON_REQUIRE(x.size() == mean_.size(), "standardize dimension mismatch");
+  stats::Vector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out[i] = (x[i] - mean_[i]) / scale_[i];
+  return out;
+}
+
+stats::Matrix Standardizer::apply_rows(const stats::Matrix& x) const {
+  stats::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    stats::Vector row = apply(x.row(r));
+    for (std::size_t c = 0; c < row.size(); ++c) out(r, c) = row[c];
+  }
+  return out;
+}
+
+}  // namespace tracon::model

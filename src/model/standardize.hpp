@@ -1,0 +1,26 @@
+// Feature standardization (z-scoring) for numerically stable regression:
+// CPU utilizations live in [0,1] while request rates reach hundreds per
+// second; fitting polynomial bases on raw scales conditions badly.
+#pragma once
+
+#include "stats/matrix.hpp"
+
+namespace tracon::model {
+
+class Standardizer {
+ public:
+  /// Learns per-column mean and scale from the rows of `x`. Constant
+  /// columns get unit scale (they standardize to zero).
+  static Standardizer fit(const stats::Matrix& x);
+
+  std::size_t dim() const { return mean_.size(); }
+
+  stats::Vector apply(std::span<const double> x) const;
+  stats::Matrix apply_rows(const stats::Matrix& x) const;
+
+ private:
+  stats::Vector mean_;
+  stats::Vector scale_;
+};
+
+}  // namespace tracon::model

@@ -1,0 +1,60 @@
+#include "model/training.hpp"
+
+#include "util/error.hpp"
+
+namespace tracon::model {
+
+std::string response_name(Response r) {
+  return r == Response::kRuntime ? "runtime" : "iops";
+}
+
+void TrainingSet::add(const monitor::AppProfile& fg,
+                      const monitor::AppProfile& bg, double runtime,
+                      double iops) {
+  Observation obs;
+  obs.features = monitor::concat_profiles(fg, bg);
+  obs.runtime = runtime;
+  obs.iops = iops;
+  add(std::move(obs));
+}
+
+void TrainingSet::add(Observation obs) {
+  TRACON_REQUIRE(obs.features.size() == kNumFeatures,
+                 "observation must have 8 features");
+  TRACON_REQUIRE(obs.runtime >= 0.0 && obs.iops >= 0.0,
+                 "responses must be non-negative");
+  observations_.push_back(std::move(obs));
+}
+
+stats::Matrix TrainingSet::feature_matrix() const {
+  stats::Matrix x(observations_.size(), kNumFeatures);
+  for (std::size_t r = 0; r < observations_.size(); ++r)
+    for (std::size_t c = 0; c < kNumFeatures; ++c)
+      x(r, c) = observations_[r].features[c];
+  return x;
+}
+
+stats::Vector TrainingSet::response_vector(Response r) const {
+  stats::Vector y;
+  y.reserve(observations_.size());
+  for (const auto& obs : observations_)
+    y.push_back(r == Response::kRuntime ? obs.runtime : obs.iops);
+  return y;
+}
+
+TrainingSet TrainingSet::subset(std::span<const std::size_t> idx) const {
+  TrainingSet out;
+  for (std::size_t i : idx) {
+    TRACON_REQUIRE(i < observations_.size(), "subset index out of range");
+    out.add(observations_[i]);
+  }
+  return out;
+}
+
+void TrainingSet::truncate_to_newest(std::size_t n) {
+  if (observations_.size() <= n) return;
+  observations_.erase(observations_.begin(),
+                      observations_.end() - static_cast<long>(n));
+}
+
+}  // namespace tracon::model

@@ -1,0 +1,59 @@
+// Training data for the interference prediction models.
+//
+// Each observation pairs the eight controlled variables (foreground and
+// background application profiles, Table 2) with the two measured
+// responses: the foreground's runtime and its achieved IOPS under that
+// co-location.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "monitor/profile.hpp"
+#include "stats/matrix.hpp"
+
+namespace tracon::model {
+
+/// Which response a model predicts.
+enum class Response { kRuntime, kIops };
+
+std::string response_name(Response r);
+
+struct Observation {
+  std::vector<double> features;  ///< 8 controlled variables
+  double runtime = 0.0;
+  double iops = 0.0;
+};
+
+class TrainingSet {
+ public:
+  static constexpr std::size_t kNumFeatures = 2 * monitor::kProfileDim;
+
+  void add(const monitor::AppProfile& fg, const monitor::AppProfile& bg,
+           double runtime, double iops);
+  void add(Observation obs);
+
+  std::size_t size() const { return observations_.size(); }
+  bool empty() const { return observations_.empty(); }
+  const std::vector<Observation>& observations() const {
+    return observations_;
+  }
+
+  /// Feature matrix (size x 8).
+  stats::Matrix feature_matrix() const;
+  /// Response vector for the chosen response.
+  stats::Vector response_vector(Response r) const;
+
+  /// Subset by observation indices (for cross-validation folds).
+  TrainingSet subset(std::span<const std::size_t> idx) const;
+
+  /// Keeps only the newest `n` observations (sliding window).
+  void truncate_to_newest(std::size_t n);
+
+ private:
+  std::vector<Observation> observations_;
+};
+
+}  // namespace tracon::model

@@ -1,0 +1,50 @@
+#include "model/wmm.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tracon::model {
+
+std::vector<double> InterferenceModel::select(
+    std::span<const double> features,
+    const std::vector<std::size_t>& active) {
+  if (active.empty()) return {features.begin(), features.end()};
+  std::vector<double> out;
+  out.reserve(active.size());
+  for (std::size_t i : active) {
+    TRACON_REQUIRE(i < features.size(), "active feature index out of range");
+    out.push_back(features[i]);
+  }
+  return out;
+}
+
+WmmModel::WmmModel(const TrainingSet& data, Response response, WmmConfig cfg)
+    : InterferenceModel(response), cfg_(std::move(cfg)) {
+  TRACON_REQUIRE(data.size() >= cfg_.neighbours + 1,
+                 "WMM needs more observations than neighbours");
+
+  stats::Matrix full = data.feature_matrix();
+  stats::Matrix x = cfg_.active_features.empty()
+                        ? full
+                        : full.select_columns(cfg_.active_features);
+  std::size_t k = std::min(cfg_.components, x.cols());
+  pca_ = stats::Pca::fit(x, k, cfg_.standardize);
+  stats::Matrix projected = pca_.project_rows(x);
+  knn_.emplace(std::move(projected), data.response_vector(response),
+               cfg_.neighbours);
+}
+
+double WmmModel::predict(std::span<const double> features) const {
+  std::vector<double> x = select(features, cfg_.active_features);
+  stats::Vector p = pca_.project(x);
+  return std::max(0.0, knn_->predict(p));
+}
+
+std::string WmmModel::describe() const {
+  return "WMM(" + response_name(response()) + "), " +
+         std::to_string(pca_.num_components()) + " components, k=" +
+         std::to_string(knn_->k());
+}
+
+}  // namespace tracon::model

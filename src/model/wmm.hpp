@@ -1,0 +1,45 @@
+// Weighted mean method (WMM) — the paper's baseline model.
+//
+// Following Koh et al. [21] as described in Section 3.1: project the
+// eight controlled variables onto the first four principal components,
+// find the three nearest profiled points in that space, and predict the
+// response as their inverse-distance weighted mean.
+#pragma once
+
+#include <optional>
+
+#include "model/interference_model.hpp"
+#include "stats/knn.hpp"
+#include "stats/pca.hpp"
+
+namespace tracon::model {
+
+struct WmmConfig {
+  std::size_t components = 4;  ///< principal components retained
+  std::size_t neighbours = 3; ///< k in the weighted k-NN
+  /// Raw-covariance PCA, as in the original weighted-mean method: the
+  /// request-rate features dominate the distance metric, which is part
+  /// of why the paper finds WMM inferior to the regression models.
+  bool standardize = false;
+  /// Feature subset used (indices into the 8 controlled variables);
+  /// empty = all features.
+  std::vector<std::size_t> active_features;
+};
+
+class WmmModel final : public InterferenceModel {
+ public:
+  /// Fits PCA and stores the projected training set.
+  WmmModel(const TrainingSet& data, Response response, WmmConfig cfg = {});
+
+  double predict(std::span<const double> features) const override;
+  std::string describe() const override;
+
+  const stats::Pca& pca() const { return pca_; }
+
+ private:
+  WmmConfig cfg_;
+  stats::Pca pca_;
+  std::optional<stats::KnnRegressor> knn_;
+};
+
+}  // namespace tracon::model

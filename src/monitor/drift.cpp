@@ -1,0 +1,60 @@
+#include "monitor/drift.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tracon::monitor {
+
+DriftDetector::DriftDetector(DriftConfig cfg) : cfg_(cfg) {
+  TRACON_REQUIRE(cfg_.reference_window >= 2 && cfg_.recent_window >= 2,
+                 "drift windows must hold at least two samples");
+  TRACON_REQUIRE(cfg_.mean_shift_sigmas > 0.0 &&
+                     cfg_.variance_surge_factor > 1.0,
+                 "invalid drift thresholds");
+}
+
+DriftKind DriftDetector::observe(double relative_error) {
+  TRACON_REQUIRE(std::isfinite(relative_error) && relative_error >= 0.0,
+                 "relative error must be finite and non-negative");
+  if (reference_.size() < cfg_.reference_window) {
+    reference_.push_back(relative_error);
+  } else {
+    recent_.push_back(relative_error);
+    while (recent_.size() > cfg_.recent_window) recent_.pop_front();
+  }
+  state_ = evaluate();
+  return state_;
+}
+
+DriftKind DriftDetector::evaluate() const {
+  if (reference_.size() < cfg_.reference_window ||
+      recent_.size() < cfg_.recent_window) {
+    return DriftKind::kNone;
+  }
+  std::vector<double> ref(reference_.begin(), reference_.end());
+  std::vector<double> rec(recent_.begin(), recent_.end());
+  Summary sref = Summary::of(ref);
+  Summary srec = Summary::of(rec);
+
+  double shift = std::abs(srec.mean - sref.mean);
+  double threshold = std::max(cfg_.mean_shift_sigmas * sref.stddev,
+                              cfg_.min_abs_shift);
+  if (shift > threshold) return DriftKind::kMeanShift;
+
+  double vref = sref.stddev * sref.stddev;
+  double vrec = srec.stddev * srec.stddev;
+  double vfloor = cfg_.min_abs_shift * cfg_.min_abs_shift;
+  if (vrec > cfg_.variance_surge_factor * std::max(vref, vfloor))
+    return DriftKind::kVarianceSurge;
+  return DriftKind::kNone;
+}
+
+void DriftDetector::reset() {
+  reference_.clear();
+  recent_.clear();
+  state_ = DriftKind::kNone;
+}
+
+}  // namespace tracon::monitor

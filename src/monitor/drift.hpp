@@ -1,0 +1,60 @@
+// Prediction-error drift detection for online model adaptation.
+//
+// Section 3.1: "TRACON collects statistics ... and keeps track of the
+// prediction errors of the models. Upon the occurrence of some
+// predefined events (e.g., a significant shift of the mean or a large
+// surge in the variance), TRACON will start to build a new model."
+//
+// DriftDetector compares a reference window of relative prediction
+// errors (established during stable operation) to the most recent
+// window and flags a mean shift or a variance surge.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "util/summary.hpp"
+
+namespace tracon::monitor {
+
+struct DriftConfig {
+  std::size_t reference_window = 50;  ///< samples forming the baseline
+  std::size_t recent_window = 20;     ///< samples tested against it
+  /// Mean shift threshold, in reference standard deviations
+  /// (|mean_recent - mean_ref| > k * sd_ref).
+  double mean_shift_sigmas = 3.0;
+  /// Variance surge threshold (var_recent > k * var_ref).
+  double variance_surge_factor = 4.0;
+  /// Absolute floor so noise-free baselines do not trip on tiny shifts.
+  double min_abs_shift = 0.05;
+};
+
+enum class DriftKind { kNone, kMeanShift, kVarianceSurge };
+
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftConfig cfg = {});
+
+  /// Feeds one relative prediction error; returns the drift verdict for
+  /// the current windows (kNone until both windows have filled).
+  DriftKind observe(double relative_error);
+
+  /// Latest verdict without adding a sample.
+  DriftKind state() const { return state_; }
+
+  /// Forgets everything (call after the model is rebuilt).
+  void reset();
+
+  std::size_t reference_count() const { return reference_.size(); }
+  std::size_t recent_count() const { return recent_.size(); }
+
+ private:
+  DriftKind evaluate() const;
+
+  DriftConfig cfg_;
+  std::deque<double> reference_;
+  std::deque<double> recent_;
+  DriftKind state_ = DriftKind::kNone;
+};
+
+}  // namespace tracon::monitor

@@ -1,0 +1,54 @@
+#include "monitor/monitor.hpp"
+
+#include "util/error.hpp"
+
+namespace tracon::monitor {
+
+ResourceMonitor::ResourceMonitor(std::size_t num_vms, std::size_t window)
+    : window_(window), windows_(num_vms) {
+  TRACON_REQUIRE(num_vms > 0, "monitor needs at least one VM slot");
+  TRACON_REQUIRE(window > 0, "monitor window must be positive");
+}
+
+void ResourceMonitor::observe(const virt::MonitorSample& sample) {
+  TRACON_REQUIRE(sample.vm < windows_.size(), "sample VM out of range");
+  auto& w = windows_[sample.vm];
+  w.push_back(sample);
+  while (w.size() > window_) w.pop_front();
+}
+
+void ResourceMonitor::observe_all(
+    std::span<const virt::MonitorSample> samples) {
+  for (const auto& s : samples) observe(s);
+}
+
+std::size_t ResourceMonitor::sample_count(std::size_t vm) const {
+  TRACON_REQUIRE(vm < windows_.size(), "VM index out of range");
+  return windows_[vm].size();
+}
+
+AppProfile ResourceMonitor::profile(std::size_t vm) const {
+  TRACON_REQUIRE(vm < windows_.size(), "VM index out of range");
+  const auto& w = windows_[vm];
+  AppProfile p;
+  if (w.empty()) return p;
+  for (const auto& s : w) {
+    p.domu_cpu += s.domu_cpu;
+    p.dom0_cpu += s.dom0_cpu;
+    p.reads_per_s += s.reads_per_s;
+    p.writes_per_s += s.writes_per_s;
+  }
+  double inv = 1.0 / static_cast<double>(w.size());
+  p.domu_cpu *= inv;
+  p.dom0_cpu *= inv;
+  p.reads_per_s *= inv;
+  p.writes_per_s *= inv;
+  return p;
+}
+
+void ResourceMonitor::reset(std::size_t vm) {
+  TRACON_REQUIRE(vm < windows_.size(), "VM index out of range");
+  windows_[vm].clear();
+}
+
+}  // namespace tracon::monitor

@@ -1,0 +1,48 @@
+// Task and resource monitor (the third TRACON component).
+//
+// On a real deployment this wraps xentop and iostat in Dom0; here it
+// consumes the host simulator's MonitorSample stream. It maintains
+// windowed averages per VM and produces AppProfiles for the prediction
+// module, exactly as the paper's monitor feeds "application
+// characteristics observed from the VMs" to the model and scheduler.
+#pragma once
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "monitor/profile.hpp"
+#include "virt/host_sim.hpp"
+
+namespace tracon::monitor {
+
+/// Sliding-window resource monitor for a fixed number of VM slots.
+class ResourceMonitor {
+ public:
+  /// `window` = number of most recent samples averaged per VM.
+  explicit ResourceMonitor(std::size_t num_vms, std::size_t window = 30);
+
+  std::size_t num_vms() const { return windows_.size(); }
+  std::size_t window() const { return window_; }
+
+  /// Ingests one sample (sample.vm selects the slot).
+  void observe(const virt::MonitorSample& sample);
+
+  /// Ingests a whole run's samples.
+  void observe_all(std::span<const virt::MonitorSample> samples);
+
+  /// Number of samples currently held for a VM.
+  std::size_t sample_count(std::size_t vm) const;
+
+  /// Windowed-average profile of a VM slot; idle profile when empty.
+  AppProfile profile(std::size_t vm) const;
+
+  /// Clears one VM's window (e.g., when a new task is placed there).
+  void reset(std::size_t vm);
+
+ private:
+  std::size_t window_;
+  std::vector<std::deque<virt::MonitorSample>> windows_;
+};
+
+}  // namespace tracon::monitor

@@ -1,0 +1,40 @@
+#include "monitor/profile.hpp"
+
+namespace tracon::monitor {
+
+AppProfile AppProfile::from_run_stats(const virt::VmRunStats& stats) {
+  AppProfile p;
+  p.domu_cpu = stats.avg_domu_cpu;
+  p.dom0_cpu = stats.avg_dom0_cpu;
+  p.reads_per_s = stats.reads_per_s;
+  p.writes_per_s = stats.writes_per_s;
+  return p;
+}
+
+const std::vector<std::string>& profile_feature_names() {
+  static const std::vector<std::string> names = {"domu_cpu", "dom0_cpu",
+                                                 "reads", "writes"};
+  return names;
+}
+
+std::vector<double> concat_profiles(const AppProfile& vm1,
+                                    const AppProfile& vm2) {
+  std::vector<double> out;
+  out.reserve(2 * kProfileDim);
+  for (double v : vm1.to_array()) out.push_back(v);
+  for (double v : vm2.to_array()) out.push_back(v);
+  return out;
+}
+
+const std::vector<std::string>& pair_feature_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> n;
+    for (const char* vm : {"vm1", "vm2"})
+      for (const auto& f : profile_feature_names())
+        n.push_back(std::string(vm) + "." + f);
+    return n;
+  }();
+  return names;
+}
+
+}  // namespace tracon::monitor

@@ -1,0 +1,48 @@
+// The application profile: the four controlled variables of Table 2.
+//
+// TRACON characterizes every application by (a) local CPU utilization in
+// its guest domain, (b) global CPU utilization attributable to it in the
+// driver domain (Dom0), (c) read requests per second, and (d) write
+// requests per second. A pair of profiles (foreground, background) forms
+// the eight controlled variables of the interference models.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "virt/host_sim.hpp"
+
+namespace tracon::monitor {
+
+inline constexpr std::size_t kProfileDim = 4;
+
+struct AppProfile {
+  double domu_cpu = 0.0;      ///< local CPU utilization in DomU (cores)
+  double dom0_cpu = 0.0;      ///< global CPU utilization in Dom0 (cores)
+  double reads_per_s = 0.0;   ///< read requests per second
+  double writes_per_s = 0.0;  ///< write requests per second
+
+  std::array<double, kProfileDim> to_array() const {
+    return {domu_cpu, dom0_cpu, reads_per_s, writes_per_s};
+  }
+
+  /// Profile of an idle VM (all zeros) — the "no interference" neighbour.
+  static AppProfile idle() { return {}; }
+
+  /// Extracts a profile from a completed host-simulator run.
+  static AppProfile from_run_stats(const virt::VmRunStats& stats);
+};
+
+/// Names of the four profile features, in to_array() order.
+const std::vector<std::string>& profile_feature_names();
+
+/// Concatenates two profiles into the 8-dimensional controlled-variable
+/// vector (VM1 features first, then VM2).
+std::vector<double> concat_profiles(const AppProfile& vm1,
+                                    const AppProfile& vm2);
+
+/// Names of the eight concatenated features ("vm1.cpu", ..., "vm2.w").
+const std::vector<std::string>& pair_feature_names();
+
+}  // namespace tracon::monitor

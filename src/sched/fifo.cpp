@@ -1,0 +1,35 @@
+#include "sched/fifo.hpp"
+
+namespace tracon::sched {
+
+std::vector<Placement> FifoScheduler::schedule(
+    std::span<const QueuedTask> queue, const ClusterCounts& cluster,
+    const ScheduleContext& ctx) {
+  (void)ctx;
+  ClusterCounts state = cluster;
+  std::vector<Placement> out;
+  for (std::size_t pos = 0; pos < queue.size() && state.any_free(); ++pos) {
+    // Draw a free VM slot uniformly: an empty machine offers two slots,
+    // a half-busy machine one.
+    std::size_t total = state.free_slots();
+    std::size_t pick = rng_.index(total);
+    std::optional<std::size_t> neighbour;
+    if (pick < 2 * state.empty_machines()) {
+      neighbour = std::nullopt;
+    } else {
+      pick -= 2 * state.empty_machines();
+      for (std::size_t a = 0; a < state.num_apps(); ++a) {
+        if (pick < state.half_busy(a)) {
+          neighbour = a;
+          break;
+        }
+        pick -= state.half_busy(a);
+      }
+    }
+    state.place(queue[pos].app, neighbour);
+    out.push_back({pos, neighbour});
+  }
+  return out;
+}
+
+}  // namespace tracon::sched

@@ -1,0 +1,87 @@
+#include "sched/mios.hpp"
+
+#include <limits>
+
+namespace tracon::sched {
+
+std::string objective_name(Objective o) {
+  return o == Objective::kRuntime ? "RT" : "IO";
+}
+
+bool join_beneficial(std::size_t task, std::size_t neighbour,
+                     const Predictor& predictor, Objective objective,
+                     double margin) {
+  if (objective == Objective::kRuntime) {
+    // Progress rates relative to solo execution, per the model.
+    double t_solo = predictor.predict_runtime(task, std::nullopt);
+    double t_pair = predictor.predict_runtime(task, neighbour);
+    double n_solo = predictor.predict_runtime(neighbour, std::nullopt);
+    double n_pair = predictor.predict_runtime(neighbour, task);
+    if (t_pair <= 0.0 || n_pair <= 0.0) return false;
+    double gained = t_solo / t_pair;          // the joiner's progress rate
+    double lost = 1.0 - n_solo / n_pair;      // the resident's lost rate
+    return gained - lost > margin;
+  }
+  // IOPS objective: the pair must deliver more aggregate throughput
+  // than the resident alone.
+  double added = predictor.predict_iops(task, neighbour);
+  double resident_before = predictor.predict_iops(neighbour, std::nullopt);
+  double resident_after = predictor.predict_iops(neighbour, task);
+  return added - (resident_before - resident_after) >
+         margin * std::max(resident_before, 1e-9);
+}
+
+std::optional<std::optional<std::size_t>> mios_best_slot(
+    std::size_t task, const ClusterCounts& cluster,
+    const Predictor& predictor, Objective objective,
+    const PlacementPolicy& policy, bool exclude_empty) {
+  // Score = predicted runtime (minimize) or negated IOPS (minimize).
+  auto score = [&](const std::optional<std::size_t>& neighbour) {
+    return objective == Objective::kRuntime
+               ? predictor.predict_runtime(task, neighbour)
+               : -predictor.predict_iops(task, neighbour);
+  };
+
+  std::optional<std::optional<std::size_t>> best;
+  double best_score = std::numeric_limits<double>::infinity();
+  if (!exclude_empty && cluster.has_slot(std::nullopt)) {
+    best = std::optional<std::size_t>{};
+    best_score = score(std::nullopt);
+  }
+  for (std::size_t a = 0; a < cluster.num_apps(); ++a) {
+    if (cluster.half_busy(a) == 0) continue;
+    if (policy.beneficial_joins_only &&
+        !join_beneficial(task, a, predictor, objective, policy.join_margin)) {
+      continue;
+    }
+    double s = score(a);
+    if (s < best_score) {
+      best = std::optional<std::size_t>{a};
+      best_score = s;
+    }
+  }
+  if (!best.has_value() && exclude_empty && cluster.has_slot(std::nullopt)) {
+    // Last resort: no occupied machine offers a beneficial join.
+    best = std::optional<std::size_t>{};
+  }
+  return best;
+}
+
+std::vector<Placement> MiosScheduler::schedule(
+    std::span<const QueuedTask> queue, const ClusterCounts& cluster,
+    const ScheduleContext& ctx) {
+  (void)ctx;
+  ClusterCounts state = cluster;
+  std::vector<Placement> out;
+  for (std::size_t pos = 0; pos < queue.size(); ++pos) {
+    if (!state.any_free()) break;
+    auto slot = mios_best_slot(queue[pos].app, state, predictor_, objective_,
+                               policy_);
+    if (!slot.has_value()) continue;  // no acceptable slot; task waits
+    state.place(queue[pos].app, *slot);
+    out.push_back({pos, *slot});
+  }
+  return out;
+}
+
+}  // namespace tracon::sched

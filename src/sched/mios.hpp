@@ -1,0 +1,79 @@
+// Minimum Interference Online Scheduler (MIOS), Algorithm 1.
+//
+// When a task arrives, MIOS predicts its performance on every available
+// VM class and dispatches it immediately to the best one (minimum
+// completion time heuristic). Lowest scheduling overhead of the three
+// TRACON schedulers.
+#pragma once
+
+#include "sched/predictor.hpp"
+#include "sched/scheduler.hpp"
+
+namespace tracon::sched {
+
+/// Placement policy shared by the TRACON schedulers.
+struct PlacementPolicy {
+  /// Only consolidate when the predicted combined progress of the pair
+  /// beats leaving the resident application alone. Two data-intensive
+  /// tasks can destroy so much of each other's throughput that a
+  /// machine does *less* total work with both than with either by
+  /// itself; an interference-aware scheduler then prefers to keep the
+  /// slot idle and wait for a compatible task. This is what preserves
+  /// cluster capacity (and the paper's normalized-throughput gains)
+  /// under heavy load. Disable for fixed-batch allocation where every
+  /// task must be placed (the static scenario).
+  bool beneficial_joins_only = true;
+  /// Required predicted net progress gain of a join, in units of solo
+  /// task progress (0 = any non-negative join allowed). The default is
+  /// calibrated for the paper's hard-disk testbed, whose 3-7x collapses
+  /// make holding a slot open worth the wait for a compatible task; on
+  /// low-interference devices (RAID/SSD) a slightly NEGATIVE margin —
+  /// refuse only clearly capacity-destroying joins — is the better
+  /// setting, because reserved slots idle longer than mild joins would
+  /// have cost (bench_storage demonstrates both).
+  double join_margin = 0.15;
+};
+
+/// True when placing `task` next to a running app of class `neighbour`
+/// is predicted to add net progress: the task's own predicted speed
+/// minus the slowdown inflicted on the neighbour must exceed the margin.
+bool join_beneficial(std::size_t task, std::size_t neighbour,
+                     const Predictor& predictor, Objective objective,
+                     double margin);
+
+/// Core of Algorithm 1, shared with MIBS/MIX: the best available slot
+/// class for `task` under `objective`, or nullopt when no placement is
+/// allowed (cluster full, or every join fails the beneficial-join
+/// policy). Ties break toward the idle neighbour, then the lowest
+/// class. With `exclude_empty`, empty machines are only used as a last
+/// resort — MIBS uses this for candidate 2 when the batch cannot fit on
+/// empty machines anyway, so that the chosen partner actually
+/// co-locates.
+std::optional<std::optional<std::size_t>> mios_best_slot(
+    std::size_t task, const ClusterCounts& cluster,
+    const Predictor& predictor, Objective objective,
+    const PlacementPolicy& policy = {}, bool exclude_empty = false);
+
+class MiosScheduler final : public Scheduler {
+ public:
+  MiosScheduler(const Predictor& predictor, Objective objective,
+                PlacementPolicy policy = {})
+      : predictor_(predictor), objective_(objective), policy_(policy) {}
+
+  std::string name() const override {
+    return "MIOS-" + objective_name(objective_);
+  }
+  bool online() const override { return true; }
+
+  /// Dispatches every queued task it can place, in arrival order.
+  std::vector<Placement> schedule(std::span<const QueuedTask> queue,
+                                  const ClusterCounts& cluster,
+                                  const ScheduleContext& ctx) override;
+
+ private:
+  const Predictor& predictor_;
+  Objective objective_;
+  PlacementPolicy policy_;
+};
+
+}  // namespace tracon::sched

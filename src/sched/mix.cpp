@@ -1,0 +1,72 @@
+#include "sched/mix.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace tracon::sched {
+
+MixScheduler::MixScheduler(const Predictor& predictor, Objective objective,
+                           std::size_t queue_limit, double batch_timeout_s,
+                           PlacementPolicy policy)
+    : predictor_(predictor),
+      objective_(objective),
+      queue_limit_(queue_limit),
+      batch_timeout_s_(batch_timeout_s),
+      policy_(policy) {
+  TRACON_REQUIRE(queue_limit_ >= 1, "queue limit must be >= 1");
+  TRACON_REQUIRE(batch_timeout_s_ >= 0.0, "batch timeout must be >= 0");
+}
+
+std::string MixScheduler::name() const {
+  return "MIX" + std::to_string(queue_limit_) + "-" +
+         objective_name(objective_);
+}
+
+std::vector<Placement> MixScheduler::schedule(
+    std::span<const QueuedTask> queue, const ClusterCounts& cluster,
+    const ScheduleContext& ctx) {
+  if (!batch_due(queue, cluster, ctx, queue_limit_, batch_timeout_s_))
+    return {};
+
+  // Every task in the batch window gets a turn as the head
+  // (Algorithm 3); the assignment with the best predicted total wins.
+  std::size_t window = std::min(queue.size(), queue_limit_);
+  std::span<const QueuedTask> batch = queue.first(window);
+  std::vector<Placement> best_placements;
+  double best_score = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> order(window);
+  for (std::size_t head = 0; head < window; ++head) {
+    order[0] = head;
+    std::size_t w = 1;
+    for (std::size_t i = 0; i < window; ++i)
+      if (i != head) order[w++] = i;
+
+    BatchOutcome outcome =
+        mibs_batch(batch, order, cluster, predictor_, objective_, policy_);
+    if (outcome.placements.empty()) continue;
+    // Normalize by placements so rotations that place fewer tasks do not
+    // look cheaper on the runtime objective.
+    double per_task = objective_ == Objective::kRuntime
+                          ? outcome.predicted_runtime
+                          : -outcome.predicted_iops;
+    double score =
+        per_task / static_cast<double>(outcome.placements.size()) -
+        // Prefer assignments that place more tasks at equal quality.
+        1e-9 * static_cast<double>(outcome.placements.size());
+    if (score < best_score) {
+      best_score = score;
+      best_placements = std::move(outcome.placements);
+    }
+  }
+  return best_placements;
+}
+
+std::optional<double> MixScheduler::next_wakeup(
+    std::span<const QueuedTask> queue, const ScheduleContext& ctx) const {
+  (void)ctx;
+  if (queue.empty() || queue.size() >= queue_limit_) return std::nullopt;
+  return queue.front().arrival_s + batch_timeout_s_;
+}
+
+}  // namespace tracon::sched

@@ -1,0 +1,53 @@
+#include "sched/predictor.hpp"
+
+#include "util/error.hpp"
+
+namespace tracon::sched {
+
+TablePredictor::TablePredictor(stats::Matrix runtime, stats::Matrix iops)
+    : runtime_(std::move(runtime)), iops_(std::move(iops)) {
+  TRACON_REQUIRE(runtime_.rows() > 0, "empty prediction table");
+  TRACON_REQUIRE(runtime_.cols() == runtime_.rows() + 1,
+                 "table needs one column per neighbour class plus idle");
+  TRACON_REQUIRE(iops_.rows() == runtime_.rows() &&
+                     iops_.cols() == runtime_.cols(),
+                 "runtime/iops table shape mismatch");
+}
+
+double TablePredictor::predict_runtime(
+    std::size_t task, const std::optional<std::size_t>& neighbour) const {
+  TRACON_REQUIRE(task < runtime_.rows(), "task class out of range");
+  std::size_t col = neighbour.value_or(runtime_.rows());
+  TRACON_REQUIRE(col < runtime_.cols(), "neighbour class out of range");
+  return runtime_(task, col);
+}
+
+double TablePredictor::predict_iops(
+    std::size_t task, const std::optional<std::size_t>& neighbour) const {
+  TRACON_REQUIRE(task < iops_.rows(), "task class out of range");
+  std::size_t col = neighbour.value_or(iops_.rows());
+  TRACON_REQUIRE(col < iops_.cols(), "neighbour class out of range");
+  return iops_(task, col);
+}
+
+TablePredictor TablePredictor::from_models(
+    const std::vector<model::ModelPair>& models,
+    const std::vector<monitor::AppProfile>& profiles) {
+  TRACON_REQUIRE(!models.empty() && models.size() == profiles.size(),
+                 "need one model pair and profile per application");
+  const std::size_t n = models.size();
+  stats::Matrix rt(n, n + 1), io(n, n + 1);
+  for (std::size_t t = 0; t < n; ++t) {
+    TRACON_REQUIRE(models[t].runtime != nullptr && models[t].iops != nullptr,
+                   "model pair has null model");
+    for (std::size_t b = 0; b <= n; ++b) {
+      monitor::AppProfile bg =
+          b < n ? profiles[b] : monitor::AppProfile::idle();
+      rt(t, b) = models[t].runtime->predict_pair(profiles[t], bg);
+      io(t, b) = models[t].iops->predict_pair(profiles[t], bg);
+    }
+  }
+  return TablePredictor(std::move(rt), std::move(io));
+}
+
+}  // namespace tracon::sched

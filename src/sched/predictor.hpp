@@ -1,0 +1,57 @@
+// Prediction interface the schedulers consult, and its two main
+// implementations: model-driven (TRACON's interference models) and
+// oracle (the measured ground truth, for upper-bound ablations).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "model/factory.hpp"
+#include "monitor/profile.hpp"
+#include "stats/matrix.hpp"
+
+namespace tracon::sched {
+
+/// Predicts a task's performance when co-located with a neighbour
+/// application class (nullopt = idle neighbour). App classes index a
+/// fixed application set shared with the cluster simulator.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+  virtual std::size_t num_apps() const = 0;
+  virtual double predict_runtime(
+      std::size_t task, const std::optional<std::size_t>& neighbour) const = 0;
+  virtual double predict_iops(
+      std::size_t task, const std::optional<std::size_t>& neighbour) const = 0;
+};
+
+/// Dense prediction table — the common backing store. Both entries in a
+/// row are precomputed for every (task, neighbour) pair, so scheduler
+/// queries are O(1) lookups.
+class TablePredictor final : public Predictor {
+ public:
+  /// runtime/iops are (num_apps x num_apps+1) matrices; column j<num_apps
+  /// is neighbour class j, the last column is the idle neighbour.
+  TablePredictor(stats::Matrix runtime, stats::Matrix iops);
+
+  std::size_t num_apps() const override { return runtime_.rows(); }
+  double predict_runtime(
+      std::size_t task,
+      const std::optional<std::size_t>& neighbour) const override;
+  double predict_iops(
+      std::size_t task,
+      const std::optional<std::size_t>& neighbour) const override;
+
+  /// Builds the table by evaluating trained per-application models on
+  /// the application profiles (models[i] predicts application i).
+  static TablePredictor from_models(
+      const std::vector<model::ModelPair>& models,
+      const std::vector<monitor::AppProfile>& profiles);
+
+ private:
+  stats::Matrix runtime_;
+  stats::Matrix iops_;
+};
+
+}  // namespace tracon::sched

@@ -1,0 +1,61 @@
+// Scheduler interface shared by FIFO, MIOS, MIBS, and MIX.
+//
+// A scheduler examines the waiting queue and the cluster occupancy view
+// and returns placements. The cluster simulator applies them, keeps
+// unplaced tasks queued, and re-invokes the scheduler on arrivals,
+// completions, and requested wake-ups (batch timeouts).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sched/cluster_counts.hpp"
+
+namespace tracon::sched {
+
+/// The scheduling objective: minimize total runtime (MIBS_RT) or
+/// maximize total I/O throughput (MIBS_IO) — Section 3.2.
+enum class Objective { kRuntime, kIops };
+
+std::string objective_name(Objective o);
+
+struct QueuedTask {
+  std::size_t app = 0;      ///< application class
+  double arrival_s = 0.0;   ///< arrival time (for batch timeouts)
+};
+
+struct ScheduleContext {
+  double now_s = 0.0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Online schedulers (FIFO, MIOS) dispatch on every arrival and
+  /// completion; batch schedulers (MIBS, MIX) are only invoked at the
+  /// manager's periodic scheduling rounds and their own wake-ups.
+  virtual bool online() const { return false; }
+
+  /// Returns placements for a subset of queued tasks (each queue
+  /// position at most once); implementations must only emit placements
+  /// that are feasible when applied in the returned order.
+  virtual std::vector<Placement> schedule(std::span<const QueuedTask> queue,
+                                          const ClusterCounts& cluster,
+                                          const ScheduleContext& ctx) = 0;
+
+  /// Time at which the scheduler wants to be re-invoked even without an
+  /// arrival or completion (batch timeout); nullopt = no wake-up needed.
+  virtual std::optional<double> next_wakeup(
+      std::span<const QueuedTask> queue, const ScheduleContext& ctx) const {
+    (void)queue;
+    (void)ctx;
+    return std::nullopt;
+  }
+};
+
+}  // namespace tracon::sched

@@ -1,0 +1,322 @@
+#include "sim/dynamic_scenario.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tracon::sim {
+
+namespace {
+
+struct RunningTask {
+  std::size_t app = 0;
+  double remaining_solo_s = 0.0;  ///< work left, in solo-execution seconds
+  double started_s = 0.0;         ///< when it was placed
+  double iops_integral = 0.0;     ///< integral of achieved IOPS over time
+  double last_update_s = 0.0;
+};
+
+struct Machine {
+  std::optional<RunningTask> slot[2];
+  std::uint64_t stamp = 0;  ///< invalidates queued completion events
+
+  std::size_t occupancy() const {
+    return (slot[0].has_value() ? 1u : 0u) + (slot[1].has_value() ? 1u : 0u);
+  }
+};
+
+enum class EventType { kArrival, kCompletion, kWakeup, kRound };
+
+struct Event {
+  double time = 0.0;
+  EventType type = EventType::kArrival;
+  std::size_t machine = 0;   // completion only
+  int slot = 0;              // completion only
+  std::uint64_t stamp = 0;   // completion only
+
+  bool operator>(const Event& o) const { return time > o.time; }
+};
+
+/// Machines indexed by occupancy class, with lazy deletion: each machine
+/// remembers its current registry key; stale stack entries are skipped.
+class SlotRegistry {
+ public:
+  static constexpr int kNone = -1;
+  SlotRegistry(std::size_t machines, std::size_t num_apps)
+      : key_(machines, kNone), stacks_(num_apps + 1) {}
+
+  /// key 0 = empty machine; key 1+a = half-busy running app a.
+  void set_key(std::size_t machine, int key) {
+    key_[machine] = key;
+    if (key != kNone) stacks_[static_cast<std::size_t>(key)].push_back(machine);
+  }
+
+  std::size_t pop(int key) {
+    auto& s = stacks_[static_cast<std::size_t>(key)];
+    while (!s.empty()) {
+      std::size_t m = s.back();
+      s.pop_back();
+      if (key_[m] == key) {
+        key_[m] = kNone;
+        return m;
+      }
+    }
+    throw std::logic_error("SlotRegistry: no machine with requested key");
+  }
+
+ private:
+  std::vector<int> key_;
+  std::vector<std::vector<std::size_t>> stacks_;
+};
+
+int registry_key(const Machine& m) {
+  std::size_t occ = m.occupancy();
+  if (occ == 2) return SlotRegistry::kNone;
+  if (occ == 0) return 0;
+  const RunningTask& t = m.slot[0].has_value() ? *m.slot[0] : *m.slot[1];
+  return 1 + static_cast<int>(t.app);
+}
+
+}  // namespace
+
+double DynamicOutcome::throughput_per_hour() const {
+  return duration_s > 0.0
+             ? static_cast<double>(completed) / (duration_s / 3600.0)
+             : 0.0;
+}
+
+std::vector<Arrival> generate_arrivals(const DynamicConfig& cfg,
+                                       std::size_t num_apps) {
+  TRACON_REQUIRE(cfg.lambda_per_min > 0.0, "lambda must be positive");
+  TRACON_REQUIRE(cfg.duration_s > 0.0, "duration must be positive");
+  TRACON_REQUIRE(num_apps > 0, "need at least one application class");
+  Rng rng(cfg.seed);
+  double rate_per_s = cfg.lambda_per_min / 60.0;
+  std::vector<Arrival> out;
+  double t = rng.exponential(rate_per_s);
+  while (t < cfg.duration_s) {
+    std::size_t app =
+        workload::sample_benchmark_index(cfg.mix, rng, cfg.mix_stddev);
+    TRACON_ASSERT(app < num_apps, "sampled app out of range");
+    out.push_back({t, app});
+    t += rng.exponential(rate_per_s);
+  }
+  return out;
+}
+
+DynamicOutcome run_dynamic(const PerfTable& table,
+                           sched::Scheduler& scheduler,
+                           const DynamicConfig& cfg) {
+  std::vector<Arrival> arrivals = generate_arrivals(cfg, table.num_apps());
+  return run_dynamic(table, scheduler, cfg, arrivals);
+}
+
+DynamicOutcome run_dynamic(const PerfTable& table,
+                           sched::Scheduler& scheduler,
+                           const DynamicConfig& cfg,
+                           std::span<const Arrival> arrivals) {
+  TRACON_REQUIRE(cfg.machines > 0, "need at least one machine");
+  TRACON_REQUIRE(cfg.duration_s > 0.0, "duration must be positive");
+  for (std::size_t i = 1; i < arrivals.size(); ++i)
+    TRACON_REQUIRE(arrivals[i - 1].time_s <= arrivals[i].time_s,
+                   "arrivals must be sorted by time");
+
+  const std::size_t n = table.num_apps();
+
+  std::vector<Machine> fleet(cfg.machines);
+  sched::ClusterCounts counts(n, cfg.machines);
+  SlotRegistry registry(cfg.machines, n);
+  for (std::size_t m = 0; m < cfg.machines; ++m)
+    registry.set_key(m, 0);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::vector<sched::QueuedTask> queue;
+
+  DynamicOutcome out;
+  double wait_sum = 0.0;
+  std::size_t started = 0;
+  double queue_len_integral = 0.0;
+  double last_event_time = 0.0;
+
+  auto neighbour_of = [&](const Machine& m,
+                          int slot) -> std::optional<std::size_t> {
+    const auto& other = m.slot[1 - slot];
+    if (!other.has_value()) return std::nullopt;
+    return other->app;
+  };
+
+  // Brings a machine's running tasks up to `now` and refreshes their
+  // completion events.
+  auto advance_machine = [&](std::size_t mi, double now) {
+    Machine& m = fleet[mi];
+    for (int s = 0; s < 2; ++s) {
+      if (!m.slot[s].has_value()) continue;
+      RunningTask& t = *m.slot[s];
+      double dt = now - t.last_update_s;
+      if (dt <= 0.0) continue;
+      auto nb = neighbour_of(m, s);
+      double speed = table.speed(t.app, nb);
+      t.remaining_solo_s = std::max(0.0, t.remaining_solo_s - dt * speed);
+      t.iops_integral += table.iops(t.app, nb) * dt;
+      t.last_update_s = now;
+    }
+  };
+
+  auto refresh_completions = [&](std::size_t mi, double now) {
+    Machine& m = fleet[mi];
+    ++m.stamp;
+    for (int s = 0; s < 2; ++s) {
+      if (!m.slot[s].has_value()) continue;
+      const RunningTask& t = *m.slot[s];
+      double speed = table.speed(t.app, neighbour_of(m, s));
+      TRACON_ASSERT(speed > 0.0, "non-positive task speed");
+      double eta = now + t.remaining_solo_s / speed;
+      events.push({eta, EventType::kCompletion, mi, s, m.stamp});
+    }
+  };
+
+  // Invokes the scheduler repeatedly until it stops placing (a batch
+  // scheduler only handles one window per call).
+  auto run_scheduler = [&](double now) {
+    sched::ScheduleContext ctx{now};
+    for (bool progressed = true; progressed;) {
+      auto placements = scheduler.schedule(queue, counts, ctx);
+      progressed = !placements.empty();
+      std::vector<std::size_t> remove;
+      remove.reserve(placements.size());
+      for (const auto& p : placements) {
+        TRACON_ASSERT(p.queue_pos < queue.size(), "bad placement position");
+        std::size_t app = queue[p.queue_pos].app;
+        counts.place(app, p.neighbour);
+        int key = p.neighbour.has_value()
+                      ? 1 + static_cast<int>(*p.neighbour)
+                      : 0;
+        std::size_t mi = registry.pop(key);
+        advance_machine(mi, now);
+        Machine& m = fleet[mi];
+        int slot = m.slot[0].has_value() ? 1 : 0;
+        TRACON_ASSERT(!m.slot[slot].has_value(), "slot already busy");
+        RunningTask t;
+        t.app = app;
+        t.remaining_solo_s = table.solo_runtime(app);
+        t.started_s = now;
+        t.last_update_s = now;
+        m.slot[slot] = t;
+        registry.set_key(mi, registry_key(m));
+        refresh_completions(mi, now);
+        if (cfg.trace != nullptr)
+          cfg.trace->record(now, TaskEventKind::kPlaced, app, mi);
+        wait_sum += now - queue[p.queue_pos].arrival_s;
+        ++started;
+        remove.push_back(p.queue_pos);
+      }
+      std::sort(remove.begin(), remove.end(), std::greater<>());
+      for (std::size_t pos : remove)
+        queue.erase(queue.begin() + static_cast<long>(pos));
+    }
+    if (auto wake = scheduler.next_wakeup(queue, ctx);
+        wake.has_value() && *wake > now && *wake < cfg.duration_s) {
+      events.push({*wake, EventType::kWakeup, 0, 0, 0});
+    }
+  };
+
+  // Prime the arrival stream and the manager's scheduling rounds. The
+  // Event's `machine` field carries the arrival index.
+  TRACON_REQUIRE(cfg.queue_capacity >= 1, "queue capacity must be >= 1");
+  TRACON_REQUIRE(cfg.schedule_period_s > 0.0,
+                 "schedule period must be positive");
+  if (!arrivals.empty() && arrivals.front().time_s < cfg.duration_s)
+    events.push({arrivals.front().time_s, EventType::kArrival, 0, 0, 0});
+  // Online schedulers (FIFO, MIOS) dispatch on every event. Batch
+  // schedulers are triggered by arrivals (the paper: "the scheduling
+  // process takes place when the queue that holds the incoming tasks is
+  // full") and by the manager's periodic safety round — NOT by
+  // completions: freed VMs accumulate between batches, which is what
+  // gives MIBS/MIX genuinely concurrent placement choices.
+  const bool online = scheduler.online();
+  events.push({cfg.schedule_period_s, EventType::kRound, 0, 0, 0});
+
+  while (!events.empty()) {
+    Event ev = events.top();
+    events.pop();
+    if (ev.time > cfg.duration_s) break;
+
+    queue_len_integral +=
+        static_cast<double>(queue.size()) * (ev.time - last_event_time);
+    last_event_time = ev.time;
+
+    switch (ev.type) {
+      case EventType::kArrival: {
+        ++out.arrived;
+        std::size_t idx = ev.machine;  // arrival index
+        std::size_t app = arrivals[idx].app;
+        TRACON_ASSERT(app < n, "arrival app out of range");
+        if (cfg.trace != nullptr)
+          cfg.trace->record(ev.time, TaskEventKind::kArrived, app);
+        if (queue.size() < cfg.queue_capacity) {
+          queue.push_back({app, ev.time});
+          run_scheduler(ev.time);
+        } else {
+          ++out.dropped;  // manager queue full: task rejected
+          if (cfg.trace != nullptr)
+            cfg.trace->record(ev.time, TaskEventKind::kDropped, app);
+        }
+        if (idx + 1 < arrivals.size() &&
+            arrivals[idx + 1].time_s < cfg.duration_s) {
+          events.push(
+              {arrivals[idx + 1].time_s, EventType::kArrival, idx + 1, 0, 0});
+        }
+        break;
+      }
+      case EventType::kCompletion: {
+        Machine& m = fleet[ev.machine];
+        if (ev.stamp != m.stamp) break;  // stale
+        advance_machine(ev.machine, ev.time);
+        RunningTask* t = m.slot[ev.slot].has_value() ? &*m.slot[ev.slot]
+                                                     : nullptr;
+        if (t == nullptr || t->remaining_solo_s > 1e-6) {
+          // Completion got pushed back by a neighbour change; re-arm.
+          refresh_completions(ev.machine, ev.time);
+          break;
+        }
+        double runtime = ev.time - t->started_s;
+        ++out.completed;
+        out.total_runtime += runtime;
+        out.total_iops += runtime > 0.0 ? t->iops_integral / runtime : 0.0;
+        std::size_t departed = t->app;
+        if (cfg.trace != nullptr)
+          cfg.trace->record(ev.time, TaskEventKind::kCompleted, departed,
+                            ev.machine);
+        m.slot[ev.slot].reset();
+        counts.depart(departed, neighbour_of(m, ev.slot));
+        registry.set_key(ev.machine, registry_key(m));
+        refresh_completions(ev.machine, ev.time);
+        if (online) run_scheduler(ev.time);
+        break;
+      }
+      case EventType::kWakeup:
+        run_scheduler(ev.time);
+        break;
+      case EventType::kRound: {
+        run_scheduler(ev.time);
+        double next_round = ev.time + cfg.schedule_period_s;
+        if (next_round < cfg.duration_s)
+          events.push({next_round, EventType::kRound, 0, 0, 0});
+        break;
+      }
+    }
+  }
+
+  out.duration_s = cfg.duration_s;
+  out.mean_wait_s = started > 0 ? wait_sum / static_cast<double>(started)
+                                : 0.0;
+  out.mean_queue_length =
+      last_event_time > 0.0 ? queue_len_integral / last_event_time : 0.0;
+  return out;
+}
+
+}  // namespace tracon::sim

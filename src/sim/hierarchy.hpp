@@ -1,0 +1,61 @@
+// Hierarchical management (Section 3): "Most cloud service providers
+// utilize a hierarchical management scheme ... A manager server is
+// responsible for supervising a group of the application servers ...
+// The manager servers can form a tree-like hierarchy for high
+// scalability."
+//
+// We model one root dispatcher feeding N leaf managers, each of which
+// owns a partition of the machines and runs its own TRACON scheduler
+// over its own bounded queue. For feedback-free routing policies
+// (round-robin, random) the leaf partitions evolve independently, so
+// the simulation decomposes exactly into per-manager dynamic runs with
+// the arrival stream split accordingly (a thinned Poisson process is
+// Poisson again) — which is also what makes the scheme scale in
+// practice: no leaf decision ever needs global state.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/dynamic_scenario.hpp"
+
+namespace tracon::sim {
+
+enum class Routing {
+  kRoundRobin,  ///< deterministic 1-in-N split
+  kRandom,      ///< i.i.d. uniform manager choice (Poisson thinning)
+};
+
+struct HierarchyConfig {
+  std::size_t managers = 4;
+  std::size_t machines_per_manager = 16;
+  double lambda_per_min = 100.0;  ///< total arrival rate at the root
+  double duration_s = 36'000.0;
+  workload::MixKind mix = workload::MixKind::kMedium;
+  double mix_stddev = 1.5;
+  Routing routing = Routing::kRoundRobin;
+  std::size_t queue_capacity = 8;   ///< per manager
+  double schedule_period_s = 5.0;
+  std::uint64_t seed = 7;
+};
+
+struct HierarchyOutcome {
+  DynamicOutcome total;                    ///< aggregated over managers
+  std::vector<DynamicOutcome> per_manager;
+
+  /// Coefficient of variation of per-manager completions — a routing
+  /// fairness measure (0 = perfectly balanced).
+  double completion_imbalance() const;
+};
+
+/// Runs the hierarchy. `make_scheduler` is invoked once per manager
+/// (index passed) so each leaf owns an independent scheduler instance;
+/// heterogeneous fleets are expressed by returning different schedulers.
+HierarchyOutcome run_hierarchical(
+    const PerfTable& table,
+    const std::function<std::unique_ptr<sched::Scheduler>(std::size_t)>&
+        make_scheduler,
+    const HierarchyConfig& cfg);
+
+}  // namespace tracon::sim

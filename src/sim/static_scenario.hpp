@@ -1,0 +1,29 @@
+// Static workload scenario (Section 4.2, first case): a batch of tasks
+// equal to the number of available VMs arrives at once; the scheduler
+// maps every task to a VM; the simulator then replays the measured
+// pairwise dynamics. When one VM's task completes, its neighbour speeds
+// up to solo rate for the remainder (the paper's remaining-work rule).
+#pragma once
+
+#include <span>
+
+#include "sched/scheduler.hpp"
+#include "sim/perf_table.hpp"
+
+namespace tracon::sim {
+
+struct StaticOutcome {
+  double total_runtime = 0.0;  ///< sum of realized task runtimes (eq. 3)
+  double total_iops = 0.0;     ///< sum of realized per-task IOPS (eq. 4)
+  std::size_t tasks = 0;
+  std::size_t unplaced = 0;    ///< tasks the scheduler failed to place
+};
+
+/// Runs the static scenario: `task_apps` (app indices, exactly
+/// 2*machines of them is the paper's setting, fewer is allowed) are
+/// offered to `scheduler` at t=0 against `machines` empty machines.
+StaticOutcome run_static(const PerfTable& table, sched::Scheduler& scheduler,
+                         std::span<const std::size_t> task_apps,
+                         std::size_t machines);
+
+}  // namespace tracon::sim

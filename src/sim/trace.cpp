@@ -1,0 +1,34 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+namespace tracon::sim {
+
+std::string task_event_kind_name(TaskEventKind kind) {
+  switch (kind) {
+    case TaskEventKind::kArrived: return "arrived";
+    case TaskEventKind::kDropped: return "dropped";
+    case TaskEventKind::kPlaced: return "placed";
+    case TaskEventKind::kCompleted: return "completed";
+  }
+  return "unknown";
+}
+
+std::size_t TraceRecorder::count(TaskEventKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : events_)
+    if (e.kind == kind) ++n;
+  return n;
+}
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+  os << "time_s,event,app,machine\n";
+  for (const auto& e : events_) {
+    os << e.time_s << ',' << task_event_kind_name(e.kind) << ',' << e.app
+       << ',';
+    if (e.machine != TaskEvent::kNoMachine) os << e.machine;
+    os << '\n';
+  }
+}
+
+}  // namespace tracon::sim

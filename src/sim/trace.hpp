@@ -1,0 +1,47 @@
+// Per-task event tracing for the dynamic scenario: who arrived, where
+// each task was placed, when it completed, what was rejected. Useful for
+// debugging scheduler behaviour and for offline analysis/plotting
+// (CSV export; `tracon dynamic --trace out.csv`).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tracon::sim {
+
+enum class TaskEventKind { kArrived, kDropped, kPlaced, kCompleted };
+
+std::string task_event_kind_name(TaskEventKind kind);
+
+struct TaskEvent {
+  double time_s = 0.0;
+  TaskEventKind kind = TaskEventKind::kArrived;
+  std::size_t app = 0;
+  /// Machine index for kPlaced/kCompleted; npos otherwise.
+  std::size_t machine = kNoMachine;
+
+  static constexpr std::size_t kNoMachine = static_cast<std::size_t>(-1);
+};
+
+class TraceRecorder {
+ public:
+  void record(const TaskEvent& event) { events_.push_back(event); }
+  void record(double time_s, TaskEventKind kind, std::size_t app,
+              std::size_t machine = TaskEvent::kNoMachine) {
+    events_.push_back({time_s, kind, app, machine});
+  }
+
+  const std::vector<TaskEvent>& events() const { return events_; }
+  std::size_t count(TaskEventKind kind) const;
+  void clear() { events_.clear(); }
+
+  /// CSV with header: time_s,event,app,machine (machine empty if none).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<TaskEvent> events_;
+};
+
+}  // namespace tracon::sim

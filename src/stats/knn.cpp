@@ -1,0 +1,40 @@
+#include "stats/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tracon::stats {
+
+KnnRegressor::KnnRegressor(Matrix points, Vector y, std::size_t k)
+    : points_(std::move(points)), y_(std::move(y)), k_(k) {
+  TRACON_REQUIRE(points_.rows() == y_.size(), "knn shape mismatch");
+  TRACON_REQUIRE(!y_.empty(), "knn needs training data");
+  TRACON_REQUIRE(k_ >= 1, "knn needs k >= 1");
+  k_ = std::min(k_, y_.size());
+}
+
+double KnnRegressor::predict(std::span<const double> x) const {
+  TRACON_REQUIRE(x.size() == points_.cols(), "knn query dimension mismatch");
+
+  // Partial selection of the k smallest distances.
+  std::vector<std::pair<double, std::size_t>> dist;
+  dist.reserve(y_.size());
+  for (std::size_t i = 0; i < y_.size(); ++i)
+    dist.emplace_back(squared_distance(points_.row(i), x), i);
+  std::nth_element(dist.begin(), dist.begin() + static_cast<long>(k_ - 1),
+                   dist.end());
+
+  double wsum = 0.0, ysum = 0.0;
+  for (std::size_t j = 0; j < k_; ++j) {
+    double d = std::sqrt(dist[j].first);
+    if (d < 1e-12) return y_[dist[j].second];  // exact profile hit
+    double w = 1.0 / d;
+    wsum += w;
+    ysum += w * y_[dist[j].second];
+  }
+  return ysum / wsum;
+}
+
+}  // namespace tracon::stats

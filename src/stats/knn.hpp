@@ -1,0 +1,31 @@
+// Inverse-distance weighted k-nearest-neighbour regression — the second
+// half of the paper's weighted-mean method: after projecting to PCA
+// space, the three nearest profiled points predict the response with
+// weights 1/distance.
+#pragma once
+
+#include "stats/matrix.hpp"
+
+namespace tracon::stats {
+
+class KnnRegressor {
+ public:
+  /// Stores the training set. `points` rows are feature vectors (already
+  /// in whatever space the caller wants, e.g. PCA-projected), `y` the
+  /// responses. k is clamped to the training-set size.
+  KnnRegressor(Matrix points, Vector y, std::size_t k = 3);
+
+  std::size_t size() const { return y_.size(); }
+  std::size_t k() const { return k_; }
+
+  /// Inverse-distance weighted mean of the k nearest responses. An exact
+  /// match (distance 0) returns that training response directly.
+  double predict(std::span<const double> x) const;
+
+ private:
+  Matrix points_;
+  Vector y_;
+  std::size_t k_;
+};
+
+}  // namespace tracon::stats

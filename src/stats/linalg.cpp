@@ -1,0 +1,162 @@
+#include "stats/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace tracon::stats {
+
+Matrix cholesky_factor(const Matrix& a) {
+  TRACON_REQUIRE(a.rows() == a.cols(), "cholesky requires square matrix");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    TRACON_REQUIRE(diag > 0.0, "matrix not positive definite");
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / l(j, j);
+    }
+  }
+  return l;
+}
+
+Vector cholesky_solve(const Matrix& a, std::span<const double> b) {
+  TRACON_REQUIRE(a.rows() == b.size(), "cholesky rhs size mismatch");
+  Matrix l = cholesky_factor(a);
+  const std::size_t n = a.rows();
+  // Forward substitution: L y = b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  // Back substitution: L^T x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+Vector qr_least_squares(const Matrix& a, std::span<const double> b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  TRACON_REQUIRE(m >= n, "least squares needs rows >= cols");
+  TRACON_REQUIRE(b.size() == m, "rhs size mismatch");
+
+  // Working copies; R overwrites `r`, b transforms in place.
+  Matrix r = a;
+  Vector rhs(b.begin(), b.end());
+  Vector v(m);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k below the diagonal.
+    double alpha = 0.0;
+    for (std::size_t i = k; i < m; ++i) alpha += r(i, k) * r(i, k);
+    alpha = std::sqrt(alpha);
+    if (alpha == 0.0) {
+      throw std::invalid_argument(
+          "qr_least_squares: rank-deficient design matrix");
+    }
+    if (r(k, k) > 0) alpha = -alpha;
+    double vnorm2 = 0.0;
+    for (std::size_t i = k; i < m; ++i) {
+      v[i] = r(i, k);
+      if (i == k) v[i] -= alpha;
+      vnorm2 += v[i] * v[i];
+    }
+    if (vnorm2 == 0.0) continue;  // column already triangular
+
+    // Apply H = I - 2 v v^T / (v^T v) to remaining columns and rhs.
+    for (std::size_t j = k; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += v[i] * r(i, j);
+      s = 2.0 * s / vnorm2;
+      for (std::size_t i = k; i < m; ++i) r(i, j) -= s * v[i];
+    }
+    double s = 0.0;
+    for (std::size_t i = k; i < m; ++i) s += v[i] * rhs[i];
+    s = 2.0 * s / vnorm2;
+    for (std::size_t i = k; i < m; ++i) rhs[i] -= s * v[i];
+  }
+
+  // Back substitution on the top n x n triangle.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = rhs[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= r(ii, j) * x[j];
+    double d = r(ii, ii);
+    TRACON_REQUIRE(std::abs(d) > 1e-13, "singular R in QR back substitution");
+    x[ii] = s / d;
+  }
+  return x;
+}
+
+EigenResult jacobi_eigen(const Matrix& a, double tol, int max_sweeps) {
+  TRACON_REQUIRE(a.rows() == a.cols(), "eigen requires square matrix");
+  const std::size_t n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+
+  auto off_diag_norm = [&]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) s += d(i, j) * d(i, j);
+    return std::sqrt(s);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps && off_diag_norm() > tol; ++sweep) {
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(d(p, q)) <= tol * 1e-3) continue;
+        double theta = (d(q, q) - d(p, p)) / (2.0 * d(p, q));
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          double dkp = d(k, p), dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          double dpk = d(p, k), dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return d(i, i) > d(j, j); });
+
+  EigenResult res;
+  res.values.resize(n);
+  res.vectors = Matrix(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    res.values[c] = d(order[c], order[c]);
+    for (std::size_t r = 0; r < n; ++r) res.vectors(r, c) = v(r, order[c]);
+  }
+  return res;
+}
+
+}  // namespace tracon::stats

@@ -1,0 +1,33 @@
+// Direct solvers used by the regression stack:
+//   - Cholesky factorization (SPD systems, normal equations)
+//   - Householder QR least squares (numerically safer OLS path)
+//   - Jacobi eigensolver for symmetric matrices (PCA)
+#pragma once
+
+#include "stats/matrix.hpp"
+
+namespace tracon::stats {
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+/// Throws std::invalid_argument if A is not SPD (within tolerance).
+Vector cholesky_solve(const Matrix& a, std::span<const double> b);
+
+/// In-place Cholesky: returns lower-triangular L with A = L L^T.
+Matrix cholesky_factor(const Matrix& a);
+
+/// Least-squares solution of min ||A x - b||_2 via Householder QR with
+/// column pivoting disabled (regression design matrices here are
+/// well-conditioned after standardization). Requires rows >= cols.
+Vector qr_least_squares(const Matrix& a, std::span<const double> b);
+
+/// Result of a symmetric eigendecomposition.
+struct EigenResult {
+  Vector values;   ///< eigenvalues, descending
+  Matrix vectors;  ///< column i is the eigenvector for values[i]
+};
+
+/// Cyclic Jacobi eigensolver for a symmetric matrix.
+EigenResult jacobi_eigen(const Matrix& a, double tol = 1e-12,
+                         int max_sweeps = 100);
+
+}  // namespace tracon::stats

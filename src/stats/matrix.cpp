@@ -1,0 +1,133 @@
+#include "stats/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tracon::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ > 0 ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    TRACON_REQUIRE(r.size() == cols_, "ragged initializer for Matrix");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return {};
+  Matrix m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    TRACON_REQUIRE(rows[r].size() == m.cols_, "ragged rows in from_rows");
+    std::copy(rows[r].begin(), rows[r].end(), m.data_.begin() + r * m.cols_);
+  }
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  TRACON_REQUIRE(cols_ == other.rows_, "matrix multiply shape mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += aik * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::multiply(std::span<const double> v) const {
+  TRACON_REQUIRE(v.size() == cols_, "matrix-vector shape mismatch");
+  Vector out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = dot(row(i), v);
+  return out;
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = i; j < cols_; ++j) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < rows_; ++r)
+        s += (*this)(r, i) * (*this)(r, j);
+      g(i, j) = s;
+      g(j, i) = s;
+    }
+  }
+  return g;
+}
+
+Matrix Matrix::select_columns(std::span<const std::size_t> idx) const {
+  Matrix out(rows_, idx.size());
+  for (std::size_t c = 0; c < idx.size(); ++c) {
+    TRACON_REQUIRE(idx[c] < cols_, "column index out of range");
+    for (std::size_t r = 0; r < rows_; ++r) out(r, c) = (*this)(r, idx[c]);
+  }
+  return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  TRACON_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                 "shape mismatch in max_abs_diff");
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  return m;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  TRACON_REQUIRE(a.size() == b.size(), "dot length mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+Vector subtract(std::span<const double> a, std::span<const double> b) {
+  TRACON_REQUIRE(a.size() == b.size(), "subtract length mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector axpy(std::span<const double> a, double s, std::span<const double> b) {
+  TRACON_REQUIRE(a.size() == b.size(), "axpy length mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+  return out;
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  TRACON_REQUIRE(a.size() == b.size(), "distance length mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace tracon::stats

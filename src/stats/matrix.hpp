@@ -1,0 +1,76 @@
+// Dense row-major matrix of doubles, sized for regression problems
+// (hundreds of rows, tens of columns). Hand-rolled on purpose: TRACON's
+// reproduction mandate is to build the statistical plumbing itself.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace tracon::stats {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+  /// Build from nested initializer list; all rows must have equal width.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  /// Stacks row vectors (each of equal length) into a matrix.
+  static Matrix from_rows(const std::vector<Vector>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  Matrix transposed() const;
+  /// Returns this * other; dimensions must agree.
+  Matrix multiply(const Matrix& other) const;
+  /// Returns this * v; v.size() must equal cols().
+  Vector multiply(std::span<const double> v) const;
+  /// Returns transpose(this) * this — the (cols x cols) Gram matrix.
+  Matrix gram() const;
+
+  /// Selects a subset of columns (in the given order) into a new matrix.
+  Matrix select_columns(std::span<const std::size_t> idx) const;
+
+  /// Max absolute element difference to `other` (same shape required).
+  double max_abs_diff(const Matrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// ---- Vector helpers --------------------------------------------------
+
+double dot(std::span<const double> a, std::span<const double> b);
+double norm2(std::span<const double> a);
+/// a - b elementwise.
+Vector subtract(std::span<const double> a, std::span<const double> b);
+/// a + s*b elementwise.
+Vector axpy(std::span<const double> a, double s, std::span<const double> b);
+/// Squared Euclidean distance.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace tracon::stats

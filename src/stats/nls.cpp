@@ -1,0 +1,143 @@
+#include "stats/nls.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/linalg.hpp"
+#include "util/error.hpp"
+
+namespace tracon::stats {
+
+LinearResidual::LinearResidual(Matrix design, Vector y)
+    : design_(std::move(design)), y_(std::move(y)) {
+  TRACON_REQUIRE(design_.rows() == y_.size(), "LinearResidual shape mismatch");
+}
+
+void LinearResidual::eval(std::span<const double> params,
+                          std::span<double> out) const {
+  TRACON_REQUIRE(params.size() == design_.cols(), "param size mismatch");
+  TRACON_REQUIRE(out.size() == y_.size(), "output size mismatch");
+  for (std::size_t i = 0; i < y_.size(); ++i)
+    out[i] = y_[i] - dot(design_.row(i), params);
+}
+
+CallableResidual::CallableResidual(std::size_t num_residuals,
+                                   std::size_t num_params, Fn fn)
+    : m_(num_residuals), n_(num_params), fn_(std::move(fn)) {
+  TRACON_REQUIRE(fn_ != nullptr, "CallableResidual needs a callable");
+}
+
+void CallableResidual::eval(std::span<const double> params,
+                            std::span<double> out) const {
+  TRACON_REQUIRE(params.size() == n_ && out.size() == m_,
+                 "CallableResidual shape mismatch");
+  fn_(params, out);
+}
+
+namespace {
+
+/// Central-difference Jacobian of r(p): J(i,j) = dr_i/dp_j.
+Matrix numeric_jacobian(const ResidualFunction& fn,
+                        std::span<const double> params, double h) {
+  const std::size_t m = fn.num_residuals();
+  const std::size_t n = fn.num_params();
+  Matrix jac(m, n);
+  Vector p(params.begin(), params.end());
+  Vector plus(m), minus(m);
+  for (std::size_t j = 0; j < n; ++j) {
+    double step = h * std::max(1.0, std::abs(p[j]));
+    double saved = p[j];
+    p[j] = saved + step;
+    fn.eval(p, plus);
+    p[j] = saved - step;
+    fn.eval(p, minus);
+    p[j] = saved;
+    for (std::size_t i = 0; i < m; ++i)
+      jac(i, j) = (plus[i] - minus[i]) / (2.0 * step);
+  }
+  return jac;
+}
+
+}  // namespace
+
+NlsResult gauss_newton(const ResidualFunction& fn, Vector initial,
+                       const NlsOptions& opts) {
+  const std::size_t m = fn.num_residuals();
+  const std::size_t n = fn.num_params();
+  TRACON_REQUIRE(initial.size() == n, "initial params size mismatch");
+  TRACON_REQUIRE(m >= n, "need at least as many residuals as params");
+
+  NlsResult res;
+  res.params = std::move(initial);
+
+  Vector r(m);
+  fn.eval(res.params, r);
+  res.sse = dot(r, r);
+
+  double lambda = opts.initial_lambda;
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    res.iterations = iter + 1;
+    Matrix jac = numeric_jacobian(fn, res.params, opts.jacobian_step);
+
+    // The Gauss-Newton step solves (J^T J) delta = -J^T r, minimizing
+    // the linearized ||r + J delta||^2. Stop when the gradient J^T r is
+    // (numerically) zero.
+    Vector neg_jtr(n, 0.0);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) neg_jtr[j] -= jac(i, j) * r[i];
+    double gmax = 0.0;
+    for (double g : neg_jtr) gmax = std::max(gmax, std::abs(g));
+    if (gmax < opts.gradient_tol) {
+      res.converged = true;
+      break;
+    }
+
+    Matrix jtj = jac.gram();
+
+    // Levenberg-Marquardt: retry with larger damping until SSE improves.
+    bool stepped = false;
+    for (int attempt = 0; attempt < 30; ++attempt) {
+      Matrix damped = jtj;
+      for (std::size_t d = 0; d < n; ++d)
+        damped(d, d) += lambda * std::max(jtj(d, d), 1e-12);
+
+      Vector delta;
+      try {
+        delta = cholesky_solve(damped, neg_jtr);
+      } catch (const std::invalid_argument&) {
+        lambda *= 10.0;
+        continue;
+      }
+
+      Vector trial = axpy(res.params, 1.0, delta);
+      Vector rt(m);
+      fn.eval(trial, rt);
+      double trial_sse = dot(rt, rt);
+      if (trial_sse <= res.sse) {
+        double step_norm = norm2(delta);
+        res.params = std::move(trial);
+        r = std::move(rt);
+        double improvement = res.sse - trial_sse;
+        res.sse = trial_sse;
+        lambda = std::max(lambda * 0.3, 1e-12);
+        stepped = true;
+        if (step_norm < opts.step_tol ||
+            improvement < opts.gradient_tol * std::max(1.0, res.sse)) {
+          res.converged = true;
+        }
+        break;
+      }
+      lambda *= 10.0;
+    }
+
+    if (!stepped || res.converged) {
+      // Either damping maxed out (flat landscape — accept) or tolerance hit.
+      res.converged = true;
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace tracon::stats

@@ -1,0 +1,78 @@
+// Nonlinear least squares: Gauss-Newton with Levenberg-Marquardt
+// damping. The paper fits its degree-2 interference model with the
+// Gauss-Newton method; this solver handles that case and any other
+// differentiable residual model via a numeric Jacobian.
+#pragma once
+
+#include <functional>
+
+#include "stats/matrix.hpp"
+
+namespace tracon::stats {
+
+/// Residual model interface: given parameters, produce the residual
+/// vector r(p) whose squared norm is minimized.
+class ResidualFunction {
+ public:
+  virtual ~ResidualFunction() = default;
+  virtual std::size_t num_residuals() const = 0;
+  virtual std::size_t num_params() const = 0;
+  /// Writes r(params) into `out` (sized num_residuals()).
+  virtual void eval(std::span<const double> params,
+                    std::span<double> out) const = 0;
+};
+
+/// Adapts a regression problem y ~ f(x; p) with f linear in basis
+/// evaluations: residual_i = y_i - dot(design.row(i), p). Gauss-Newton on
+/// this converges in one step (it *is* OLS), which doubles as a solver
+/// self-check.
+class LinearResidual final : public ResidualFunction {
+ public:
+  LinearResidual(Matrix design, Vector y);
+  std::size_t num_residuals() const override { return y_.size(); }
+  std::size_t num_params() const override { return design_.cols(); }
+  void eval(std::span<const double> params,
+            std::span<double> out) const override;
+
+ private:
+  Matrix design_;
+  Vector y_;
+};
+
+/// Wraps an arbitrary callable r(p, out) as a ResidualFunction.
+class CallableResidual final : public ResidualFunction {
+ public:
+  using Fn = std::function<void(std::span<const double>, std::span<double>)>;
+  CallableResidual(std::size_t num_residuals, std::size_t num_params, Fn fn);
+  std::size_t num_residuals() const override { return m_; }
+  std::size_t num_params() const override { return n_; }
+  void eval(std::span<const double> params,
+            std::span<double> out) const override;
+
+ private:
+  std::size_t m_, n_;
+  Fn fn_;
+};
+
+struct NlsOptions {
+  int max_iterations = 100;
+  double gradient_tol = 1e-10;  ///< stop when max |J^T r| below this
+  double step_tol = 1e-12;      ///< stop when parameter step norm below this
+  double initial_lambda = 1e-3; ///< LM damping start
+  double jacobian_step = 1e-6;  ///< central-difference step
+};
+
+struct NlsResult {
+  Vector params;
+  double sse = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes ||r(p)||^2 starting from `initial` using damped
+/// Gauss-Newton. Deterministic; never throws on non-convergence (check
+/// `converged`), throws std::invalid_argument on shape errors.
+NlsResult gauss_newton(const ResidualFunction& fn, Vector initial,
+                       const NlsOptions& opts = {});
+
+}  // namespace tracon::stats

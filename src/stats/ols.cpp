@@ -1,0 +1,51 @@
+#include "stats/ols.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/linalg.hpp"
+#include "util/error.hpp"
+#include "util/summary.hpp"
+
+namespace tracon::stats {
+
+double OlsFit::predict(std::span<const double> design_row) const {
+  return dot(design_row, coefficients);
+}
+
+double gaussian_aic(double sse, std::size_t n, std::size_t k) {
+  TRACON_REQUIRE(n > 0, "AIC needs at least one observation");
+  double floor_sse = 1e-12 * static_cast<double>(n);
+  double safe_sse = std::max(sse, floor_sse);
+  return static_cast<double>(n) * std::log(safe_sse / static_cast<double>(n)) +
+         2.0 * static_cast<double>(k + 1);
+}
+
+OlsFit ols_fit(const Matrix& x, std::span<const double> y) {
+  TRACON_REQUIRE(x.rows() == y.size(), "ols shape mismatch");
+  TRACON_REQUIRE(x.rows() >= x.cols(), "ols needs rows >= cols");
+  TRACON_REQUIRE(x.cols() > 0, "ols needs at least one column");
+
+  OlsFit fit;
+  fit.coefficients = qr_least_squares(x, y);
+  fit.n = x.rows();
+  fit.k = x.cols();
+
+  Vector yhat = x.multiply(fit.coefficients);
+  fit.residuals = subtract(y, yhat);
+  fit.sse = dot(fit.residuals, fit.residuals);
+  fit.aic = gaussian_aic(fit.sse, fit.n, fit.k);
+
+  // R^2 against the mean-only model.
+  OnlineStats acc;
+  for (double v : y) acc.add(v);
+  double tss = 0.0;
+  for (double v : y) {
+    double d = v - acc.mean();
+    tss += d * d;
+  }
+  fit.r_squared = tss > 0.0 ? 1.0 - fit.sse / tss : 1.0;
+  return fit;
+}
+
+}  // namespace tracon::stats

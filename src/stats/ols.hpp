@@ -1,0 +1,37 @@
+// Ordinary least squares with Gaussian AIC scoring.
+//
+// The design matrix passed to `ols_fit` already contains whatever basis
+// the caller wants (intercept column, polynomial terms, ...). AIC follows
+// the Gaussian maximum-likelihood form used by R's step():
+//   AIC = n * ln(SSE / n) + 2 * (k + 1)
+// where k is the number of fitted coefficients (the +1 accounts for the
+// estimated error variance). Additive constants are dropped since only
+// AIC differences matter for selection.
+#pragma once
+
+#include "stats/matrix.hpp"
+
+namespace tracon::stats {
+
+struct OlsFit {
+  Vector coefficients;  ///< one per design-matrix column
+  Vector residuals;     ///< y - X beta
+  double sse = 0.0;     ///< sum of squared errors
+  double aic = 0.0;
+  double r_squared = 0.0;
+  std::size_t n = 0;  ///< observations
+  std::size_t k = 0;  ///< coefficients
+
+  /// Prediction for one expanded input row.
+  double predict(std::span<const double> design_row) const;
+};
+
+/// Gaussian AIC (up to an additive constant). Guards sse <= 0 by flooring
+/// at a tiny positive value so perfect fits rank best without -inf.
+double gaussian_aic(double sse, std::size_t n, std::size_t k);
+
+/// Fits min ||y - X beta||^2 via Householder QR.
+/// Throws std::invalid_argument if X is rank deficient or shapes mismatch.
+OlsFit ols_fit(const Matrix& x, std::span<const double> y);
+
+}  // namespace tracon::stats

@@ -1,0 +1,83 @@
+#include "stats/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/linalg.hpp"
+#include "util/error.hpp"
+
+namespace tracon::stats {
+
+Pca Pca::fit(const Matrix& x, std::size_t k, bool standardize) {
+  TRACON_REQUIRE(x.rows() >= 2, "PCA needs at least two observations");
+  TRACON_REQUIRE(k >= 1 && k <= x.cols(), "component count out of range");
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+
+  Pca p;
+  p.mean_.assign(d, 0.0);
+  p.scale_.assign(d, 1.0);
+  for (std::size_t c = 0; c < d; ++c) {
+    double m = 0.0;
+    for (std::size_t r = 0; r < n; ++r) m += x(r, c);
+    m /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      double dv = x(r, c) - m;
+      var += dv * dv;
+    }
+    var /= static_cast<double>(n - 1);
+    p.mean_[c] = m;
+    p.scale_[c] = standardize && var > 1e-24 ? std::sqrt(var) : 1.0;
+  }
+
+  // Covariance of the standardized data (= correlation matrix).
+  Matrix z(n, d);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < d; ++c)
+      z(r, c) = (x(r, c) - p.mean_[c]) / p.scale_[c];
+  Matrix cov = z.gram();
+  for (std::size_t i = 0; i < d; ++i)
+    for (std::size_t j = 0; j < d; ++j)
+      cov(i, j) /= static_cast<double>(n - 1);
+
+  EigenResult eig = jacobi_eigen(cov);
+
+  double total = 0.0;
+  for (double v : eig.values) total += std::max(v, 0.0);
+  if (total <= 0.0) total = 1.0;
+
+  p.components_ = Matrix(d, k);
+  p.explained_.assign(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t r = 0; r < d; ++r)
+      p.components_(r, c) = eig.vectors(r, c);
+    p.explained_[c] = std::max(eig.values[c], 0.0) / total;
+  }
+  return p;
+}
+
+Vector Pca::project(std::span<const double> x) const {
+  TRACON_REQUIRE(x.size() == mean_.size(), "project dimension mismatch");
+  const std::size_t d = mean_.size();
+  const std::size_t k = components_.cols();
+  Vector out(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < d; ++r)
+      s += components_(r, c) * (x[r] - mean_[r]) / scale_[r];
+    out[c] = s;
+  }
+  return out;
+}
+
+Matrix Pca::project_rows(const Matrix& x) const {
+  Matrix out(x.rows(), components_.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    Vector p = project(x.row(r));
+    for (std::size_t c = 0; c < p.size(); ++c) out(r, c) = p[c];
+  }
+  return out;
+}
+
+}  // namespace tracon::stats

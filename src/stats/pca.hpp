@@ -1,0 +1,40 @@
+// Principal component analysis on standardized features, used by the
+// paper's weighted-mean method (WMM): observations are projected onto the
+// first k principal components before nearest-neighbour matching.
+#pragma once
+
+#include "stats/matrix.hpp"
+
+namespace tracon::stats {
+
+class Pca {
+ public:
+  /// Fits a PCA with `k` components on the rows of `x` (observations x
+  /// features). With `standardize` (default) features are z-scored
+  /// first; constant features get unit scale so they project to zero.
+  /// Without it the PCA runs on the raw covariance — large-scale
+  /// features (request rates) then dominate the components, as in the
+  /// classic weighted-mean method of Koh et al. that the paper uses as
+  /// its baseline.
+  static Pca fit(const Matrix& x, std::size_t k, bool standardize = true);
+
+  std::size_t input_dim() const { return mean_.size(); }
+  std::size_t num_components() const { return components_.cols(); }
+
+  /// Fraction of total variance captured by each retained component.
+  const Vector& explained_variance_ratio() const { return explained_; }
+
+  /// Projects a raw feature vector to component space.
+  Vector project(std::span<const double> x) const;
+
+  /// Projects every row of `x`.
+  Matrix project_rows(const Matrix& x) const;
+
+ private:
+  Vector mean_;
+  Vector scale_;
+  Matrix components_;  ///< features x k, orthonormal columns
+  Vector explained_;
+};
+
+}  // namespace tracon::stats

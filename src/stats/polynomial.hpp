@@ -1,0 +1,59 @@
+// Polynomial feature expansion for the interference models.
+//
+// The paper's NLM expands the eight controlled variables to every term of
+// (1 + sum X_i)^2: intercept, linear terms, squares, and all pairwise
+// products (equation 2). PolyBasis enumerates those terms so that the
+// stepwise selector can name and prune them individually.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/matrix.hpp"
+
+namespace tracon::stats {
+
+/// One term of the expansion. Encoded by the indices of the base features
+/// it multiplies: {} = intercept, {i} = linear, {i,i} = square,
+/// {i,j} (i<j) = interaction.
+struct PolyTerm {
+  int i = -1;  ///< first factor, -1 if none
+  int j = -1;  ///< second factor, -1 if none
+
+  bool is_intercept() const { return i < 0; }
+  bool is_linear() const { return i >= 0 && j < 0; }
+  bool is_quadratic() const { return i >= 0 && j >= 0; }
+};
+
+/// An ordered set of polynomial terms over `dim` base features.
+class PolyBasis {
+ public:
+  /// Intercept + linear terms (the paper's LM candidate set).
+  static PolyBasis degree1(std::size_t dim);
+  /// Full degree-2 expansion (the paper's NLM candidate set):
+  /// intercept, d linear, d squares, d(d-1)/2 interactions.
+  static PolyBasis degree2(std::size_t dim);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t num_terms() const { return terms_.size(); }
+  const std::vector<PolyTerm>& terms() const { return terms_; }
+
+  /// Evaluates every term at x (x.size() must equal dim()).
+  Vector expand(std::span<const double> x) const;
+
+  /// Expands every row of X into the design matrix (rows x num_terms).
+  Matrix expand_rows(const Matrix& x) const;
+
+  /// Human-readable term name, e.g. "1", "x2", "x1*x5", "x3^2".
+  std::string term_name(std::size_t t) const;
+  /// Same but with caller-supplied base-feature names.
+  std::string term_name(std::size_t t,
+                        const std::vector<std::string>& feature_names) const;
+
+ private:
+  explicit PolyBasis(std::size_t dim) : dim_(dim) {}
+  std::size_t dim_;
+  std::vector<PolyTerm> terms_;
+};
+
+}  // namespace tracon::stats

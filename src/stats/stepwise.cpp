@@ -1,0 +1,105 @@
+#include "stats/stepwise.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "util/error.hpp"
+
+namespace tracon::stats {
+
+namespace {
+
+/// Fits OLS on a column subset; nullopt when the subset is rank
+/// deficient or over-parameterized for the sample size.
+std::optional<OlsFit> try_fit(const Matrix& candidates,
+                              std::span<const double> y,
+                              const std::vector<std::size_t>& cols) {
+  if (cols.empty() || cols.size() >= candidates.rows()) return std::nullopt;
+  try {
+    Matrix x = candidates.select_columns(cols);
+    return ols_fit(x, y);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+double StepwiseResult::predict(std::span<const double> candidate_row) const {
+  TRACON_REQUIRE(!selected.empty(), "predict on empty stepwise model");
+  double s = 0.0;
+  for (std::size_t t = 0; t < selected.size(); ++t) {
+    TRACON_REQUIRE(selected[t] < candidate_row.size(),
+                   "candidate row narrower than selection");
+    s += fit.coefficients[t] * candidate_row[selected[t]];
+  }
+  return s;
+}
+
+StepwiseResult stepwise_aic(const Matrix& candidates,
+                            std::span<const double> y,
+                            const StepwiseOptions& opts) {
+  TRACON_REQUIRE(candidates.rows() == y.size(), "stepwise shape mismatch");
+  TRACON_REQUIRE(!opts.forced.empty(), "stepwise needs forced columns");
+  for (std::size_t f : opts.forced)
+    TRACON_REQUIRE(f < candidates.cols(), "forced column out of range");
+
+  std::vector<std::size_t> current(opts.forced);
+  std::sort(current.begin(), current.end());
+  current.erase(std::unique(current.begin(), current.end()), current.end());
+
+  auto base = try_fit(candidates, y, current);
+  TRACON_REQUIRE(base.has_value(), "forced columns are rank deficient");
+
+  StepwiseResult res;
+  res.selected = current;
+  res.fit = *base;
+
+  auto is_selected = [&](std::size_t c) {
+    return std::binary_search(res.selected.begin(), res.selected.end(), c);
+  };
+  auto is_forced = [&](std::size_t c) {
+    return std::find(opts.forced.begin(), opts.forced.end(), c) !=
+           opts.forced.end();
+  };
+
+  for (int step = 0; step < opts.max_steps; ++step) {
+    double best_aic = res.fit.aic - opts.min_improvement;
+    std::optional<std::vector<std::size_t>> best_cols;
+    std::optional<OlsFit> best_fit;
+
+    // Try adding each unselected column.
+    for (std::size_t c = 0; c < candidates.cols(); ++c) {
+      if (is_selected(c)) continue;
+      std::vector<std::size_t> trial = res.selected;
+      trial.insert(std::upper_bound(trial.begin(), trial.end(), c), c);
+      if (auto f = try_fit(candidates, y, trial); f && f->aic < best_aic) {
+        best_aic = f->aic;
+        best_cols = std::move(trial);
+        best_fit = std::move(f);
+      }
+    }
+    // Try removing each non-forced selected column.
+    for (std::size_t c : res.selected) {
+      if (is_forced(c)) continue;
+      std::vector<std::size_t> trial;
+      trial.reserve(res.selected.size() - 1);
+      for (std::size_t s : res.selected)
+        if (s != c) trial.push_back(s);
+      if (auto f = try_fit(candidates, y, trial); f && f->aic < best_aic) {
+        best_aic = f->aic;
+        best_cols = std::move(trial);
+        best_fit = std::move(f);
+      }
+    }
+
+    if (!best_cols) break;  // no move improves AIC
+    res.selected = std::move(*best_cols);
+    res.fit = std::move(*best_fit);
+    res.steps_taken = step + 1;
+  }
+  return res;
+}
+
+}  // namespace tracon::stats

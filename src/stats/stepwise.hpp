@@ -1,0 +1,43 @@
+// Bidirectional stepwise model selection scored by AIC, in the style of
+// Draper & Smith and R's step(): starting from an intercept-only model,
+// repeatedly apply the single column addition or removal that most
+// improves (lowers) AIC, until no move helps.
+#pragma once
+
+#include <vector>
+
+#include "stats/matrix.hpp"
+#include "stats/ols.hpp"
+
+namespace tracon::stats {
+
+struct StepwiseOptions {
+  /// Column indices that are always kept (typically {0}, the intercept).
+  std::vector<std::size_t> forced = {0};
+  /// Safety bound on add/remove steps.
+  int max_steps = 200;
+  /// Minimum AIC improvement to accept a move (guards float noise).
+  double min_improvement = 1e-9;
+};
+
+struct StepwiseResult {
+  /// Selected candidate-matrix column indices, ascending; includes forced.
+  std::vector<std::size_t> selected;
+  /// OLS fit over the selected columns (in `selected` order).
+  OlsFit fit;
+  int steps_taken = 0;
+
+  /// Expands a full candidate row down to the selected columns and
+  /// predicts. `candidate_row` must have the original candidate width.
+  double predict(std::span<const double> candidate_row) const;
+};
+
+/// Runs bidirectional stepwise selection. `candidates` holds every
+/// candidate regressor as a column (including an intercept column of
+/// ones, conventionally column 0). Candidate columns whose inclusion
+/// makes the design rank deficient are treated as unavailable moves.
+StepwiseResult stepwise_aic(const Matrix& candidates,
+                            std::span<const double> y,
+                            const StepwiseOptions& opts = {});
+
+}  // namespace tracon::stats

@@ -1,0 +1,37 @@
+// Error-handling helpers shared across TRACON modules.
+//
+// The library reports precondition violations and invariant breaks by
+// throwing std::invalid_argument / std::logic_error with a message that
+// names the failing expression and location. Simulation code is
+// exception-free on the hot path; checks guard construction and public
+// API boundaries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tracon {
+
+/// Throws std::invalid_argument if `cond` is false. Use at public API
+/// boundaries to validate caller-supplied arguments.
+#define TRACON_REQUIRE(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      throw std::invalid_argument(std::string("TRACON precondition: ") +    \
+                                  (msg) + " [" #cond "] at " __FILE__ ":" + \
+                                  std::to_string(__LINE__));                \
+    }                                                                       \
+  } while (false)
+
+/// Throws std::logic_error if `cond` is false. Use for internal
+/// invariants that indicate a bug in TRACON itself.
+#define TRACON_ASSERT(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      throw std::logic_error(std::string("TRACON invariant: ") + (msg) +  \
+                             " [" #cond "] at " __FILE__ ":" +            \
+                             std::to_string(__LINE__));                   \
+    }                                                                     \
+  } while (false)
+
+}  // namespace tracon

@@ -1,0 +1,32 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace tracon {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "[debug] ";
+    case LogLevel::kInfo: return "[info ] ";
+    case LogLevel::kWarn: return "[warn ] ";
+    case LogLevel::kError: return "[error] ";
+    case LogLevel::kOff: return "";
+  }
+  return "";
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level.store(level); }
+LogLevel Log::level() { return g_level.load(); }
+bool Log::enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(g_level.load());
+}
+void Log::write(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  std::cerr << prefix(level) << message << '\n';
+}
+
+}  // namespace tracon

@@ -1,0 +1,34 @@
+// Minimal leveled logger. Off by default so benchmark output stays clean;
+// enable with Log::set_level for debugging simulations.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tracon {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  static bool enabled(LogLevel level);
+  /// Writes a single line to stderr with a level prefix.
+  static void write(LogLevel level, const std::string& message);
+};
+
+#define TRACON_LOG(level, expr)                       \
+  do {                                                \
+    if (::tracon::Log::enabled(level)) {              \
+      std::ostringstream log_ss_;                     \
+      log_ss_ << expr;                                \
+      ::tracon::Log::write(level, log_ss_.str());     \
+    }                                                 \
+  } while (false)
+
+#define TRACON_DEBUG(expr) TRACON_LOG(::tracon::LogLevel::kDebug, expr)
+#define TRACON_INFO(expr) TRACON_LOG(::tracon::LogLevel::kInfo, expr)
+#define TRACON_WARN(expr) TRACON_LOG(::tracon::LogLevel::kWarn, expr)
+
+}  // namespace tracon

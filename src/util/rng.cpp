@@ -1,0 +1,48 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tracon {
+
+double Rng::uniform(double lo, double hi) {
+  TRACON_REQUIRE(lo <= hi, "uniform bounds out of order");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  TRACON_REQUIRE(lo <= hi, "uniform_int bounds out of order");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  TRACON_REQUIRE(stddev >= 0.0, "normal stddev must be non-negative");
+  if (stddev == 0.0) return mean;
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::exponential(double rate) {
+  TRACON_REQUIRE(rate > 0.0, "exponential rate must be positive");
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+double Rng::lognormal_noise(double sigma) {
+  TRACON_REQUIRE(sigma >= 0.0, "lognormal sigma must be non-negative");
+  if (sigma == 0.0) return 1.0;
+  return std::exp(normal(0.0, sigma));
+}
+
+std::size_t Rng::index(std::size_t size) {
+  TRACON_REQUIRE(size > 0, "index over empty range");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(size) - 1));
+}
+
+Rng Rng::fork() {
+  // Draw a fresh seed; golden-ratio increment decorrelates consecutive forks.
+  std::uint64_t seed = engine_() ^ 0x9e3779b97f4a7c15ULL;
+  return Rng(seed);
+}
+
+}  // namespace tracon

@@ -1,0 +1,62 @@
+#include "util/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tracon {
+
+Summary Summary::of(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+
+  OnlineStats acc;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    acc.add(x);
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.median = percentile(xs, 0.5);
+  return s;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  TRACON_REQUIRE(!xs.empty(), "percentile of empty sample");
+  TRACON_REQUIRE(p >= 0.0 && p <= 1.0, "percentile p outside [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  double pos = p * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void OnlineStats::add(double x) {
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace tracon

@@ -1,0 +1,46 @@
+// Summary statistics over samples: batch and online (Welford) forms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tracon {
+
+/// Batch summary of a sample: mean, standard deviation, extrema,
+/// percentiles. Computed once over a span of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample (n-1) standard deviation; 0 when n < 2
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+
+  /// Computes the summary of `xs`; all fields zero when `xs` is empty.
+  static Summary of(std::span<const double> xs);
+};
+
+/// Linear-interpolated percentile, p in [0,1]. Throws on empty input.
+double percentile(std::span<const double> xs, double p);
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+/// Used by the resource monitor and the drift detector.
+class OnlineStats {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace tracon

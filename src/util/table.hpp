@@ -1,0 +1,42 @@
+// Plain-text table and CSV rendering for benchmark harness output.
+//
+// Each bench binary reproduces one table or figure of the paper and
+// prints its rows with TableWriter so the output can be compared to the
+// paper by eye, and optionally dumped as CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tracon {
+
+/// Accumulates rows of string cells and renders them column-aligned.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Adds one row; must have as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 3);
+
+  /// Renders with padded columns and a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders as comma-separated values (header first).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string fmt(double value, int precision = 3);
+
+}  // namespace tracon

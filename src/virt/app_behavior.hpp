@@ -1,0 +1,50 @@
+// Behavioural description of an application running inside a guest VM.
+//
+// An application is modelled as a fluid job: at full (solo) speed it
+// sustains a DomU CPU utilization and read/write request rates for
+// `solo_runtime_s` seconds. Under contention the host simulator computes
+// an achievable speed s in (0,1]; the job then takes proportionally
+// longer and its observable rates scale by s. Bursty applications
+// alternate between high- and low-I/O phases, which is what makes
+// interference nonlinear in the time-averaged features (and what the
+// paper's degree-2 models exist to capture).
+#pragma once
+
+#include <string>
+
+namespace tracon::virt {
+
+struct AppBehavior {
+  std::string name;
+
+  /// Runtime when running alone on the reference host (seconds).
+  double solo_runtime_s = 60.0;
+
+  /// DomU (guest) CPU utilization at full speed, fraction of one core.
+  double cpu_util = 0.5;
+
+  /// Read / write requests per second at full speed.
+  double read_iops = 0.0;
+  double write_iops = 0.0;
+
+  /// Average request size (KiB); drives disk transfer time.
+  double request_kb = 64.0;
+
+  /// Access sequentiality in [0,1]; 1 = perfectly sequential stream.
+  double sequentiality = 0.5;
+
+  /// I/O burstiness in [0,1]: the I/O demand swings between
+  /// (1+b) and (1-b) times the mean across alternating phases.
+  double burstiness = 0.0;
+
+  /// Length of a full ON/OFF burst cycle (seconds).
+  double burst_period_s = 4.0;
+
+  double total_iops() const { return read_iops + write_iops; }
+  bool does_io() const { return total_iops() > 0.0; }
+  /// True when the app demands no resource at all (e.g., the all-zero
+  /// synthetic profiling workload, which stands for an idle neighbour).
+  bool is_idle() const { return cpu_util <= 0.0 && !does_io(); }
+};
+
+}  // namespace tracon::virt

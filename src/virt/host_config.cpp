@@ -1,0 +1,48 @@
+#include "virt/host_config.hpp"
+
+namespace tracon::virt {
+
+HostConfig HostConfig::paper_testbed() {
+  HostConfig cfg;
+  cfg.num_cores = 1;
+  cfg.dom0_cpu_ms_per_read = 0.10;
+  cfg.dom0_cpu_ms_per_write = 0.30;
+  cfg.dom0_sched_latency_ms = 6.0;
+  cfg.disk.sequential_mbps = 110.0;
+  cfg.disk.positioning_ms = 7.0;
+  cfg.disk.per_request_latency_ms = 0.0;
+  cfg.disk.collapse_cap = 0.9;
+  cfg.disk.write_weight = 1.5;
+  cfg.monitor_period_s = 1.0;
+  cfg.noise_sigma = 0.08;
+  return cfg;
+}
+
+HostConfig HostConfig::ssd_testbed() {
+  HostConfig cfg = paper_testbed();
+  cfg.disk.sequential_mbps = 250.0;   // SATA-2-era SSD
+  cfg.disk.positioning_ms = 0.08;     // flash lookup, no seeks
+  cfg.disk.collapse_cap = 0.3;        // little locality to destroy
+  cfg.dom0_sched_latency_ms = 1.0;    // requests too cheap to queue long
+  return cfg;
+}
+
+HostConfig HostConfig::raid_testbed() {
+  HostConfig cfg = paper_testbed();
+  cfg.disk.sequential_mbps = 440.0;   // 4 striped spindles
+  cfg.disk.positioning_ms = 7.0;      // each spindle still seeks
+  cfg.disk.collapse_cap = 0.55;       // streams spread across spindles
+  cfg.disk.interleave_theta = 0.5;    // more concurrency tolerated
+  return cfg;
+}
+
+HostConfig HostConfig::iscsi_testbed() {
+  HostConfig cfg = paper_testbed();
+  cfg.disk.sequential_mbps = 60.0;
+  cfg.disk.per_request_latency_ms = 0.5;
+  cfg.dom0_cpu_ms_per_read = 0.25;  // iSCSI initiator adds protocol work
+  cfg.dom0_cpu_ms_per_write = 0.50;
+  return cfg;
+}
+
+}  // namespace tracon::virt

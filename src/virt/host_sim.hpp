@@ -1,0 +1,97 @@
+// Fluid-flow simulator of one virtualized physical host.
+//
+// Plays the role of the paper's Xen testbed: it runs one application per
+// guest VM, resolves CPU/disk/Dom0 contention with `solve_speeds`, and
+// reports what the paper measures — per-application runtime, achieved
+// IOPS, and xentop/iostat-style monitor samples. Interference profiles,
+// model training data, and the cluster simulator's ground-truth pairwise
+// table are all produced by this class.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "virt/app_behavior.hpp"
+#include "virt/fairshare.hpp"
+#include "virt/host_config.hpp"
+
+namespace tracon::virt {
+
+/// One xentop/iostat observation of one VM over a sampling period.
+struct MonitorSample {
+  double time_s = 0.0;
+  std::size_t vm = 0;
+  double reads_per_s = 0.0;
+  double writes_per_s = 0.0;
+  double domu_cpu = 0.0;  ///< guest CPU, fraction of one core
+  double dom0_cpu = 0.0;  ///< driver-domain CPU attributable to this VM
+};
+
+/// What one VM's application experienced over the run.
+struct VmRunStats {
+  bool present = false;
+  bool completed = false;
+  double runtime_s = 0.0;       ///< first-completion time (measured apps)
+  double reads_per_s = 0.0;     ///< time-averaged over the app's runtime
+  double writes_per_s = 0.0;
+  double iops = 0.0;            ///< reads + writes per second
+  double avg_domu_cpu = 0.0;
+  double avg_dom0_cpu = 0.0;
+};
+
+struct RunResult {
+  std::vector<VmRunStats> vms;
+  std::vector<MonitorSample> samples;
+  double end_time_s = 0.0;
+};
+
+/// A VM's assignment for one run. Recurring applications restart
+/// immediately on completion — they model the paper's continuously
+/// running background workload; measured applications run once and their
+/// completion ends the experiment.
+struct VmWorkload {
+  AppBehavior app;
+  bool recurring = false;
+};
+
+struct RunOptions {
+  double max_time_s = 50'000.0;
+  bool collect_samples = true;
+  std::uint64_t noise_seed = 1;  ///< seeds measurement noise only
+};
+
+/// Measurement of a foreground app co-located with a background app.
+struct PairMeasurement {
+  double runtime_s = 0.0;
+  double iops = 0.0;
+  double reads_per_s = 0.0;
+  double writes_per_s = 0.0;
+};
+
+class HostSimulator {
+ public:
+  explicit HostSimulator(HostConfig cfg) : cfg_(cfg) {}
+
+  const HostConfig& config() const { return cfg_; }
+
+  /// Simulates the given VM assignment (one optional workload per VM
+  /// slot) until every measured app completes or max_time_s elapses.
+  RunResult run(const std::vector<std::optional<VmWorkload>>& vms,
+                const RunOptions& opts = {}) const;
+
+  /// Runs `app` alone and returns its stats (the application profile the
+  /// prediction models consume).
+  VmRunStats solo(const AppBehavior& app, std::uint64_t noise_seed = 1) const;
+
+  /// Runs `foreground` to completion against a continuously restarting
+  /// `background` on the second VM.
+  PairMeasurement measure_pair(const AppBehavior& foreground,
+                               const AppBehavior& background,
+                               std::uint64_t noise_seed = 1) const;
+
+ private:
+  HostConfig cfg_;
+};
+
+}  // namespace tracon::virt

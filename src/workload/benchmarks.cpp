@@ -1,0 +1,89 @@
+#include "workload/benchmarks.hpp"
+
+namespace tracon::workload {
+
+namespace {
+
+virt::AppBehavior make(std::string name, double runtime, double cpu,
+                       double reads, double writes, double kb, double sigma,
+                       double burst, double period) {
+  virt::AppBehavior a;
+  a.name = std::move(name);
+  a.solo_runtime_s = runtime;
+  a.cpu_util = cpu;
+  a.read_iops = reads;
+  a.write_iops = writes;
+  a.request_kb = kb;
+  a.sequentiality = sigma;
+  a.burstiness = burst;
+  a.burst_period_s = period;
+  return a;
+}
+
+std::vector<virt::AppBehavior> build_benchmarks() {
+  std::vector<virt::AppBehavior> apps;
+  apps.reserve(8);
+  // Postmark-style mail server: many tiny create/read/write/delete ops,
+  // random access, lowest aggregate IOPS (rank 1).
+  apps.push_back(make("email", 60, 0.25, 20, 28, 4, 0.30, 0.30, 3.0));
+  // FileBench web profile: 16 KiB reads over 10k files plus a proxy-log
+  // append; bursty open/read/close cycles (rank 2).
+  apps.push_back(make("web", 48, 0.30, 62, 8, 16, 0.55, 0.55, 2.0));
+  // blastp: protein search, CPU-dominant scoring with scans over the
+  // 11 GB NR database (rank 3).
+  apps.push_back(make("blastp", 100, 0.55, 86, 4, 128, 0.80, 0.20, 6.0));
+  // Linux kernel compile: alternating parse/codegen and object-file
+  // writes over 1,358 small files; random and strongly phased (rank 4).
+  apps.push_back(make("compile", 84, 0.45, 86, 39, 16, 0.45, 0.60, 3.0));
+  // freqmine: frequent-itemset mining over a 206 MB file (rank 5).
+  apps.push_back(make("freqmine", 72, 0.50, 133, 8, 64, 0.70, 0.40, 5.0));
+  // blastn: nucleotide search streaming the 12 GB NT database (rank 6).
+  apps.push_back(make("blastn", 96, 0.42, 210, 8, 128, 0.90, 0.25, 6.0));
+  // dedup: pipelined compression/deduplication, mixed read/write (rank 7).
+  apps.push_back(make("dedup", 60, 0.40, 172, 140, 32, 0.85, 0.45, 2.5));
+  // video: H.264 encoding of a 1.5 GB file, mainly sequential, highest
+  // IOPS of the set (rank 8).
+  apps.push_back(make("video", 66, 0.45, 374, 125, 64, 0.95, 0.10, 8.0));
+  return apps;
+}
+
+}  // namespace
+
+const std::vector<virt::AppBehavior>& paper_benchmarks() {
+  static const std::vector<virt::AppBehavior> apps = build_benchmarks();
+  return apps;
+}
+
+std::size_t benchmark_count() { return paper_benchmarks().size(); }
+
+std::optional<virt::AppBehavior> benchmark_by_name(const std::string& name) {
+  for (const auto& a : paper_benchmarks())
+    if (a.name == name) return a;
+  return std::nullopt;
+}
+
+virt::AppBehavior calc_app() {
+  return make("calc", 100, 0.95, 0, 0, 64, 0.5, 0.0, 4.0);
+}
+
+virt::AppBehavior seqread_app() {
+  return make("seqread", 100, 0.15, 800, 0, 64, 0.95, 0.0, 4.0);
+}
+
+virt::AppBehavior cpu_high_app() {
+  return make("cpu-high", 100, 0.95, 0, 0, 64, 0.5, 0.0, 4.0);
+}
+
+virt::AppBehavior io_high_app() {
+  return make("io-high", 100, 0.15, 800, 0, 64, 0.95, 0.0, 4.0);
+}
+
+virt::AppBehavior cpu_io_medium_app() {
+  return make("cpu-io-medium", 100, 0.40, 30, 30, 64, 0.75, 0.0, 4.0);
+}
+
+virt::AppBehavior cpu_io_high_app() {
+  return make("cpu-io-high", 100, 0.90, 150, 350, 64, 0.85, 0.0, 4.0);
+}
+
+}  // namespace tracon::workload

@@ -1,0 +1,61 @@
+#include "workload/mixes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace tracon::workload {
+
+std::string mix_name(MixKind kind) {
+  switch (kind) {
+    case MixKind::kLight: return "light";
+    case MixKind::kMedium: return "medium";
+    case MixKind::kHeavy: return "heavy";
+    case MixKind::kUniform: return "uniform";
+  }
+  return "unknown";
+}
+
+double mix_mean(MixKind kind) {
+  switch (kind) {
+    case MixKind::kLight: return 2.5;
+    case MixKind::kMedium: return 4.0;
+    case MixKind::kHeavy: return 5.5;
+    case MixKind::kUniform: return 4.5;
+  }
+  return 4.5;
+}
+
+std::size_t sample_benchmark_index(MixKind kind, Rng& rng, double stddev) {
+  TRACON_REQUIRE(stddev > 0.0, "mix stddev must be positive");
+  const auto n = static_cast<double>(benchmark_count());
+  if (kind == MixKind::kUniform) {
+    return rng.index(benchmark_count());
+  }
+  double rank = rng.normal(mix_mean(kind), stddev);
+  rank = std::clamp(std::round(rank), 1.0, n);
+  return static_cast<std::size_t>(rank) - 1;  // rank 1 -> index 0
+}
+
+std::vector<std::size_t> sample_task_indices(MixKind kind, std::size_t count,
+                                             Rng& rng, double stddev) {
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(sample_benchmark_index(kind, rng, stddev));
+  return out;
+}
+
+std::vector<virt::AppBehavior> sample_tasks(MixKind kind, std::size_t count,
+                                            Rng& rng, double stddev) {
+  const auto& apps = paper_benchmarks();
+  std::vector<virt::AppBehavior> out;
+  out.reserve(count);
+  for (std::size_t idx : sample_task_indices(kind, count, rng, stddev))
+    out.push_back(apps[idx]);
+  return out;
+}
+
+}  // namespace tracon::workload

@@ -1,0 +1,37 @@
+// Mixed I/O workload generation (Section 4.1, "Mixed I/O workload").
+//
+// The paper sorts the eight benchmarks by I/O intensity (ranks 1..8,
+// Table 3) and draws task ranks from Gaussian distributions with means
+// 2.5 (light), 4 (medium), and 5.5 (heavy). The paper does not state the
+// standard deviation; we use 1.5 and clamp to [1, 8] (see DESIGN.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "virt/app_behavior.hpp"
+
+namespace tracon::workload {
+
+enum class MixKind { kLight, kMedium, kHeavy, kUniform };
+
+/// Human-readable mix name ("light", "medium", "heavy", "uniform").
+std::string mix_name(MixKind kind);
+
+/// Gaussian mean of the rank distribution for the mix (uniform: n/a).
+double mix_mean(MixKind kind);
+
+/// Draws one benchmark index in [0, 8) according to the mix.
+std::size_t sample_benchmark_index(MixKind kind, Rng& rng,
+                                   double stddev = 1.5);
+
+/// Draws `count` tasks (benchmark indices) for the mix.
+std::vector<std::size_t> sample_task_indices(MixKind kind, std::size_t count,
+                                             Rng& rng, double stddev = 1.5);
+
+/// Same, materialized as AppBehavior copies from paper_benchmarks().
+std::vector<virt::AppBehavior> sample_tasks(MixKind kind, std::size_t count,
+                                            Rng& rng, double stddev = 1.5);
+
+}  // namespace tracon::workload

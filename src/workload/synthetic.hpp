@@ -1,0 +1,35 @@
+// The profiling workload generator of Section 3.1.
+//
+// The paper exercises CPU and storage with five intensity levels each
+// (0%, 25%, 50%, 75%, 100%) for CPU utilization, read rate, and write
+// rate, producing 5 x 5 x 5 = 125 background workloads used to profile
+// every application's interference response (the all-zero combination
+// doubles as the no-interference baseline).
+#pragma once
+
+#include <vector>
+
+#include "virt/app_behavior.hpp"
+
+namespace tracon::workload {
+
+struct SyntheticConfig {
+  int levels = 5;             ///< intensity steps per dimension
+  double max_cpu = 0.95;      ///< CPU utilization at 100%
+  double max_read_iops = 420; ///< read rate at 100%
+  double max_write_iops = 260;///< write rate at 100%
+  double runtime_s = 60.0;    ///< nominal loop length (backgrounds recur)
+};
+
+/// All levels^3 synthetic background workloads, ordered CPU-major then
+/// read then write. Names encode the levels, e.g. "synth-c2r0w4".
+std::vector<virt::AppBehavior> synthetic_workloads(
+    const SyntheticConfig& cfg = {});
+
+/// The single synthetic workload at the given intensity levels
+/// (each in [0, levels-1]).
+virt::AppBehavior synthetic_workload(int cpu_level, int read_level,
+                                     int write_level,
+                                     const SyntheticConfig& cfg = {});
+
+}  // namespace tracon::workload

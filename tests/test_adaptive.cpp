@@ -1,0 +1,114 @@
+#include "model/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/evaluate.hpp"
+#include "util/rng.hpp"
+
+namespace tracon::model {
+namespace {
+
+/// Observations from a parameterized "environment": response is a
+/// linear-ish function whose scale differs per environment, standing in
+/// for the local-vs-iSCSI storage switch.
+Observation sample_env(Rng& rng, double scale) {
+  Observation obs;
+  obs.features.assign(8, 0.0);
+  obs.features[4] = rng.uniform(0, 1);    // bg domu
+  obs.features[6] = rng.uniform(0, 300);  // bg reads
+  obs.features[7] = rng.uniform(0, 200);  // bg writes
+  double base = 40.0 + 30.0 * obs.features[4] + 0.1 * obs.features[6] +
+                0.15 * obs.features[7];
+  obs.runtime = scale * base * rng.lognormal_noise(0.03);
+  obs.iops = std::max(1.0, 400.0 - base) * rng.lognormal_noise(0.03);
+  return obs;
+}
+
+TrainingSet initial_set(Rng& rng, int n, double scale) {
+  TrainingSet ts;
+  for (int i = 0; i < n; ++i) ts.add(sample_env(rng, scale));
+  return ts;
+}
+
+AdaptiveConfig fast_config() {
+  AdaptiveConfig cfg;
+  cfg.kind = ModelKind::kLinear;  // cheap and sufficient here
+  cfg.rebuild_interval = 40;
+  cfg.window_size = 120;
+  return cfg;
+}
+
+TEST(Adaptive, StationaryEnvironmentStaysAccurate) {
+  Rng rng(50);
+  AdaptiveModel m(initial_set(rng, 120, 1.0), Response::kRuntime,
+                  fast_config());
+  double total = 0.0;
+  for (int i = 0; i < 100; ++i) total += m.observe(sample_env(rng, 1.0));
+  EXPECT_LT(total / 100.0, 0.08);
+}
+
+TEST(Adaptive, RecoversFromEnvironmentShift) {
+  Rng rng(51);
+  AdaptiveModel m(initial_set(rng, 120, 1.0), Response::kRuntime,
+                  fast_config());
+  // Environment scale doubles (storage switch): early errors are large.
+  double early = 0.0;
+  for (int i = 0; i < 20; ++i) early += m.observe(sample_env(rng, 2.0));
+  early /= 20.0;
+  // Keep observing; rebuilds ingest the new regime.
+  for (int i = 0; i < 200; ++i) m.observe(sample_env(rng, 2.0));
+  double late = 0.0;
+  for (int i = 0; i < 20; ++i) late += m.observe(sample_env(rng, 2.0));
+  late /= 20.0;
+  EXPECT_GT(early, 0.3);
+  EXPECT_LT(late, 0.1);
+  EXPECT_GE(m.rebuild_count(), 2u);
+}
+
+TEST(Adaptive, RebuildsEveryInterval) {
+  Rng rng(52);
+  AdaptiveModel m(initial_set(rng, 120, 1.0), Response::kRuntime,
+                  fast_config());
+  for (int i = 0; i < 85; ++i) m.observe(sample_env(rng, 1.0));
+  // 85 observations at interval 40 -> 2 scheduled rebuilds.
+  EXPECT_EQ(m.rebuild_count(), 2u);
+  EXPECT_EQ(m.observations_since_rebuild(), 5u);
+}
+
+TEST(Adaptive, DriftTriggersEarlyRebuild) {
+  Rng rng(53);
+  AdaptiveConfig cfg = fast_config();
+  cfg.rebuild_interval = 1000;  // scheduled rebuilds effectively off
+  cfg.window_size = 1000;
+  cfg.drift.reference_window = 30;
+  cfg.drift.recent_window = 10;
+  AdaptiveModel m(initial_set(rng, 120, 1.0), Response::kRuntime, cfg);
+  for (int i = 0; i < 40; ++i) m.observe(sample_env(rng, 1.0));
+  EXPECT_EQ(m.rebuild_count(), 0u);
+  for (int i = 0; i < 400; ++i) m.observe(sample_env(rng, 3.0));
+  EXPECT_GE(m.rebuild_count(), 1u);
+}
+
+TEST(Adaptive, ErrorHistoryGrows) {
+  Rng rng(54);
+  AdaptiveModel m(initial_set(rng, 120, 1.0), Response::kRuntime,
+                  fast_config());
+  for (int i = 0; i < 15; ++i) m.observe(sample_env(rng, 1.0));
+  EXPECT_EQ(m.error_history().size(), 15u);
+}
+
+TEST(Adaptive, ConfigValidation) {
+  Rng rng(55);
+  TrainingSet ts = initial_set(rng, 120, 1.0);
+  AdaptiveConfig bad = fast_config();
+  bad.rebuild_interval = 0;
+  EXPECT_THROW(AdaptiveModel(ts, Response::kRuntime, bad),
+               std::invalid_argument);
+  bad = fast_config();
+  bad.window_size = 10;  // < rebuild interval
+  EXPECT_THROW(AdaptiveModel(ts, Response::kRuntime, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tracon::model

@@ -1,0 +1,101 @@
+#include "sched/cluster_counts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tracon::sched {
+namespace {
+
+TEST(ClusterCounts, InitialState) {
+  ClusterCounts c(4, 10);
+  EXPECT_EQ(c.empty_machines(), 10u);
+  EXPECT_EQ(c.free_slots(), 20u);
+  EXPECT_TRUE(c.any_free());
+  for (std::size_t a = 0; a < 4; ++a) EXPECT_EQ(c.half_busy(a), 0u);
+}
+
+TEST(ClusterCounts, PlaceOnEmptyMakesHalfBusy) {
+  ClusterCounts c(4, 2);
+  c.place(1, std::nullopt);
+  EXPECT_EQ(c.empty_machines(), 1u);
+  EXPECT_EQ(c.half_busy(1), 1u);
+  EXPECT_EQ(c.free_slots(), 3u);
+}
+
+TEST(ClusterCounts, PlaceNextToNeighbourConsumesMachine) {
+  ClusterCounts c(4, 1);
+  c.place(0, std::nullopt);
+  c.place(2, std::optional<std::size_t>(0));
+  EXPECT_EQ(c.half_busy(0), 0u);
+  EXPECT_EQ(c.free_slots(), 0u);
+  EXPECT_FALSE(c.any_free());
+}
+
+TEST(ClusterCounts, DepartRestoresState) {
+  ClusterCounts c(3, 1);
+  c.place(0, std::nullopt);
+  c.place(1, std::optional<std::size_t>(0));
+  // Task of class 1 departs; machine keeps running class 0.
+  c.depart(1, std::optional<std::size_t>(0));
+  EXPECT_EQ(c.half_busy(0), 1u);
+  // Class 0 departs from its half-busy machine; machine empty again.
+  c.depart(0, std::nullopt);
+  EXPECT_EQ(c.empty_machines(), 1u);
+  EXPECT_EQ(c.free_slots(), 2u);
+}
+
+TEST(ClusterCounts, HasSlotQueries) {
+  ClusterCounts c(2, 1);
+  EXPECT_TRUE(c.has_slot(std::nullopt));
+  EXPECT_FALSE(c.has_slot(std::optional<std::size_t>(0)));
+  c.place(0, std::nullopt);
+  EXPECT_FALSE(c.has_slot(std::nullopt));
+  EXPECT_TRUE(c.has_slot(std::optional<std::size_t>(0)));
+}
+
+TEST(ClusterCounts, InvalidOperationsThrow) {
+  ClusterCounts c(2, 1);
+  EXPECT_THROW(c.place(5, std::nullopt), std::invalid_argument);
+  EXPECT_THROW(c.place(0, std::optional<std::size_t>(1)),
+               std::invalid_argument);  // no half-busy machine of class 1
+  EXPECT_THROW(c.depart(0, std::nullopt), std::invalid_argument);
+  EXPECT_THROW(ClusterCounts(0, 3), std::invalid_argument);
+}
+
+// Property: any sequence of place/depart keeps slot accounting exact.
+class CountsRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CountsRoundTrip, PlaceAllThenDepartAll) {
+  unsigned seed = static_cast<unsigned>(GetParam());
+  const std::size_t apps = 3, machines = 5;
+  ClusterCounts c(apps, machines);
+
+  // Fill every slot with pseudo-random classes, recording layout.
+  struct Pair {
+    std::size_t a, b;
+  };
+  std::vector<Pair> placed;
+  for (std::size_t m = 0; m < machines; ++m) {
+    seed = seed * 1103515245u + 12345u;
+    std::size_t a = seed % apps;
+    c.place(a, std::nullopt);
+    seed = seed * 1103515245u + 12345u;
+    std::size_t b = seed % apps;
+    c.place(b, std::optional<std::size_t>(a));
+    placed.push_back({a, b});
+  }
+  EXPECT_EQ(c.free_slots(), 0u);
+
+  // Unwind in reverse.
+  for (auto it = placed.rbegin(); it != placed.rend(); ++it) {
+    c.depart(it->b, std::optional<std::size_t>(it->a));
+    c.depart(it->a, std::nullopt);
+  }
+  EXPECT_EQ(c.empty_machines(), machines);
+  EXPECT_EQ(c.free_slots(), 2 * machines);
+  for (std::size_t a = 0; a < apps; ++a) EXPECT_EQ(c.half_busy(a), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CountsRoundTrip, ::testing::Range(1, 12));
+
+}  // namespace
+}  // namespace tracon::sched

@@ -1,0 +1,104 @@
+#include "monitor/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace tracon::monitor {
+namespace {
+
+DriftConfig small_config() {
+  DriftConfig cfg;
+  cfg.reference_window = 30;
+  cfg.recent_window = 10;
+  return cfg;
+}
+
+TEST(Drift, NoDriftOnStationaryErrors) {
+  DriftDetector det(small_config());
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    DriftKind k = det.observe(std::abs(rng.normal(0.10, 0.02)));
+    EXPECT_EQ(k, DriftKind::kNone) << "at sample " << i;
+  }
+}
+
+TEST(Drift, DetectsMeanShift) {
+  DriftDetector det(small_config());
+  Rng rng(32);
+  for (int i = 0; i < 30; ++i) det.observe(std::abs(rng.normal(0.10, 0.02)));
+  // Environment change: errors jump to ~0.8 (the paper's iSCSI switch).
+  DriftKind last = DriftKind::kNone;
+  for (int i = 0; i < 10; ++i)
+    last = det.observe(std::abs(rng.normal(0.80, 0.05)));
+  EXPECT_EQ(last, DriftKind::kMeanShift);
+}
+
+TEST(Drift, DetectsVarianceSurge) {
+  DriftConfig cfg = small_config();
+  cfg.mean_shift_sigmas = 1e9;  // disable the mean rule for this test
+  cfg.min_abs_shift = 1e9;
+  DriftDetector det(cfg);
+  Rng rng(33);
+  for (int i = 0; i < 30; ++i) det.observe(std::abs(rng.normal(0.3, 0.02)));
+  DriftKind last = DriftKind::kNone;
+  for (int i = 0; i < 10; ++i)
+    last = det.observe(std::abs(rng.normal(0.3, 0.4)));
+  // min_abs_shift also floors the variance rule; relax it back.
+  DriftConfig cfg2 = small_config();
+  cfg2.mean_shift_sigmas = 1e9;
+  DriftDetector det2(cfg2);
+  Rng rng2(34);
+  for (int i = 0; i < 30; ++i)
+    det2.observe(std::abs(rng2.normal(0.3, 0.01)));
+  for (int i = 0; i < 10; ++i)
+    last = det2.observe(0.3 + (i % 2 == 0 ? 0.5 : -0.29));
+  EXPECT_EQ(last, DriftKind::kVarianceSurge);
+}
+
+TEST(Drift, SilentUntilWindowsFill) {
+  DriftDetector det(small_config());
+  for (int i = 0; i < 35; ++i) {
+    DriftKind k = det.observe(i < 30 ? 0.1 : 5.0);
+    if (i < 39) {
+      // Recent window (10) not full until sample 39.
+      EXPECT_EQ(k, DriftKind::kNone);
+    }
+  }
+  EXPECT_EQ(det.reference_count(), 30u);
+  EXPECT_EQ(det.recent_count(), 5u);
+}
+
+TEST(Drift, ResetForgetsEverything) {
+  DriftDetector det(small_config());
+  Rng rng(35);
+  for (int i = 0; i < 50; ++i) det.observe(std::abs(rng.normal(0.1, 0.02)));
+  det.reset();
+  EXPECT_EQ(det.reference_count(), 0u);
+  EXPECT_EQ(det.recent_count(), 0u);
+  EXPECT_EQ(det.state(), DriftKind::kNone);
+}
+
+TEST(Drift, SmallShiftBelowFloorIgnored) {
+  DriftConfig cfg = small_config();
+  cfg.min_abs_shift = 0.5;
+  DriftDetector det(cfg);
+  for (int i = 0; i < 30; ++i) det.observe(0.10);
+  DriftKind last = DriftKind::kNone;
+  for (int i = 0; i < 10; ++i) last = det.observe(0.15);
+  EXPECT_EQ(last, DriftKind::kNone);
+}
+
+TEST(Drift, InvalidInputsThrow) {
+  DriftDetector det(small_config());
+  EXPECT_THROW(det.observe(-0.1), std::invalid_argument);
+  EXPECT_THROW(det.observe(std::nan("")), std::invalid_argument);
+  DriftConfig bad;
+  bad.reference_window = 1;
+  EXPECT_THROW(DriftDetector{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tracon::monitor

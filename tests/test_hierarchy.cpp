@@ -1,0 +1,130 @@
+#include "sim/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/fifo.hpp"
+#include "sched/mibs.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace tracon::sim {
+namespace {
+
+const PerfTable& table() {
+  static PerfTable t = [] {
+    model::Profiler prof(
+        virt::HostSimulator(virt::HostConfig::paper_testbed()), 42);
+    return PerfTable::build(prof, workload::paper_benchmarks());
+  }();
+  return t;
+}
+
+HierarchyConfig small_config() {
+  HierarchyConfig cfg;
+  cfg.managers = 4;
+  cfg.machines_per_manager = 4;
+  cfg.lambda_per_min = 20.0;
+  cfg.duration_s = 3600.0;
+  cfg.seed = 11;
+  return cfg;
+}
+
+std::function<std::unique_ptr<sched::Scheduler>(std::size_t)> fifo_factory() {
+  return [](std::size_t m) {
+    return std::make_unique<sched::FifoScheduler>(100 + m);
+  };
+}
+
+TEST(Hierarchy, AggregatesManagerOutcomes) {
+  HierarchyOutcome o =
+      run_hierarchical(table(), fifo_factory(), small_config());
+  ASSERT_EQ(o.per_manager.size(), 4u);
+  std::size_t arrived = 0, completed = 0, dropped = 0;
+  for (const auto& m : o.per_manager) {
+    arrived += m.arrived;
+    completed += m.completed;
+    dropped += m.dropped;
+  }
+  EXPECT_EQ(o.total.arrived, arrived);
+  EXPECT_EQ(o.total.completed, completed);
+  EXPECT_EQ(o.total.dropped, dropped);
+  EXPECT_GT(o.total.completed, 0u);
+}
+
+TEST(Hierarchy, RootStreamSplitExactly) {
+  HierarchyConfig cfg = small_config();
+  HierarchyOutcome o = run_hierarchical(table(), fifo_factory(), cfg);
+  DynamicConfig root;
+  root.lambda_per_min = cfg.lambda_per_min;
+  root.duration_s = cfg.duration_s;
+  root.mix = cfg.mix;
+  root.seed = cfg.seed;
+  auto all = generate_arrivals(root, table().num_apps());
+  EXPECT_EQ(o.total.arrived, all.size());
+}
+
+TEST(Hierarchy, RoundRobinIsBalanced) {
+  HierarchyConfig cfg = small_config();
+  cfg.routing = Routing::kRoundRobin;
+  HierarchyOutcome o = run_hierarchical(table(), fifo_factory(), cfg);
+  // Arrivals differ by at most 1 across managers under round-robin.
+  std::size_t lo = o.per_manager[0].arrived, hi = lo;
+  for (const auto& m : o.per_manager) {
+    lo = std::min(lo, m.arrived);
+    hi = std::max(hi, m.arrived);
+  }
+  EXPECT_LE(hi - lo, 1u);
+  EXPECT_LT(o.completion_imbalance(), 0.2);
+}
+
+TEST(Hierarchy, RandomRoutingRoughlyBalanced) {
+  HierarchyConfig cfg = small_config();
+  cfg.routing = Routing::kRandom;
+  HierarchyOutcome o = run_hierarchical(table(), fifo_factory(), cfg);
+  EXPECT_LT(o.completion_imbalance(), 0.3);
+  EXPECT_GT(o.total.completed, 0u);
+}
+
+TEST(Hierarchy, Deterministic) {
+  HierarchyConfig cfg = small_config();
+  auto a = run_hierarchical(table(), fifo_factory(), cfg);
+  auto b = run_hierarchical(table(), fifo_factory(), cfg);
+  EXPECT_EQ(a.total.completed, b.total.completed);
+  EXPECT_EQ(a.total.total_runtime, b.total.total_runtime);
+}
+
+TEST(Hierarchy, PerManagerSchedulersAreIndependent) {
+  // Manager 0 gets MIBS, the rest FIFO; the factory index must be used.
+  HierarchyConfig cfg = small_config();
+  cfg.lambda_per_min = 60.0;  // load the managers
+  cfg.mix = workload::MixKind::kHeavy;
+  int mibs_made = 0;
+  sched::TablePredictor oracle = table().oracle_predictor();
+  auto factory = [&](std::size_t m) -> std::unique_ptr<sched::Scheduler> {
+    if (m == 0) {
+      ++mibs_made;
+      return std::make_unique<sched::MibsScheduler>(
+          oracle, sched::Objective::kRuntime, 8);
+    }
+    return std::make_unique<sched::FifoScheduler>(m);
+  };
+  HierarchyOutcome o = run_hierarchical(table(), factory, cfg);
+  EXPECT_EQ(mibs_made, 1);
+  ASSERT_EQ(o.per_manager.size(), 4u);
+}
+
+TEST(Hierarchy, ConfigValidation) {
+  HierarchyConfig cfg = small_config();
+  cfg.managers = 0;
+  EXPECT_THROW(run_hierarchical(table(), fifo_factory(), cfg),
+               std::invalid_argument);
+  cfg = small_config();
+  cfg.machines_per_manager = 0;
+  EXPECT_THROW(run_hierarchical(table(), fifo_factory(), cfg),
+               std::invalid_argument);
+  cfg = small_config();
+  EXPECT_THROW(run_hierarchical(table(), nullptr, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tracon::sim

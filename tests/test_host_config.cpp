@@ -1,0 +1,70 @@
+#include "virt/host_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "virt/host_sim.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace tracon::virt {
+namespace {
+
+TEST(DiskConfig, TransferTimeScalesWithSize) {
+  DiskConfig d;
+  d.sequential_mbps = 100.0;
+  EXPECT_NEAR(d.transfer_ms(1024.0), 10.0, 1e-9);  // 1 MiB at 100 MB/s
+  EXPECT_NEAR(d.transfer_ms(64.0), 0.625, 1e-9);
+}
+
+TEST(HostConfig, Dom0CostStructure) {
+  HostConfig cfg = HostConfig::paper_testbed();
+  // Writes cost more than reads.
+  EXPECT_GT(cfg.dom0_cost_per_iops(0.0, 64, 0.5),
+            cfg.dom0_cost_per_iops(1.0, 64, 0.5));
+  // Larger requests cost more.
+  EXPECT_GT(cfg.dom0_cost_per_iops(0.5, 256, 0.5),
+            cfg.dom0_cost_per_iops(0.5, 16, 0.5));
+  // Sequential streams merge in the ring and cost less.
+  EXPECT_GT(cfg.dom0_cost_per_iops(0.5, 64, 0.0),
+            cfg.dom0_cost_per_iops(0.5, 64, 1.0));
+}
+
+TEST(HostConfig, PresetsDiffer) {
+  HostConfig paper = HostConfig::paper_testbed();
+  HostConfig ssd = HostConfig::ssd_testbed();
+  HostConfig raid = HostConfig::raid_testbed();
+  HostConfig iscsi = HostConfig::iscsi_testbed();
+  EXPECT_LT(ssd.disk.positioning_ms, 0.2);
+  EXPECT_GT(raid.disk.sequential_mbps, 2 * paper.disk.sequential_mbps);
+  EXPECT_GT(iscsi.disk.per_request_latency_ms, 0.0);
+  EXPECT_GT(iscsi.dom0_cpu_ms_per_read, paper.dom0_cpu_ms_per_read);
+}
+
+TEST(HostConfig, SsdNearlyEliminatesSequentialCollapse) {
+  // The Table 1 killer pair (SeqRead vs SeqRead) on each device.
+  auto pair_slowdown = [](HostConfig cfg) {
+    cfg.noise_sigma = 0.0;
+    HostSimulator sim(cfg);
+    AppBehavior seq = workload::seqread_app();
+    double solo = sim.solo(seq).runtime_s;
+    return sim.measure_pair(seq, seq).runtime_s / solo;
+  };
+  double disk = pair_slowdown(HostConfig::paper_testbed());
+  double raid = pair_slowdown(HostConfig::raid_testbed());
+  double ssd = pair_slowdown(HostConfig::ssd_testbed());
+  EXPECT_GT(disk, 6.0);        // order-of-magnitude on the spindle
+  EXPECT_LT(raid, disk);       // striping softens it
+  EXPECT_LT(ssd, 2.8);         // flash: mostly bandwidth sharing
+}
+
+TEST(HostConfig, IscsiSlowerThanLocal) {
+  HostConfig local = HostConfig::paper_testbed();
+  HostConfig remote = HostConfig::iscsi_testbed();
+  local.noise_sigma = remote.noise_sigma = 0.0;
+  AppBehavior seq = workload::seqread_app();
+  double t_local = HostSimulator(local).solo(seq).runtime_s;
+  double t_remote = HostSimulator(remote).solo(seq).runtime_s;
+  EXPECT_GT(t_remote, t_local);
+}
+
+}  // namespace
+}  // namespace tracon::virt

@@ -1,0 +1,135 @@
+// End-to-end integration tests: the full TRACON pipeline (profile ->
+// model -> schedule -> simulate) must exhibit the paper's headline
+// qualitative results on a reduced setup.
+#include <gtest/gtest.h>
+
+#include "core/tracon.hpp"
+#include "model/evaluate.hpp"
+#include "sched/fifo.hpp"
+#include "sched/mibs.hpp"
+#include "sim/dynamic_scenario.hpp"
+#include "sim/static_scenario.hpp"
+#include "util/rng.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/mixes.hpp"
+
+namespace tracon {
+namespace {
+
+/// Shared full system (8 apps, 125 synthetic workloads); built once.
+core::Tracon& full_system() {
+  static core::Tracon sys = [] {
+    core::Tracon s;
+    s.register_applications(workload::paper_benchmarks());
+    s.train(model::ModelKind::kNonlinear);
+    return s;
+  }();
+  return sys;
+}
+
+TEST(Integration, NlmBeatsWmmAndLmOnRuntimeError) {
+  core::Tracon& sys = full_system();
+  double nlm = 0.0, lm = 0.0, wmm = 0.0;
+  for (std::size_t a = 0; a < sys.num_apps(); ++a) {
+    nlm += model::cross_validate(model::ModelKind::kNonlinear,
+                                 sys.training_set(a),
+                                 model::Response::kRuntime)
+               .mean;
+    lm += model::cross_validate(model::ModelKind::kLinear,
+                                sys.training_set(a),
+                                model::Response::kRuntime)
+              .mean;
+    wmm += model::cross_validate(model::ModelKind::kWmm,
+                                 sys.training_set(a),
+                                 model::Response::kRuntime)
+               .mean;
+  }
+  // The paper's Fig 3(a) ordering: NLM < LM, NLM < WMM; NLM ~10%.
+  EXPECT_LT(nlm, lm);
+  EXPECT_LT(nlm, wmm);
+  EXPECT_LT(nlm / 8.0, 0.15);
+}
+
+TEST(Integration, NlmPredictedMinNeverExceedsMeasuredAverage) {
+  // Fig 5's claim, as an invariant.
+  core::Tracon& sys = full_system();
+  const sim::PerfTable& t = sys.perf_table();
+  const sched::TablePredictor& pred = sys.predictor();
+  for (std::size_t a = 0; a < t.num_apps(); ++a) {
+    double pmin = 1e300, mavg = 0.0;
+    for (std::size_t b = 0; b < t.num_apps(); ++b) {
+      pmin = std::min(pmin,
+                      pred.predict_runtime(a, std::optional<std::size_t>(b)));
+      mavg += t.runtime(a, std::optional<std::size_t>(b));
+    }
+    mavg /= static_cast<double>(t.num_apps());
+    EXPECT_LE(pmin, mavg) << t.app_name(a);
+  }
+}
+
+TEST(Integration, MibsImprovesStaticBatchOverFifo) {
+  core::Tracon& sys = full_system();
+  Rng rng(123);
+  auto tasks =
+      workload::sample_task_indices(workload::MixKind::kUniform, 32, rng);
+  double fifo_rt = 0.0, fifo_io = 0.0;
+  for (int r = 0; r < 10; ++r) {
+    sched::FifoScheduler fifo(700 + static_cast<unsigned>(r));
+    auto o = sim::run_static(sys.perf_table(), fifo, tasks, 16);
+    fifo_rt += o.total_runtime / 10.0;
+    fifo_io += o.total_iops / 10.0;
+  }
+  sched::PlacementPolicy static_policy;
+  static_policy.beneficial_joins_only = false;
+  sched::MibsScheduler rt(sys.predictor(), sched::Objective::kRuntime, 32,
+                          0.0, static_policy);
+  sched::MibsScheduler io(sys.predictor(), sched::Objective::kIops, 32, 0.0,
+                          static_policy);
+  auto ort = sim::run_static(sys.perf_table(), rt, tasks, 16);
+  auto oio = sim::run_static(sys.perf_table(), io, tasks, 16);
+  EXPECT_LT(ort.total_runtime, fifo_rt);       // Speedup > 1
+  EXPECT_GT(oio.total_iops, fifo_io);          // IOBoost > 1
+  EXPECT_EQ(ort.unplaced, 0u);
+  EXPECT_EQ(oio.unplaced, 0u);
+}
+
+TEST(Integration, InterferenceAwareDynamicThroughputUnderHeavyLoad) {
+  core::Tracon& sys = full_system();
+  sim::DynamicConfig cfg;
+  cfg.machines = 32;
+  cfg.lambda_per_min = 60.0;
+  cfg.duration_s = 10'800.0;  // 3 h keeps the test fast
+  cfg.mix = workload::MixKind::kHeavy;
+  auto fifo = sys.make_scheduler(core::SchedulerKind::kFifo,
+                                 sched::Objective::kRuntime);
+  auto mibs = sys.make_scheduler(core::SchedulerKind::kMibs,
+                                 sched::Objective::kRuntime, 8);
+  auto base = sim::run_dynamic(sys.perf_table(), *fifo, cfg);
+  auto smart = sim::run_dynamic(sys.perf_table(), *mibs, cfg);
+  EXPECT_GT(static_cast<double>(smart.completed) /
+                static_cast<double>(base.completed),
+            1.1);
+}
+
+TEST(Integration, OracleSchedulingAtLeastAsGoodAsModelDriven) {
+  core::Tracon& sys = full_system();
+  sim::DynamicConfig cfg;
+  cfg.machines = 16;
+  cfg.lambda_per_min = 40.0;
+  cfg.duration_s = 10'800.0;
+  cfg.mix = workload::MixKind::kHeavy;
+  sched::TablePredictor oracle_pred = sys.perf_table().oracle_predictor();
+  sched::MibsScheduler oracle(oracle_pred, sched::Objective::kRuntime, 8);
+  sched::MibsScheduler modeled(sys.predictor(), sched::Objective::kRuntime,
+                               8);
+  auto o = sim::run_dynamic(sys.perf_table(), oracle, cfg);
+  auto m = sim::run_dynamic(sys.perf_table(), modeled, cfg);
+  // With a threshold admission policy under queueing, noisy predictions
+  // can accidentally admit marginal joins that happen to pay off, so
+  // the oracle need not dominate — but it must stay in the same league.
+  EXPECT_GT(static_cast<double>(o.completed),
+            0.85 * static_cast<double>(m.completed));
+}
+
+}  // namespace
+}  // namespace tracon

@@ -1,0 +1,184 @@
+// Cross-cutting property tests: accounting identities and determinism
+// guarantees that hold across modules, checked on parameterized sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/fifo.hpp"
+#include "sched/mibs.hpp"
+#include "sched/mios.hpp"
+#include "sched/mix.hpp"
+#include "sim/dynamic_scenario.hpp"
+#include "sim/static_scenario.hpp"
+#include "util/rng.hpp"
+#include "virt/host_sim.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/mixes.hpp"
+#include "workload/synthetic.hpp"
+
+namespace tracon {
+namespace {
+
+const sim::PerfTable& table() {
+  static sim::PerfTable t = [] {
+    model::Profiler prof(
+        virt::HostSimulator(virt::HostConfig::paper_testbed()), 42);
+    return sim::PerfTable::build(prof, workload::paper_benchmarks());
+  }();
+  return t;
+}
+
+// ---- host-simulator accounting ---------------------------------------
+
+class SoloAccounting : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoloAccounting, ReportedRatesMatchAppDemand) {
+  // For every benchmark, the solo run's reported read/write rates must
+  // be the app's demanded rates (full speed, noise-free), and Dom0 CPU
+  // must equal the configured per-request cost times the rates.
+  virt::HostConfig cfg = virt::HostConfig::paper_testbed();
+  cfg.noise_sigma = 0.0;
+  virt::HostSimulator sim(cfg);
+  const auto& app =
+      workload::paper_benchmarks()[static_cast<std::size_t>(GetParam())];
+  virt::VmRunStats s = sim.solo(app);
+  ASSERT_TRUE(s.completed);
+  // Bursty apps may dip when an ON phase saturates; stay within 12%.
+  EXPECT_NEAR(s.reads_per_s, app.read_iops, 0.12 * app.read_iops + 0.5);
+  EXPECT_NEAR(s.writes_per_s, app.write_iops, 0.12 * app.write_iops + 0.5);
+  double total = s.reads_per_s + s.writes_per_s;
+  double read_share = total > 0 ? s.reads_per_s / total : 0.0;
+  double expected_dom0 =
+      total * cfg.dom0_cost_per_iops(read_share, app.request_kb,
+                                     app.sequentiality);
+  EXPECT_NEAR(s.avg_dom0_cpu, expected_dom0, 0.15 * expected_dom0 + 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SoloAccounting,
+                         ::testing::Range(0, 8));
+
+// ---- perf-table sanity ------------------------------------------------
+
+TEST(PerfTableInvariants, SelfPairingNeverFasterThanSolo) {
+  const sim::PerfTable& t = table();
+  for (std::size_t a = 0; a < t.num_apps(); ++a) {
+    // Same app twice on one machine: must not beat solo by more than
+    // measurement noise.
+    EXPECT_GT(t.runtime(a, std::optional<std::size_t>(a)),
+              0.85 * t.solo_runtime(a))
+        << t.app_name(a);
+  }
+}
+
+TEST(PerfTableInvariants, IopsNeverExceedSoloByMuch) {
+  const sim::PerfTable& t = table();
+  for (std::size_t a = 0; a < t.num_apps(); ++a)
+    for (std::size_t b = 0; b < t.num_apps(); ++b)
+      EXPECT_LT(t.iops(a, std::optional<std::size_t>(b)),
+                1.2 * t.solo_iops(a))
+          << t.app_name(a) << " vs " << t.app_name(b);
+}
+
+TEST(PerfTableInvariants, HeavyPairsWorseThanLightPairs) {
+  const sim::PerfTable& t = table();
+  // Rank-8 (video) interferes with rank-6 (blastn) worse than rank-1
+  // (email) does — the Table 3 ordering must be visible in the matrix.
+  EXPECT_GT(t.runtime(5, std::optional<std::size_t>(7)),
+            t.runtime(5, std::optional<std::size_t>(0)));
+}
+
+// ---- scheduler determinism & feasibility ------------------------------
+
+class SchedulerFeasibility : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerFeasibility, PlacementsAlwaysApplicable) {
+  // For random queues and partially filled clusters, every scheduler's
+  // returned placements must apply cleanly in order.
+  unsigned seed = static_cast<unsigned>(GetParam());
+  Rng rng(seed);
+  sched::ClusterCounts counts(8, 6);
+  // Random pre-occupancy.
+  for (int i = 0; i < 5; ++i) {
+    std::size_t app = rng.index(8);
+    if (counts.has_slot(std::nullopt)) counts.place(app, std::nullopt);
+  }
+  std::vector<sched::QueuedTask> queue;
+  for (int i = 0; i < 10; ++i) queue.push_back({rng.index(8), 0.0});
+
+  sched::TablePredictor oracle = table().oracle_predictor();
+  sched::FifoScheduler fifo(seed);
+  sched::MiosScheduler mios(oracle, sched::Objective::kRuntime);
+  sched::MibsScheduler mibs(oracle, sched::Objective::kIops, 8, 0.0);
+  sched::MixScheduler mix(oracle, sched::Objective::kRuntime, 8, 0.0);
+  for (sched::Scheduler* s :
+       std::initializer_list<sched::Scheduler*>{&fifo, &mios, &mibs, &mix}) {
+    auto placements = s->schedule(queue, counts, {1e9});
+    sched::ClusterCounts check = counts;
+    std::vector<char> used(queue.size(), 0);
+    for (const auto& p : placements) {
+      ASSERT_LT(p.queue_pos, queue.size()) << s->name();
+      EXPECT_FALSE(used[p.queue_pos]) << s->name() << " double placement";
+      used[p.queue_pos] = 1;
+      ASSERT_NO_THROW(check.place(queue[p.queue_pos].app, p.neighbour))
+          << s->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFeasibility, ::testing::Range(1, 16));
+
+TEST(SchedulerDeterminism, SameInputsSamePlacements) {
+  sched::TablePredictor oracle = table().oracle_predictor();
+  std::vector<sched::QueuedTask> queue;
+  Rng rng(5);
+  for (int i = 0; i < 8; ++i) queue.push_back({rng.index(8), 0.0});
+  sched::ClusterCounts counts(8, 4);
+  for (auto make : {0, 1}) {
+    (void)make;
+  }
+  sched::MibsScheduler a(oracle, sched::Objective::kRuntime, 8, 0.0);
+  sched::MibsScheduler b(oracle, sched::Objective::kRuntime, 8, 0.0);
+  auto pa = a.schedule(queue, counts, {1e9});
+  auto pb = b.schedule(queue, counts, {1e9});
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].queue_pos, pb[i].queue_pos);
+    EXPECT_EQ(pa[i].neighbour, pb[i].neighbour);
+  }
+}
+
+// ---- static-vs-dynamic consistency -------------------------------------
+
+TEST(ScenarioConsistency, SingleMachineStaticMatchesDynamicPair) {
+  // Two tasks on one machine: the static closed form and the dynamic
+  // event loop must realize the same total runtime.
+  const sim::PerfTable& t = table();
+  std::vector<std::size_t> tasks = {7, 0};  // video + email
+  sched::FifoScheduler fifo(3);
+  sim::StaticOutcome st = sim::run_static(t, fifo, tasks, 1);
+
+  std::vector<sim::Arrival> arrivals = {{0.0, 7}, {0.0, 0}};
+  sim::DynamicConfig cfg;
+  cfg.machines = 1;
+  cfg.duration_s = 4000.0;
+  sched::FifoScheduler fifo2(3);
+  sim::DynamicOutcome dyn = sim::run_dynamic(t, fifo2, cfg, arrivals);
+  ASSERT_EQ(dyn.completed, 2u);
+  EXPECT_NEAR(dyn.total_runtime, st.total_runtime, 1.0);
+}
+
+// ---- mixes cover the full rank range -----------------------------------
+
+TEST(MixCoverage, EveryBenchmarkReachableInEveryMix) {
+  Rng rng(77);
+  for (auto mix : {workload::MixKind::kLight, workload::MixKind::kMedium,
+                   workload::MixKind::kHeavy}) {
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 20000; ++i)
+      ++seen[workload::sample_benchmark_index(mix, rng)];
+    for (int c : seen) EXPECT_GT(c, 0) << workload::mix_name(mix);
+  }
+}
+
+}  // namespace
+}  // namespace tracon

@@ -1,0 +1,61 @@
+#include "stats/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tracon::stats {
+namespace {
+
+Matrix points() {
+  return Matrix{{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {10.0, 10.0}};
+}
+
+TEST(Knn, ExactMatchReturnsTrainingResponse) {
+  KnnRegressor knn(points(), {1.0, 2.0, 3.0, 4.0}, 3);
+  std::vector<double> q = {10.0, 10.0};
+  EXPECT_EQ(knn.predict(q), 4.0);
+}
+
+TEST(Knn, InverseDistanceWeighting) {
+  // Query at (0.5, 0) has neighbours (0,0) d=0.5, (1,0) d=0.5,
+  // (0,1) d=sqrt(1.25). Weights 2, 2, 0.894.
+  KnnRegressor knn(points(), {1.0, 2.0, 3.0, 100.0}, 3);
+  std::vector<double> q = {0.5, 0.0};
+  double w3 = 1.0 / std::sqrt(1.25);
+  double expected = (2.0 * 1.0 + 2.0 * 2.0 + w3 * 3.0) / (4.0 + w3);
+  EXPECT_NEAR(knn.predict(q), expected, 1e-12);
+}
+
+TEST(Knn, FarPointExcludedFromK3) {
+  // With k=3, the far (10,10) point never contributes near the origin.
+  KnnRegressor knn(points(), {1.0, 1.0, 1.0, 1000.0}, 3);
+  std::vector<double> q = {0.2, 0.2};
+  EXPECT_LT(knn.predict(q), 2.0);
+}
+
+TEST(Knn, KClampedToTrainingSize) {
+  Matrix p = {{0.0}, {1.0}};
+  KnnRegressor knn(p, {2.0, 4.0}, 10);
+  EXPECT_EQ(knn.k(), 2u);
+  std::vector<double> q = {0.5};
+  EXPECT_NEAR(knn.predict(q), 3.0, 1e-12);  // equal weights
+}
+
+TEST(Knn, KOneIsNearestNeighbour) {
+  KnnRegressor knn(points(), {1.0, 2.0, 3.0, 4.0}, 1);
+  std::vector<double> q = {0.9, 0.1};
+  EXPECT_EQ(knn.predict(q), 2.0);
+}
+
+TEST(Knn, Preconditions) {
+  Matrix p = {{0.0}, {1.0}};
+  EXPECT_THROW(KnnRegressor(p, {1.0}, 3), std::invalid_argument);
+  EXPECT_THROW(KnnRegressor(Matrix{}, {}, 3), std::invalid_argument);
+  KnnRegressor knn(p, {1.0, 2.0}, 1);
+  std::vector<double> wrong = {1.0, 2.0};
+  EXPECT_THROW(knn.predict(wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tracon::stats

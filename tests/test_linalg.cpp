@@ -1,0 +1,129 @@
+#include "stats/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace tracon::stats {
+namespace {
+
+TEST(Cholesky, SolvesKnownSystem) {
+  Matrix a = {{4.0, 2.0}, {2.0, 3.0}};
+  Vector b = {10.0, 8.0};
+  Vector x = cholesky_solve(a, b);
+  EXPECT_NEAR(4.0 * x[0] + 2.0 * x[1], 10.0, 1e-12);
+  EXPECT_NEAR(2.0 * x[0] + 3.0 * x[1], 8.0, 1e-12);
+}
+
+TEST(Cholesky, FactorReconstructs) {
+  Matrix a = {{6.0, 2.0, 1.0}, {2.0, 5.0, 2.0}, {1.0, 2.0, 4.0}};
+  Matrix l = cholesky_factor(a);
+  Matrix reconstructed = l.multiply(l.transposed());
+  EXPECT_LT(reconstructed.max_abs_diff(a), 1e-12);
+}
+
+TEST(Cholesky, RejectsNonSpd) {
+  Matrix a = {{1.0, 2.0}, {2.0, 1.0}};  // indefinite
+  EXPECT_THROW(cholesky_factor(a), std::invalid_argument);
+  Matrix rect(2, 3);
+  Vector b = {1.0, 2.0};
+  EXPECT_THROW(cholesky_solve(rect, b), std::invalid_argument);
+}
+
+TEST(QrLeastSquares, ExactSquareSystem) {
+  Matrix a = {{2.0, 1.0}, {1.0, 3.0}};
+  Vector b = {5.0, 10.0};
+  Vector x = qr_least_squares(a, b);
+  EXPECT_NEAR(2.0 * x[0] + x[1], 5.0, 1e-10);
+  EXPECT_NEAR(x[0] + 3.0 * x[1], 10.0, 1e-10);
+}
+
+TEST(QrLeastSquares, OverdeterminedMatchesNormalEquations) {
+  Rng rng(5);
+  Matrix a(40, 4);
+  Vector b(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.uniform(-1, 1);
+    b[i] = rng.uniform(-1, 1);
+  }
+  Vector x_qr = qr_least_squares(a, b);
+  // Normal equations: (A^T A) x = A^T b.
+  Matrix ata = a.gram();
+  Vector atb(4, 0.0);
+  for (std::size_t i = 0; i < 40; ++i)
+    for (std::size_t j = 0; j < 4; ++j) atb[j] += a(i, j) * b[i];
+  Vector x_ne = cholesky_solve(ata, atb);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(x_qr[j], x_ne[j], 1e-8);
+}
+
+TEST(QrLeastSquares, RankDeficientThrows) {
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = 2.0 * static_cast<double>(i);  // collinear
+  }
+  Vector b = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW(qr_least_squares(a, b), std::invalid_argument);
+}
+
+TEST(QrLeastSquares, UnderdeterminedThrows) {
+  Matrix a(2, 3);
+  Vector b = {1.0, 2.0};
+  EXPECT_THROW(qr_least_squares(a, b), std::invalid_argument);
+}
+
+TEST(JacobiEigen, DiagonalMatrix) {
+  Matrix a = {{3.0, 0.0}, {0.0, 1.0}};
+  EigenResult e = jacobi_eigen(a);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+}
+
+TEST(JacobiEigen, KnownSymmetric) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  Matrix a = {{2.0, 1.0}, {1.0, 2.0}};
+  EigenResult e = jacobi_eigen(a);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+}
+
+TEST(JacobiEigen, EigenpairsSatisfyDefinition) {
+  Rng rng(9);
+  const std::size_t n = 6;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      double v = rng.uniform(-1, 1);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  EigenResult e = jacobi_eigen(a);
+  for (std::size_t k = 0; k < n; ++k) {
+    Vector v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = e.vectors(i, k);
+    Vector av = a.multiply(v);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(av[i], e.values[k] * v[i], 1e-8);
+  }
+  // Eigenvalues sorted descending.
+  for (std::size_t k = 1; k < n; ++k)
+    EXPECT_GE(e.values[k - 1], e.values[k] - 1e-12);
+  // Eigenvectors orthonormal.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t l = 0; l < n; ++l) {
+      double d = 0.0;
+      for (std::size_t i = 0; i < n; ++i) d += e.vectors(i, k) * e.vectors(i, l);
+      EXPECT_NEAR(d, k == l ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(JacobiEigen, NonSquareThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(jacobi_eigen(a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tracon::stats

@@ -1,0 +1,117 @@
+#include "stats/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tracon::stats {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 5.0;
+  EXPECT_EQ(m(1, 2), 5.0);
+  EXPECT_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  Matrix id = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_EQ(id(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(Matrix, FromRows) {
+  Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m(2, 1), 6.0);
+  EXPECT_THROW(Matrix::from_rows({{1.0}, {1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, Multiply) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = a.multiply(b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyVector) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  Vector v = {1.0, 1.0};
+  Vector out = a.multiply(v);
+  EXPECT_EQ(out[0], 3.0);
+  EXPECT_EQ(out[1], 7.0);
+}
+
+TEST(Matrix, GramIsTransposeTimesSelf) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Matrix g = a.gram();
+  Matrix expected = a.transposed().multiply(a);
+  EXPECT_LT(g.max_abs_diff(expected), 1e-12);
+}
+
+TEST(Matrix, SelectColumns) {
+  Matrix a = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  std::vector<std::size_t> idx = {2, 0};
+  Matrix s = a.select_columns(idx);
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_EQ(s(0, 0), 3.0);
+  EXPECT_EQ(s(1, 1), 4.0);
+  std::vector<std::size_t> bad = {5};
+  EXPECT_THROW(a.select_columns(bad), std::invalid_argument);
+}
+
+TEST(VectorOps, DotNormDistance) {
+  Vector a = {3.0, 4.0};
+  Vector b = {1.0, 0.0};
+  EXPECT_EQ(dot(a, b), 3.0);
+  EXPECT_EQ(norm2(a), 5.0);
+  EXPECT_EQ(squared_distance(a, b), 4.0 + 16.0);
+}
+
+TEST(VectorOps, SubtractAxpy) {
+  Vector a = {5.0, 7.0};
+  Vector b = {2.0, 3.0};
+  Vector d = subtract(a, b);
+  EXPECT_EQ(d[0], 3.0);
+  EXPECT_EQ(d[1], 4.0);
+  Vector e = axpy(a, 2.0, b);
+  EXPECT_EQ(e[0], 9.0);
+  EXPECT_EQ(e[1], 13.0);
+}
+
+TEST(VectorOps, LengthMismatchThrows) {
+  Vector a = {1.0};
+  Vector b = {1.0, 2.0};
+  EXPECT_THROW(dot(a, b), std::invalid_argument);
+  EXPECT_THROW(subtract(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tracon::stats

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "model/evaluate.hpp"
+#include "model/factory.hpp"
+#include "model/linear.hpp"
+#include "model/nonlinear.hpp"
+#include "model/standardize.hpp"
+#include "model/wmm.hpp"
+#include "util/rng.hpp"
+
+namespace tracon::model {
+namespace {
+
+/// Synthetic training set whose response is a known function of the
+/// eight controlled variables (vm1 fixed as in per-app profiling).
+TrainingSet make_data(int n, bool quadratic, double noise,
+                      std::uint64_t seed = 40) {
+  Rng rng(seed);
+  TrainingSet ts;
+  monitor::AppProfile fg{0.4, 0.05, 150.0, 30.0};  // constant (target app)
+  for (int i = 0; i < n; ++i) {
+    monitor::AppProfile bg;
+    bg.domu_cpu = rng.uniform(0, 1);
+    bg.dom0_cpu = rng.uniform(0, 0.2);
+    bg.reads_per_s = rng.uniform(0, 400);
+    bg.writes_per_s = rng.uniform(0, 250);
+    double base = 50.0 + 20.0 * bg.domu_cpu + 0.05 * bg.reads_per_s +
+                  0.08 * bg.writes_per_s + 100.0 * bg.dom0_cpu;
+    if (quadratic) {
+      base += 0.0004 * bg.reads_per_s * bg.writes_per_s +
+              30.0 * bg.domu_cpu * bg.domu_cpu;
+    }
+    double y = base * rng.lognormal_noise(noise);
+    double iops = std::max(1.0, 500.0 - base) * rng.lognormal_noise(noise);
+    ts.add(fg, bg, y, iops);
+  }
+  return ts;
+}
+
+TEST(TrainingSet, ShapeAndAccessors) {
+  TrainingSet ts = make_data(10, false, 0.0);
+  EXPECT_EQ(ts.size(), 10u);
+  EXPECT_EQ(ts.feature_matrix().rows(), 10u);
+  EXPECT_EQ(ts.feature_matrix().cols(), 8u);
+  EXPECT_EQ(ts.response_vector(Response::kRuntime).size(), 10u);
+  EXPECT_NE(ts.response_vector(Response::kRuntime)[0],
+            ts.response_vector(Response::kIops)[0]);
+}
+
+TEST(TrainingSet, SubsetAndTruncate) {
+  TrainingSet ts = make_data(10, false, 0.0);
+  std::vector<std::size_t> idx = {0, 5, 9};
+  TrainingSet sub = ts.subset(idx);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.observations()[1].runtime, ts.observations()[5].runtime);
+  ts.truncate_to_newest(4);
+  EXPECT_EQ(ts.size(), 4u);
+  std::vector<std::size_t> bad = {99};
+  EXPECT_THROW(ts.subset(bad), std::invalid_argument);
+}
+
+TEST(TrainingSet, RejectsBadObservations) {
+  TrainingSet ts;
+  Observation obs;
+  obs.features = {1.0, 2.0};  // wrong width
+  EXPECT_THROW(ts.add(obs), std::invalid_argument);
+  obs.features.assign(8, 0.0);
+  obs.runtime = -1.0;
+  EXPECT_THROW(ts.add(std::move(obs)), std::invalid_argument);
+}
+
+TEST(Standardizer, ZeroMeanUnitVariance) {
+  TrainingSet ts = make_data(200, false, 0.0);
+  stats::Matrix x = ts.feature_matrix();
+  Standardizer s = Standardizer::fit(x);
+  stats::Matrix z = s.apply_rows(x);
+  for (std::size_t c = 4; c < 8; ++c) {  // varying (vm2) columns
+    double mean = 0, var = 0;
+    for (std::size_t r = 0; r < z.rows(); ++r) mean += z(r, c);
+    mean /= static_cast<double>(z.rows());
+    for (std::size_t r = 0; r < z.rows(); ++r) {
+      double d = z(r, c) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(z.rows() - 1);
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+  // Constant (vm1) columns standardize to zero, not NaN.
+  EXPECT_NEAR(z(0, 0), 0.0, 1e-12);
+}
+
+TEST(LinearModel, FitsLinearResponse) {
+  TrainingSet ts = make_data(150, false, 0.0);
+  LinearModel lm(ts, Response::kRuntime);
+  ErrorStats e = evaluate_on(lm, make_data(50, false, 0.0, 99));
+  EXPECT_LT(e.mean, 0.01);
+  EXPECT_LE(lm.num_terms(), 6u);  // intercept + <=4 varying features
+}
+
+TEST(NonlinearModel, BeatsLinearOnQuadraticResponse) {
+  TrainingSet train = make_data(200, true, 0.02);
+  TrainingSet test = make_data(80, true, 0.0, 101);
+  LinearModel lm(train, Response::kRuntime);
+  NonlinearModel nlm(train, Response::kRuntime);
+  double lm_err = evaluate_on(lm, test).mean;
+  double nlm_err = evaluate_on(nlm, test).mean;
+  EXPECT_LT(nlm_err, lm_err);
+  EXPECT_LT(nlm_err, 0.03);
+}
+
+TEST(NonlinearModel, GaussNewtonRefinementConverges) {
+  TrainingSet ts = make_data(150, true, 0.05);
+  NonlinearModel nlm(ts, Response::kRuntime);
+  EXPECT_TRUE(nlm.refined());
+}
+
+TEST(WmmModel, InterpolatesTrainingNeighbourhood) {
+  TrainingSet ts = make_data(300, true, 0.0);
+  WmmModel wmm(ts, Response::kRuntime);
+  // At a training point the 3-NN prediction is dominated by it.
+  const Observation& obs = ts.observations()[17];
+  EXPECT_NEAR(wmm.predict(obs.features), obs.runtime,
+              0.02 * obs.runtime + 1e-9);
+}
+
+TEST(WmmModel, DescribeMentionsComponents) {
+  TrainingSet ts = make_data(50, false, 0.0);
+  WmmModel wmm(ts, Response::kRuntime);
+  EXPECT_NE(wmm.describe().find("WMM"), std::string::npos);
+  EXPECT_NE(wmm.describe().find("k=3"), std::string::npos);
+}
+
+TEST(FeatureMask, NoDom0ModelIgnoresDom0) {
+  TrainingSet ts = make_data(150, true, 0.02);
+  auto masked = train_model(ModelKind::kNonlinearNoDom0, ts,
+                            Response::kRuntime);
+  // Perturbing only the Dom0 features must not change the prediction.
+  std::vector<double> x = ts.observations()[3].features;
+  double before = masked->predict(x);
+  x[1] += 10.0;
+  x[5] += 10.0;
+  EXPECT_EQ(masked->predict(x), before);
+  // The full NLM does react to the Dom0 features.
+  auto full = train_model(ModelKind::kNonlinear, ts, Response::kRuntime);
+  std::vector<double> x2 = ts.observations()[3].features;
+  double b2 = full->predict(x2);
+  x2[5] += 10.0;
+  EXPECT_NE(full->predict(x2), b2);
+}
+
+TEST(Factory, NamesAndResponses) {
+  EXPECT_EQ(model_kind_name(ModelKind::kWmm), "WMM");
+  EXPECT_EQ(model_kind_name(ModelKind::kLinear), "LM");
+  EXPECT_EQ(model_kind_name(ModelKind::kNonlinear), "NLM");
+  TrainingSet ts = make_data(100, false, 0.01);
+  ModelPair pair = train_model_pair(ModelKind::kLinear, ts);
+  EXPECT_EQ(pair.runtime->response(), Response::kRuntime);
+  EXPECT_EQ(pair.iops->response(), Response::kIops);
+}
+
+TEST(Models, PredictionsClampedNonNegative) {
+  TrainingSet ts = make_data(100, false, 0.01);
+  for (ModelKind kind : {ModelKind::kWmm, ModelKind::kLinear,
+                         ModelKind::kNonlinear}) {
+    auto m = train_model(kind, ts, Response::kIops);
+    std::vector<double> extreme(8, 1e5);
+    EXPECT_GE(m->predict(extreme), 0.0) << model_kind_name(kind);
+  }
+}
+
+TEST(Evaluate, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(90.0, 100.0), 0.1);
+  EXPECT_TRUE(std::isfinite(relative_error(1.0, 0.0)));
+}
+
+TEST(Evaluate, CrossValidationIsDeterministic) {
+  TrainingSet ts = make_data(120, true, 0.05);
+  ErrorStats a = cross_validate(ModelKind::kLinear, ts, Response::kRuntime,
+                                5, 7);
+  ErrorStats b = cross_validate(ModelKind::kLinear, ts, Response::kRuntime,
+                                5, 7);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.count, ts.size());
+}
+
+TEST(Evaluate, CrossValidationPreconditions) {
+  TrainingSet ts = make_data(10, false, 0.0);
+  EXPECT_THROW(cross_validate(ModelKind::kLinear, ts, Response::kRuntime, 1),
+               std::invalid_argument);
+  EXPECT_THROW(
+      cross_validate(ModelKind::kLinear, ts, Response::kRuntime, 20),
+      std::invalid_argument);
+}
+
+TEST(Models, TooSmallTrainingSetThrows) {
+  TrainingSet tiny = make_data(5, false, 0.0);
+  EXPECT_THROW(NonlinearModel(tiny, Response::kRuntime),
+               std::invalid_argument);
+  TrainingSet three = make_data(3, false, 0.0);
+  EXPECT_THROW(WmmModel(three, Response::kRuntime), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tracon::model

@@ -1,0 +1,117 @@
+#include "monitor/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "monitor/profile.hpp"
+
+namespace tracon::monitor {
+namespace {
+
+virt::MonitorSample sample(std::size_t vm, double t, double reads,
+                           double writes, double domu, double dom0) {
+  virt::MonitorSample s;
+  s.vm = vm;
+  s.time_s = t;
+  s.reads_per_s = reads;
+  s.writes_per_s = writes;
+  s.domu_cpu = domu;
+  s.dom0_cpu = dom0;
+  return s;
+}
+
+TEST(Profile, FromRunStats) {
+  virt::VmRunStats stats;
+  stats.avg_domu_cpu = 0.4;
+  stats.avg_dom0_cpu = 0.05;
+  stats.reads_per_s = 120;
+  stats.writes_per_s = 30;
+  AppProfile p = AppProfile::from_run_stats(stats);
+  EXPECT_EQ(p.domu_cpu, 0.4);
+  EXPECT_EQ(p.dom0_cpu, 0.05);
+  EXPECT_EQ(p.reads_per_s, 120);
+  EXPECT_EQ(p.writes_per_s, 30);
+}
+
+TEST(Profile, ConcatOrderAndNames) {
+  AppProfile a{0.1, 0.2, 3.0, 4.0};
+  AppProfile b{0.5, 0.6, 7.0, 8.0};
+  auto v = concat_profiles(a, b);
+  ASSERT_EQ(v.size(), 8u);
+  EXPECT_EQ(v[0], 0.1);
+  EXPECT_EQ(v[3], 4.0);
+  EXPECT_EQ(v[4], 0.5);
+  EXPECT_EQ(v[7], 8.0);
+  EXPECT_EQ(pair_feature_names().size(), 8u);
+  EXPECT_EQ(pair_feature_names()[1], "vm1.dom0_cpu");
+  EXPECT_EQ(pair_feature_names()[6], "vm2.reads");
+}
+
+TEST(Profile, IdleIsAllZero) {
+  AppProfile idle = AppProfile::idle();
+  for (double v : idle.to_array()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ResourceMonitor, WindowedAverage) {
+  ResourceMonitor mon(2, 3);
+  mon.observe(sample(0, 1, 100, 10, 0.2, 0.01));
+  mon.observe(sample(0, 2, 200, 20, 0.4, 0.02));
+  AppProfile p = mon.profile(0);
+  EXPECT_NEAR(p.reads_per_s, 150.0, 1e-12);
+  EXPECT_NEAR(p.writes_per_s, 15.0, 1e-12);
+  EXPECT_NEAR(p.domu_cpu, 0.3, 1e-12);
+}
+
+TEST(ResourceMonitor, WindowEvictsOldest) {
+  ResourceMonitor mon(1, 2);
+  mon.observe(sample(0, 1, 100, 0, 0, 0));
+  mon.observe(sample(0, 2, 200, 0, 0, 0));
+  mon.observe(sample(0, 3, 300, 0, 0, 0));
+  EXPECT_EQ(mon.sample_count(0), 2u);
+  EXPECT_NEAR(mon.profile(0).reads_per_s, 250.0, 1e-12);
+}
+
+TEST(ResourceMonitor, PerVmIsolation) {
+  ResourceMonitor mon(2, 5);
+  mon.observe(sample(0, 1, 100, 0, 0, 0));
+  mon.observe(sample(1, 1, 500, 0, 0, 0));
+  EXPECT_NEAR(mon.profile(0).reads_per_s, 100.0, 1e-12);
+  EXPECT_NEAR(mon.profile(1).reads_per_s, 500.0, 1e-12);
+}
+
+TEST(ResourceMonitor, EmptyProfileIsIdle) {
+  ResourceMonitor mon(1, 5);
+  AppProfile p = mon.profile(0);
+  EXPECT_EQ(p.reads_per_s, 0.0);
+  EXPECT_EQ(p.domu_cpu, 0.0);
+}
+
+TEST(ResourceMonitor, ResetClearsOneVm) {
+  ResourceMonitor mon(2, 5);
+  mon.observe(sample(0, 1, 100, 0, 0, 0));
+  mon.observe(sample(1, 1, 200, 0, 0, 0));
+  mon.reset(0);
+  EXPECT_EQ(mon.sample_count(0), 0u);
+  EXPECT_EQ(mon.sample_count(1), 1u);
+}
+
+TEST(ResourceMonitor, ObserveAllIngests) {
+  ResourceMonitor mon(2, 10);
+  std::vector<virt::MonitorSample> samples = {
+      sample(0, 1, 10, 0, 0, 0), sample(1, 1, 20, 0, 0, 0),
+      sample(0, 2, 30, 0, 0, 0)};
+  mon.observe_all(samples);
+  EXPECT_EQ(mon.sample_count(0), 2u);
+  EXPECT_EQ(mon.sample_count(1), 1u);
+}
+
+TEST(ResourceMonitor, Preconditions) {
+  EXPECT_THROW(ResourceMonitor(0, 5), std::invalid_argument);
+  EXPECT_THROW(ResourceMonitor(2, 0), std::invalid_argument);
+  ResourceMonitor mon(1, 5);
+  EXPECT_THROW(mon.observe(sample(3, 1, 0, 0, 0, 0)), std::invalid_argument);
+  EXPECT_THROW(mon.profile(1), std::invalid_argument);
+  EXPECT_THROW(mon.reset(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tracon::monitor

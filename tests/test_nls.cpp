@@ -1,0 +1,117 @@
+#include "stats/nls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/ols.hpp"
+#include "util/rng.hpp"
+
+namespace tracon::stats {
+namespace {
+
+TEST(GaussNewton, LinearProblemMatchesOls) {
+  Rng rng(6);
+  Matrix x(50, 3);
+  Vector y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = rng.uniform(-1, 1);
+    x(i, 2) = rng.uniform(-1, 1);
+    y[i] = 1.0 + 2.0 * x(i, 1) - 3.0 * x(i, 2) + rng.normal(0, 0.05);
+  }
+  OlsFit ols = ols_fit(x, y);
+  LinearResidual residual(x, y);
+  NlsResult res = gauss_newton(residual, Vector(3, 0.0));
+  EXPECT_TRUE(res.converged);
+  for (std::size_t j = 0; j < 3; ++j)
+    EXPECT_NEAR(res.params[j], ols.coefficients[j], 1e-5);
+  EXPECT_NEAR(res.sse, ols.sse, 1e-6);
+}
+
+TEST(GaussNewton, ExponentialDecayFit) {
+  // y = a * exp(b * t), truly nonlinear in (a, b).
+  const double a_true = 5.0, b_true = -0.7;
+  std::vector<double> ts, ys;
+  for (int i = 0; i < 40; ++i) {
+    double t = 0.1 * i;
+    ts.push_back(t);
+    ys.push_back(a_true * std::exp(b_true * t));
+  }
+  CallableResidual residual(
+      ts.size(), 2, [&](std::span<const double> p, std::span<double> out) {
+        for (std::size_t i = 0; i < ts.size(); ++i)
+          out[i] = ys[i] - p[0] * std::exp(p[1] * ts[i]);
+      });
+  NlsResult res = gauss_newton(residual, {1.0, 0.0});
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.params[0], a_true, 1e-4);
+  EXPECT_NEAR(res.params[1], b_true, 1e-4);
+  EXPECT_LT(res.sse, 1e-8);
+}
+
+TEST(GaussNewton, NoisyNonlinearStillCloses) {
+  Rng rng(8);
+  std::vector<double> ts, ys;
+  for (int i = 0; i < 100; ++i) {
+    double t = 0.05 * i;
+    ts.push_back(t);
+    ys.push_back(2.0 * std::exp(-0.5 * t) + rng.normal(0, 0.01));
+  }
+  CallableResidual residual(
+      ts.size(), 2, [&](std::span<const double> p, std::span<double> out) {
+        for (std::size_t i = 0; i < ts.size(); ++i)
+          out[i] = ys[i] - p[0] * std::exp(p[1] * ts[i]);
+      });
+  NlsResult res = gauss_newton(residual, {1.0, -0.1});
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.params[0], 2.0, 0.05);
+  EXPECT_NEAR(res.params[1], -0.5, 0.05);
+}
+
+TEST(GaussNewton, SseNeverIncreases) {
+  // Even from a poor start, the damped solver's final SSE must not be
+  // worse than the initial one.
+  std::vector<double> ts, ys;
+  for (int i = 0; i < 20; ++i) {
+    ts.push_back(0.2 * i);
+    ys.push_back(3.0 * std::exp(-1.0 * 0.2 * i));
+  }
+  CallableResidual residual(
+      ts.size(), 2, [&](std::span<const double> p, std::span<double> out) {
+        for (std::size_t i = 0; i < ts.size(); ++i)
+          out[i] = ys[i] - p[0] * std::exp(p[1] * ts[i]);
+      });
+  Vector start = {-10.0, 2.0};
+  Vector r0(ts.size());
+  residual.eval(start, r0);
+  double initial_sse = dot(r0, r0);
+  NlsResult res = gauss_newton(residual, start);
+  EXPECT_LE(res.sse, initial_sse + 1e-9);
+}
+
+TEST(GaussNewton, ShapeErrors) {
+  Matrix x(3, 2);
+  x(0, 0) = x(1, 1) = x(2, 0) = 1.0;
+  Vector y = {1, 2, 3};
+  LinearResidual residual(x, y);
+  EXPECT_THROW(gauss_newton(residual, Vector(5, 0.0)), std::invalid_argument);
+}
+
+TEST(CallableResidual, RejectsNull) {
+  EXPECT_THROW(CallableResidual(3, 1, nullptr), std::invalid_argument);
+}
+
+TEST(LinearResidual, EvaluatesResiduals) {
+  Matrix x = {{1.0, 2.0}, {1.0, 3.0}};
+  Vector y = {5.0, 7.0};
+  LinearResidual residual(x, y);
+  Vector p = {1.0, 2.0};
+  Vector out(2);
+  residual.eval(p, out);
+  EXPECT_NEAR(out[0], 0.0, 1e-12);  // 5 - (1 + 4)
+  EXPECT_NEAR(out[1], 0.0, 1e-12);  // 7 - (1 + 6)
+}
+
+}  // namespace
+}  // namespace tracon::stats

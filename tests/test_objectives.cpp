@@ -1,0 +1,128 @@
+// Objective-dependent scheduler behaviour: the RT and IOPS objectives
+// must actually steer decisions differently, and model configuration
+// variants (WMM standardization, LM feature masks) must change outputs.
+#include <gtest/gtest.h>
+
+#include "model/linear.hpp"
+#include "model/wmm.hpp"
+#include "sched/mibs.hpp"
+#include "sched/mios.hpp"
+#include "util/rng.hpp"
+
+namespace tracon {
+namespace {
+
+/// Three classes where the RT-best and IOPS-best neighbours differ:
+/// next to class 1 a task of class 2 runs FAST but with LOW IOPS;
+/// next to class 0 it runs slower but keeps its throughput.
+sched::TablePredictor objective_split_predictor() {
+  stats::Matrix rt = {{60.0, 60.0, 60.0, 50.0},
+                      {110.0, 120.0, 115.0, 100.0},
+                      {140.0, 105.0, 130.0, 100.0}};
+  stats::Matrix io = {{90.0, 90.0, 90.0, 100.0},
+                      {150.0, 150.0, 150.0, 200.0},
+                      {180.0, 40.0, 90.0, 200.0}};
+  return sched::TablePredictor(rt, io);
+}
+
+TEST(Objectives, MiosPicksDifferentSlotsPerObjective) {
+  sched::TablePredictor pred = objective_split_predictor();
+  sched::PlacementPolicy open;
+  open.beneficial_joins_only = false;
+  sched::ClusterCounts counts(3, 2);
+  counts.place(0, std::nullopt);
+  counts.place(1, std::nullopt);  // slots next to class 0 and class 1
+
+  auto rt_slot = sched::mios_best_slot(2, counts, pred,
+                                       sched::Objective::kRuntime, open);
+  auto io_slot = sched::mios_best_slot(2, counts, pred,
+                                       sched::Objective::kIops, open);
+  ASSERT_TRUE(rt_slot.has_value() && io_slot.has_value());
+  EXPECT_EQ(**rt_slot, 1u);  // fastest runtime (105)
+  EXPECT_EQ(**io_slot, 0u);  // highest IOPS (180)
+}
+
+TEST(Objectives, MibsNamesReflectObjective) {
+  sched::TablePredictor pred = objective_split_predictor();
+  sched::MibsScheduler rt(pred, sched::Objective::kRuntime, 8);
+  sched::MibsScheduler io(pred, sched::Objective::kIops, 8);
+  EXPECT_NE(rt.name(), io.name());
+  EXPECT_EQ(sched::objective_name(sched::Objective::kRuntime), "RT");
+  EXPECT_EQ(sched::objective_name(sched::Objective::kIops), "IO");
+}
+
+TEST(Objectives, BatchOutcomeTracksBothTotals) {
+  sched::TablePredictor pred = objective_split_predictor();
+  std::vector<sched::QueuedTask> queue = {{2, 0.0}, {1, 0.0}};
+  std::vector<std::size_t> order = {0, 1};
+  sched::ClusterCounts counts(3, 2);
+  sched::PlacementPolicy open;
+  open.beneficial_joins_only = false;
+  auto outcome = sched::mibs_batch(queue, order, counts, pred,
+                                   sched::Objective::kRuntime, open);
+  ASSERT_EQ(outcome.placements.size(), 2u);
+  EXPECT_GT(outcome.predicted_runtime, 0.0);
+  EXPECT_GT(outcome.predicted_iops, 0.0);
+}
+
+// ---- model configuration variants -------------------------------------
+
+model::TrainingSet quadratic_data(int n) {
+  Rng rng(91);
+  model::TrainingSet ts;
+  monitor::AppProfile fg{0.4, 0.05, 150.0, 30.0};
+  for (int i = 0; i < n; ++i) {
+    monitor::AppProfile bg;
+    bg.domu_cpu = rng.uniform(0, 1);
+    bg.dom0_cpu = rng.uniform(0, 0.2);
+    bg.reads_per_s = rng.uniform(0, 400);
+    bg.writes_per_s = rng.uniform(0, 250);
+    double y = 40.0 + 25.0 * bg.domu_cpu + 0.05 * bg.reads_per_s +
+               0.0005 * bg.reads_per_s * bg.writes_per_s +
+               rng.normal(0.0, 1.0);
+    ts.add(fg, bg, std::max(1.0, y), 100.0);
+  }
+  return ts;
+}
+
+TEST(ModelVariants, WmmStandardizationChangesNeighbourhoods) {
+  model::TrainingSet ts = quadratic_data(150);
+  model::WmmConfig raw;            // default: raw covariance
+  model::WmmConfig standardized;
+  standardized.standardize = true;
+  model::WmmModel a(ts, model::Response::kRuntime, raw);
+  model::WmmModel b(ts, model::Response::kRuntime, standardized);
+  // Somewhere in feature space the two metrics must disagree.
+  bool differ = false;
+  for (int i = 0; i < 20 && !differ; ++i) {
+    const auto& f = ts.observations()[static_cast<std::size_t>(i * 7)].features;
+    std::vector<double> probe = f;
+    probe[4] += 0.3;   // nudge bg cpu (small scale)
+    probe[6] += 40.0;  // nudge bg reads (large scale)
+    differ = std::abs(a.predict(probe) - b.predict(probe)) > 1e-9;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(ModelVariants, LinearModelFeatureMask) {
+  model::TrainingSet ts = quadratic_data(150);
+  model::LinearConfig cfg;
+  cfg.active_features = {4, 6, 7};  // bg cpu, reads, writes only
+  model::LinearModel masked(ts, model::Response::kRuntime, cfg);
+  std::vector<double> x = ts.observations()[3].features;
+  double before = masked.predict(x);
+  x[1] += 100.0;  // fg dom0 is outside the mask
+  x[5] += 100.0;  // bg dom0 is outside the mask
+  EXPECT_EQ(masked.predict(x), before);
+}
+
+TEST(ModelVariants, WmmComponentCountClamped) {
+  model::TrainingSet ts = quadratic_data(60);
+  model::WmmConfig cfg;
+  cfg.components = 100;  // more than features: must clamp, not throw
+  model::WmmModel m(ts, model::Response::kRuntime, cfg);
+  EXPECT_LE(m.pca().num_components(), 8u);
+}
+
+}  // namespace
+}  // namespace tracon

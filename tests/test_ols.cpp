@@ -1,0 +1,91 @@
+#include "stats/ols.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace tracon::stats {
+namespace {
+
+Matrix design_with_intercept(const std::vector<Vector>& xs) {
+  Matrix m(xs.size(), xs[0].size() + 1);
+  for (std::size_t r = 0; r < xs.size(); ++r) {
+    m(r, 0) = 1.0;
+    for (std::size_t c = 0; c < xs[r].size(); ++c) m(r, c + 1) = xs[r][c];
+  }
+  return m;
+}
+
+TEST(Ols, RecoversExactLinearRelation) {
+  Rng rng(2);
+  std::vector<Vector> xs;
+  Vector y;
+  for (int i = 0; i < 30; ++i) {
+    Vector x = {rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    y.push_back(3.0 + 2.0 * x[0] - 1.5 * x[1]);
+    xs.push_back(x);
+  }
+  OlsFit fit = ols_fit(design_with_intercept(xs), y);
+  EXPECT_NEAR(fit.coefficients[0], 3.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], 2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[2], -1.5, 1e-9);
+  EXPECT_NEAR(fit.sse, 0.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Ols, PredictsFromDesignRow) {
+  Matrix x = {{1.0, 0.0}, {1.0, 1.0}, {1.0, 2.0}};
+  Vector y = {1.0, 3.0, 5.0};  // y = 1 + 2x
+  OlsFit fit = ols_fit(x, y);
+  Vector row = {1.0, 4.0};
+  EXPECT_NEAR(fit.predict(row), 9.0, 1e-9);
+}
+
+TEST(Ols, ResidualsAndSse) {
+  Matrix x = {{1.0}, {1.0}, {1.0}, {1.0}};
+  Vector y = {1.0, 2.0, 3.0, 4.0};  // mean-only model -> mean 2.5
+  OlsFit fit = ols_fit(x, y);
+  EXPECT_NEAR(fit.coefficients[0], 2.5, 1e-12);
+  EXPECT_NEAR(fit.sse, 5.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 0.0, 1e-12);
+}
+
+TEST(Ols, NoisyFitHasReasonableCoefficients) {
+  Rng rng(3);
+  std::vector<Vector> xs;
+  Vector y;
+  for (int i = 0; i < 400; ++i) {
+    Vector x = {rng.uniform(-1, 1)};
+    y.push_back(1.0 + 4.0 * x[0] + rng.normal(0.0, 0.1));
+    xs.push_back(x);
+  }
+  OlsFit fit = ols_fit(design_with_intercept(xs), y);
+  EXPECT_NEAR(fit.coefficients[0], 1.0, 0.05);
+  EXPECT_NEAR(fit.coefficients[1], 4.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(Ols, ShapeErrors) {
+  Matrix x(3, 1);
+  Vector y = {1.0, 2.0};
+  EXPECT_THROW(ols_fit(x, y), std::invalid_argument);
+  Matrix wide(2, 3);
+  Vector y2 = {1.0, 2.0};
+  EXPECT_THROW(ols_fit(wide, y2), std::invalid_argument);
+}
+
+TEST(Aic, PenalizesParameters) {
+  // Same SSE, more parameters -> higher (worse) AIC.
+  EXPECT_LT(gaussian_aic(10.0, 50, 2), gaussian_aic(10.0, 50, 5));
+  // Lower SSE wins at equal parameter count.
+  EXPECT_LT(gaussian_aic(5.0, 50, 3), gaussian_aic(10.0, 50, 3));
+}
+
+TEST(Aic, PerfectFitIsFiniteAndBest) {
+  double perfect = gaussian_aic(0.0, 30, 3);
+  EXPECT_TRUE(std::isfinite(perfect));
+  EXPECT_LT(perfect, gaussian_aic(1.0, 30, 3));
+}
+
+}  // namespace
+}  // namespace tracon::stats

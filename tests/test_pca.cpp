@@ -1,0 +1,112 @@
+#include "stats/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace tracon::stats {
+namespace {
+
+/// Data with dominant variance along (1,1)/sqrt(2) in 2D.
+Matrix correlated_data(std::size_t n, double minor_scale) {
+  Rng rng(10);
+  Matrix x(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    double major = rng.normal(0.0, 3.0);
+    double minor = rng.normal(0.0, minor_scale);
+    x(i, 0) = 5.0 + (major + minor) / std::sqrt(2.0);
+    x(i, 1) = -2.0 + (major - minor) / std::sqrt(2.0);
+  }
+  return x;
+}
+
+TEST(Pca, FirstComponentCapturesDominantDirection) {
+  Matrix x = correlated_data(500, 0.1);
+  Pca p = Pca::fit(x, 2);
+  EXPECT_GT(p.explained_variance_ratio()[0], 0.95);
+  EXPECT_GE(p.explained_variance_ratio()[0], p.explained_variance_ratio()[1]);
+}
+
+TEST(Pca, ProjectionOfMeanIsZero) {
+  Matrix x = correlated_data(200, 0.5);
+  Pca p = Pca::fit(x, 2);
+  // Column means.
+  Vector mean(2, 0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t j = 0; j < 2; ++j) mean[j] += x(i, j) / 200.0;
+  Vector proj = p.project(mean);
+  EXPECT_NEAR(proj[0], 0.0, 1e-9);
+  EXPECT_NEAR(proj[1], 0.0, 1e-9);
+}
+
+TEST(Pca, ProjectRowsMatchesProject) {
+  Matrix x = correlated_data(50, 0.5);
+  Pca p = Pca::fit(x, 2);
+  Matrix all = p.project_rows(x);
+  Vector one = p.project(x.row(7));
+  EXPECT_NEAR(all(7, 0), one[0], 1e-12);
+  EXPECT_NEAR(all(7, 1), one[1], 1e-12);
+}
+
+TEST(Pca, StandardizedIgnoresScale) {
+  // Feature 1 is feature 0 times 1000; with standardization both carry
+  // equal weight and PC1 explains everything.
+  Rng rng(11);
+  Matrix x(100, 2);
+  for (std::size_t i = 0; i < 100; ++i) {
+    double v = rng.normal(0, 1);
+    x(i, 0) = v;
+    x(i, 1) = 1000.0 * v;
+  }
+  Pca p = Pca::fit(x, 2, true);
+  EXPECT_GT(p.explained_variance_ratio()[0], 0.999);
+}
+
+TEST(Pca, RawCovarianceDominatedByLargeScaleFeature) {
+  // Without standardization a large-scale independent feature owns PC1.
+  Rng rng(12);
+  Matrix x(300, 2);
+  for (std::size_t i = 0; i < 300; ++i) {
+    x(i, 0) = rng.normal(0, 1);      // small scale
+    x(i, 1) = rng.normal(0, 1000);   // huge scale, independent
+  }
+  Pca p = Pca::fit(x, 1, false);
+  // Sensitivity of the projection to a unit step in each feature: the
+  // raw-covariance PC1 must be aligned with the large-scale feature.
+  Vector zero = {0.0, 0.0};
+  Vector e0 = {1.0, 0.0};
+  Vector e1 = {0.0, 1.0};
+  double s0 = std::abs(p.project(e0)[0] - p.project(zero)[0]);
+  double s1 = std::abs(p.project(e1)[0] - p.project(zero)[0]);
+  EXPECT_GT(s1, 50.0 * s0);
+}
+
+TEST(Pca, ConstantFeatureHandled) {
+  Matrix x(30, 2);
+  Rng rng(13);
+  for (std::size_t i = 0; i < 30; ++i) {
+    x(i, 0) = rng.normal(0, 1);
+    x(i, 1) = 7.0;  // constant
+  }
+  Pca p = Pca::fit(x, 2);
+  Vector constant_in = {0.0, 7.0};
+  Vector proj = p.project(constant_in);
+  EXPECT_TRUE(std::isfinite(proj[0]));
+  EXPECT_TRUE(std::isfinite(proj[1]));
+}
+
+TEST(Pca, Preconditions) {
+  Matrix one_row(1, 3);
+  EXPECT_THROW(Pca::fit(one_row, 1), std::invalid_argument);
+  Matrix x(10, 2);
+  EXPECT_THROW(Pca::fit(x, 0), std::invalid_argument);
+  EXPECT_THROW(Pca::fit(x, 3), std::invalid_argument);
+  Pca p = Pca::fit(correlated_data(20, 0.5), 1);
+  Vector wrong = {1.0, 2.0, 3.0};
+  EXPECT_THROW(p.project(wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tracon::stats

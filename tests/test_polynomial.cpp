@@ -1,0 +1,71 @@
+#include "stats/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tracon::stats {
+namespace {
+
+TEST(PolyBasis, Degree1TermCount) {
+  PolyBasis b = PolyBasis::degree1(4);
+  EXPECT_EQ(b.num_terms(), 5u);  // intercept + 4 linear
+}
+
+TEST(PolyBasis, Degree2TermCount) {
+  // 1 + d + d (squares) + d(d-1)/2 (interactions)
+  PolyBasis b8 = PolyBasis::degree2(8);
+  EXPECT_EQ(b8.num_terms(), 1u + 8u + 8u + 28u);
+  PolyBasis b2 = PolyBasis::degree2(2);
+  EXPECT_EQ(b2.num_terms(), 6u);
+}
+
+TEST(PolyBasis, ExpandValues) {
+  PolyBasis b = PolyBasis::degree2(2);
+  Vector x = {2.0, 3.0};
+  Vector e = b.expand(x);
+  // Order: 1, x1, x2, x1^2, x2^2, x1*x2.
+  ASSERT_EQ(e.size(), 6u);
+  EXPECT_EQ(e[0], 1.0);
+  EXPECT_EQ(e[1], 2.0);
+  EXPECT_EQ(e[2], 3.0);
+  EXPECT_EQ(e[3], 4.0);
+  EXPECT_EQ(e[4], 9.0);
+  EXPECT_EQ(e[5], 6.0);
+}
+
+TEST(PolyBasis, ExpandRows) {
+  PolyBasis b = PolyBasis::degree1(2);
+  Matrix x = {{1.0, 2.0}, {3.0, 4.0}};
+  Matrix e = b.expand_rows(x);
+  EXPECT_EQ(e.rows(), 2u);
+  EXPECT_EQ(e.cols(), 3u);
+  EXPECT_EQ(e(1, 0), 1.0);
+  EXPECT_EQ(e(1, 2), 4.0);
+}
+
+TEST(PolyBasis, TermNames) {
+  PolyBasis b = PolyBasis::degree2(2);
+  EXPECT_EQ(b.term_name(0), "1");
+  EXPECT_EQ(b.term_name(1), "x1");
+  EXPECT_EQ(b.term_name(3), "x1^2");
+  EXPECT_EQ(b.term_name(5), "x1*x2");
+  std::vector<std::string> names = {"cpu", "io"};
+  EXPECT_EQ(b.term_name(5, names), "cpu*io");
+}
+
+TEST(PolyBasis, DimensionMismatchThrows) {
+  PolyBasis b = PolyBasis::degree2(3);
+  Vector wrong = {1.0, 2.0};
+  EXPECT_THROW(b.expand(wrong), std::invalid_argument);
+  EXPECT_THROW(b.term_name(999), std::invalid_argument);
+}
+
+TEST(PolyTerm, Classification) {
+  PolyBasis b = PolyBasis::degree2(2);
+  EXPECT_TRUE(b.terms()[0].is_intercept());
+  EXPECT_TRUE(b.terms()[1].is_linear());
+  EXPECT_TRUE(b.terms()[3].is_quadratic());
+  EXPECT_TRUE(b.terms()[5].is_quadratic());
+}
+
+}  // namespace
+}  // namespace tracon::stats

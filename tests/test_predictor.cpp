@@ -1,0 +1,83 @@
+#include "sched/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tracon::sched {
+namespace {
+
+TablePredictor small_table() {
+  // 2 apps; last column = idle neighbour.
+  stats::Matrix rt = {{100.0, 150.0, 80.0}, {200.0, 300.0, 180.0}};
+  stats::Matrix io = {{50.0, 30.0, 60.0}, {20.0, 10.0, 25.0}};
+  return TablePredictor(rt, io);
+}
+
+TEST(TablePredictor, LookupByNeighbour) {
+  TablePredictor p = small_table();
+  EXPECT_EQ(p.num_apps(), 2u);
+  EXPECT_EQ(p.predict_runtime(0, std::optional<std::size_t>(1)), 150.0);
+  EXPECT_EQ(p.predict_runtime(0, std::nullopt), 80.0);
+  EXPECT_EQ(p.predict_iops(1, std::optional<std::size_t>(0)), 20.0);
+  EXPECT_EQ(p.predict_iops(1, std::nullopt), 25.0);
+}
+
+TEST(TablePredictor, RangeChecks) {
+  TablePredictor p = small_table();
+  EXPECT_THROW(p.predict_runtime(2, std::nullopt), std::invalid_argument);
+  EXPECT_THROW(p.predict_runtime(0, std::optional<std::size_t>(5)),
+               std::invalid_argument);
+}
+
+TEST(TablePredictor, ShapeValidation) {
+  stats::Matrix bad_rt(2, 2);  // needs 3 columns
+  stats::Matrix io(2, 3);
+  EXPECT_THROW(TablePredictor(bad_rt, io), std::invalid_argument);
+  stats::Matrix rt(2, 3);
+  stats::Matrix bad_io(1, 3);
+  EXPECT_THROW(TablePredictor(rt, bad_io), std::invalid_argument);
+}
+
+TEST(TablePredictor, FromModelsEvaluatesAllPairs) {
+  // Dummy models: runtime = sum of features, iops = 1000 - sum.
+  class SumModel final : public model::InterferenceModel {
+   public:
+    explicit SumModel(model::Response r, double scale)
+        : InterferenceModel(r), scale_(scale) {}
+    double predict(std::span<const double> f) const override {
+      double s = 0.0;
+      for (double v : f) s += v;
+      return scale_ * s;
+    }
+    std::string describe() const override { return "sum"; }
+
+   private:
+    double scale_;
+  };
+
+  std::vector<model::ModelPair> models;
+  for (int i = 0; i < 2; ++i) {
+    model::ModelPair mp;
+    mp.runtime = std::make_unique<SumModel>(model::Response::kRuntime, 1.0);
+    mp.iops = std::make_unique<SumModel>(model::Response::kIops, 2.0);
+    models.push_back(std::move(mp));
+  }
+  std::vector<monitor::AppProfile> profiles = {{0.1, 0.0, 10.0, 0.0},
+                                               {0.2, 0.0, 20.0, 0.0}};
+  TablePredictor p = TablePredictor::from_models(models, profiles);
+  // App 0 next to app 1: sum = 0.1+10 + 0.2+20 = 30.3.
+  EXPECT_NEAR(p.predict_runtime(0, std::optional<std::size_t>(1)), 30.3,
+              1e-12);
+  // App 0 idle neighbour: 10.1.
+  EXPECT_NEAR(p.predict_runtime(0, std::nullopt), 10.1, 1e-12);
+  EXPECT_NEAR(p.predict_iops(0, std::nullopt), 20.2, 1e-12);
+}
+
+TEST(TablePredictor, FromModelsValidation) {
+  std::vector<model::ModelPair> none;
+  std::vector<monitor::AppProfile> profiles;
+  EXPECT_THROW(TablePredictor::from_models(none, profiles),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tracon::sched

@@ -1,0 +1,121 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/summary.hpp"
+
+namespace tracon {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double x = r.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = r.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  OnlineStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, NormalZeroStddevIsMean) {
+  Rng r(11);
+  EXPECT_EQ(r.normal(3.5, 0.0), 3.5);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  OnlineStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.exponential(0.5));
+  EXPECT_NEAR(s.mean(), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalNoiseMedianNearOne) {
+  Rng r(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 10001; ++i) xs.push_back(r.lognormal_noise(0.2));
+  EXPECT_NEAR(percentile(xs, 0.5), 1.0, 0.03);
+  for (double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(Rng, LognormalZeroSigmaIsOne) {
+  Rng r(17);
+  EXPECT_EQ(r.lognormal_noise(0.0), 1.0);
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng r(19);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 1000; ++i) ++seen[r.index(5)];
+  for (int c : seen) EXPECT_GT(c, 100);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(23);
+  Rng child = parent.fork();
+  OnlineStats diff;
+  for (int i = 0; i < 100; ++i)
+    diff.add(parent.uniform() - child.uniform());
+  // Fully correlated streams would give ~0 variance.
+  EXPECT_GT(diff.stddev(), 0.1);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(29);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  r.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to match
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, PreconditionViolationsThrow) {
+  Rng r(1);
+  EXPECT_THROW(r.uniform(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(r.uniform_int(3, 2), std::invalid_argument);
+  EXPECT_THROW(r.normal(0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(r.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(r.lognormal_noise(-0.1), std::invalid_argument);
+  EXPECT_THROW(r.index(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tracon

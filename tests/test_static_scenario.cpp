@@ -1,0 +1,111 @@
+#include "sim/static_scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/fifo.hpp"
+#include "sched/mibs.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace tracon::sim {
+namespace {
+
+PerfTable table() {
+  static PerfTable t = [] {
+    model::Profiler prof(
+        virt::HostSimulator(virt::HostConfig::paper_testbed()), 42);
+    std::vector<virt::AppBehavior> apps = {
+        *workload::benchmark_by_name("email"),
+        *workload::benchmark_by_name("video"),
+        *workload::benchmark_by_name("blastn")};
+    return PerfTable::build(prof, apps);
+  }();
+  return t;
+}
+
+sched::PlacementPolicy no_hold() {
+  sched::PlacementPolicy p;
+  p.beneficial_joins_only = false;
+  return p;
+}
+
+TEST(StaticScenario, SingleTaskRunsSolo) {
+  PerfTable t = table();
+  sched::FifoScheduler fifo(1);
+  std::vector<std::size_t> tasks = {1};
+  StaticOutcome o = run_static(t, fifo, tasks, 4);
+  EXPECT_EQ(o.unplaced, 0u);
+  EXPECT_NEAR(o.total_runtime, t.solo_runtime(1), 1e-9);
+  EXPECT_NEAR(o.total_iops, t.solo_iops(1), 1e-9);
+}
+
+TEST(StaticScenario, PairDynamicsMatchHandComputation) {
+  PerfTable t = table();
+  // Force both tasks onto one machine.
+  sched::FifoScheduler fifo(1);
+  std::vector<std::size_t> tasks = {0, 1};  // email, video
+  StaticOutcome o = run_static(t, fifo, tasks, 1);
+  EXPECT_EQ(o.unplaced, 0u);
+
+  auto n0 = std::optional<std::size_t>(0);
+  auto n1 = std::optional<std::size_t>(1);
+  double t_email = t.runtime(0, n1);
+  double t_video = t.runtime(1, n0);
+  double first = std::min(t_email, t_video);
+  double second_paired_rt = std::max(t_email, t_video);
+  std::size_t second = t_email <= t_video ? 1 : 0;
+  double frac = first / second_paired_rt;
+  double expected_second = first + (1.0 - frac) * t.solo_runtime(second);
+  EXPECT_NEAR(o.total_runtime, first + expected_second, 1e-6);
+}
+
+TEST(StaticScenario, AllTasksPlacedWhenSlotsSuffice) {
+  PerfTable t = table();
+  sched::FifoScheduler fifo(5);
+  std::vector<std::size_t> tasks(8, 1);
+  StaticOutcome o = run_static(t, fifo, tasks, 4);
+  EXPECT_EQ(o.unplaced, 0u);
+  EXPECT_EQ(o.tasks, 8u);
+  // Four video+video machines; every task realized slower than solo.
+  EXPECT_GT(o.total_runtime, 8.0 * t.solo_runtime(1));
+}
+
+TEST(StaticScenario, MibsBeatsBadPairingOnCraftedBatch) {
+  PerfTable t = table();
+  // 2 machines, batch = {video, blastn, email, email}: good pairing puts
+  // each heavy task with an email.
+  std::vector<std::size_t> tasks = {1, 2, 0, 0};
+  sched::TablePredictor oracle = t.oracle_predictor();
+  sched::MibsScheduler mibs(oracle, sched::Objective::kRuntime, 4, 0.0,
+                            no_hold());
+  StaticOutcome smart = run_static(t, mibs, tasks, 2);
+  EXPECT_EQ(smart.unplaced, 0u);
+
+  // Worst pairing by construction: heavy+heavy, email+email.
+  double heavy_first = std::min(t.runtime(1, std::optional<std::size_t>(2)),
+                                t.runtime(2, std::optional<std::size_t>(1)));
+  EXPECT_LT(smart.total_runtime, 2.0 * heavy_first);
+}
+
+TEST(StaticScenario, TooManyTasksThrow) {
+  PerfTable t = table();
+  sched::FifoScheduler fifo(1);
+  std::vector<std::size_t> tasks(5, 0);
+  EXPECT_THROW(run_static(t, fifo, tasks, 2), std::invalid_argument);
+  EXPECT_THROW(run_static(t, fifo, tasks, 0), std::invalid_argument);
+  std::vector<std::size_t> bad = {9};
+  EXPECT_THROW(run_static(t, fifo, bad, 2), std::invalid_argument);
+}
+
+TEST(StaticScenario, HoldBackSchedulerLeavesUnplaced) {
+  PerfTable t = table();
+  // With beneficial-joins-only, pairing two videos is refused; on one
+  // machine the second video stays unplaced.
+  sched::TablePredictor oracle = t.oracle_predictor();
+  sched::MibsScheduler mibs(oracle, sched::Objective::kRuntime, 2, 0.0);
+  std::vector<std::size_t> tasks = {1, 1};
+  StaticOutcome o = run_static(t, mibs, tasks, 1);
+  EXPECT_EQ(o.unplaced, 1u);
+}
+
+}  // namespace
+}  // namespace tracon::sim

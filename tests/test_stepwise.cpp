@@ -1,0 +1,118 @@
+#include "stats/stepwise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stats/polynomial.hpp"
+#include "util/rng.hpp"
+
+namespace tracon::stats {
+namespace {
+
+/// Builds candidates = degree-2 expansion of 3 features, response
+/// depending only on x1 and x2*x3.
+struct SyntheticSelection {
+  Matrix candidates;
+  Vector y;
+  PolyBasis basis = PolyBasis::degree2(3);
+  std::size_t true_linear = 0, true_interaction = 0;
+
+  explicit SyntheticSelection(double noise) {
+    Rng rng(4);
+    const std::size_t n = 120;
+    Matrix x(n, 3);
+    y.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) x(i, j) = rng.uniform(-1, 1);
+      y[i] = 2.0 + 3.0 * x(i, 0) + 4.0 * x(i, 1) * x(i, 2) +
+             rng.normal(0.0, noise);
+    }
+    candidates = basis.expand_rows(x);
+    for (std::size_t t = 0; t < basis.num_terms(); ++t) {
+      const PolyTerm& term = basis.terms()[t];
+      if (term.is_linear() && term.i == 0) true_linear = t;
+      if (term.is_quadratic() && term.i == 1 && term.j == 2)
+        true_interaction = t;
+    }
+  }
+};
+
+TEST(Stepwise, RecoversTrueSupport) {
+  SyntheticSelection s(0.05);
+  StepwiseResult res = stepwise_aic(s.candidates, s.y);
+  auto has = [&](std::size_t c) {
+    return std::find(res.selected.begin(), res.selected.end(), c) !=
+           res.selected.end();
+  };
+  EXPECT_TRUE(has(0));                   // intercept forced
+  EXPECT_TRUE(has(s.true_linear));       // x1
+  EXPECT_TRUE(has(s.true_interaction));  // x2*x3
+  // Parsimony: far fewer terms than candidates.
+  EXPECT_LE(res.selected.size(), 6u);
+  EXPECT_GT(res.fit.r_squared, 0.98);
+}
+
+TEST(Stepwise, PredictsOnCandidateRows) {
+  SyntheticSelection s(0.01);
+  StepwiseResult res = stepwise_aic(s.candidates, s.y);
+  Vector x = {0.5, -0.5, 0.25};
+  Vector row = s.basis.expand(x);
+  double expected = 2.0 + 3.0 * 0.5 + 4.0 * (-0.5) * 0.25;
+  EXPECT_NEAR(res.predict(row), expected, 0.1);
+}
+
+TEST(Stepwise, ForcedColumnsKept) {
+  SyntheticSelection s(0.05);
+  StepwiseOptions opts;
+  opts.forced = {0, 5};
+  StepwiseResult res = stepwise_aic(s.candidates, s.y, opts);
+  EXPECT_TRUE(std::binary_search(res.selected.begin(), res.selected.end(),
+                                 std::size_t{5}));
+}
+
+TEST(Stepwise, IgnoresRankDeficientCandidates) {
+  // Duplicate a column; selection must not pick both copies.
+  SyntheticSelection s(0.05);
+  Matrix cand(s.candidates.rows(), s.candidates.cols() + 1);
+  for (std::size_t r = 0; r < cand.rows(); ++r) {
+    for (std::size_t c = 0; c < s.candidates.cols(); ++c)
+      cand(r, c) = s.candidates(r, c);
+    cand(r, s.candidates.cols()) = s.candidates(r, s.true_linear);
+  }
+  StepwiseResult res = stepwise_aic(cand, s.y);
+  bool orig = std::binary_search(res.selected.begin(), res.selected.end(),
+                                 s.true_linear);
+  bool dup = std::binary_search(res.selected.begin(), res.selected.end(),
+                                s.candidates.cols());
+  EXPECT_TRUE(orig != dup || !dup);  // never both
+  EXPECT_GT(res.fit.r_squared, 0.98);
+}
+
+TEST(Stepwise, BetterAicThanFullModelOrEqual) {
+  SyntheticSelection s(0.3);
+  StepwiseResult res = stepwise_aic(s.candidates, s.y);
+  OlsFit full = ols_fit(s.candidates, s.y);
+  EXPECT_LE(res.fit.aic, full.aic + 1e-9);
+}
+
+TEST(Stepwise, ShapeAndPreconditionErrors) {
+  Matrix cand(5, 2);
+  Vector y = {1, 2, 3};
+  EXPECT_THROW(stepwise_aic(cand, y), std::invalid_argument);
+  Vector y5 = {1, 2, 3, 4, 5};
+  StepwiseOptions opts;
+  opts.forced = {7};
+  EXPECT_THROW(stepwise_aic(cand, y5, opts), std::invalid_argument);
+  opts.forced = {};
+  EXPECT_THROW(stepwise_aic(cand, y5, opts), std::invalid_argument);
+}
+
+TEST(StepwiseResult, PredictOnEmptyModelThrows) {
+  StepwiseResult res;
+  Vector row = {1.0};
+  EXPECT_THROW(res.predict(row), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tracon::stats

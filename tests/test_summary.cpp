@@ -1,0 +1,108 @@
+#include "util/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tracon {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s = Summary::of({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  std::vector<double> xs = {4.0};
+  Summary s = Summary::of(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 4.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 4.0);
+  EXPECT_EQ(s.max, 4.0);
+  EXPECT_EQ(s.median, 4.0);
+}
+
+TEST(Summary, KnownValues) {
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  Summary s = Summary::of(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.median, 4.5, 1e-12);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  std::vector<double> xs = {30.0, 10.0, 40.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+}
+
+TEST(Percentile, Preconditions) {
+  std::vector<double> xs = {1.0};
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(OnlineStats, MatchesBatch) {
+  Rng r(3);
+  std::vector<double> xs;
+  OnlineStats acc;
+  for (int i = 0; i < 500; ++i) {
+    double x = r.normal(5.0, 3.0);
+    xs.push_back(x);
+    acc.add(x);
+  }
+  Summary s = Summary::of(xs);
+  EXPECT_NEAR(acc.mean(), s.mean, 1e-9);
+  EXPECT_NEAR(acc.stddev(), s.stddev, 1e-9);
+  EXPECT_EQ(acc.count(), 500u);
+}
+
+TEST(OnlineStats, Reset) {
+  OnlineStats acc;
+  acc.add(1.0);
+  acc.add(2.0);
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(OnlineStats, FewerThanTwoSamplesZeroVariance) {
+  OnlineStats acc;
+  EXPECT_EQ(acc.variance(), 0.0);
+  acc.add(7.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.mean(), 7.0);
+}
+
+// Property sweep: Welford is numerically stable for large offsets.
+class OnlineStatsOffset : public ::testing::TestWithParam<double> {};
+
+TEST_P(OnlineStatsOffset, StableUnderOffset) {
+  double offset = GetParam();
+  OnlineStats acc;
+  for (int i = 0; i < 100; ++i) acc.add(offset + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(acc.mean(), offset, std::abs(offset) * 1e-12 + 1e-9);
+  EXPECT_NEAR(acc.variance(), 100.0 / 99.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, OnlineStatsOffset,
+                         ::testing::Values(0.0, 1e3, 1e6, 1e9, -1e9));
+
+}  // namespace
+}  // namespace tracon

@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tracon {
+namespace {
+
+TEST(TableWriter, AlignsColumns) {
+  TableWriter t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TableWriter, CsvOutput) {
+  TableWriter t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableWriter, NumericRowFormatting) {
+  TableWriter t({"label", "x", "y"});
+  t.add_row_numeric("r", {1.23456, 2.0}, 2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "label,x,y\nr,1.23,2.00\n");
+}
+
+TEST(TableWriter, RowWidthMismatchThrows) {
+  TableWriter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row_numeric("l", {1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(TableWriter, EmptyHeaderThrows) {
+  EXPECT_THROW(TableWriter({}), std::invalid_argument);
+}
+
+TEST(TableWriter, RowCount) {
+  TableWriter t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"x"});
+  t.add_row({"y"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace tracon

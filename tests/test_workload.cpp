@@ -1,0 +1,144 @@
+#include "workload/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/summary.hpp"
+#include "virt/host_sim.hpp"
+#include "workload/mixes.hpp"
+#include "workload/synthetic.hpp"
+
+namespace tracon::workload {
+namespace {
+
+TEST(Benchmarks, EightAppsInIopsRankOrder) {
+  const auto& apps = paper_benchmarks();
+  ASSERT_EQ(apps.size(), 8u);
+  EXPECT_EQ(apps[0].name, "email");
+  EXPECT_EQ(apps[7].name, "video");
+  // Table 3 ranking: total IOPS strictly increasing with rank.
+  for (std::size_t i = 1; i < apps.size(); ++i)
+    EXPECT_GT(apps[i].total_iops(), apps[i - 1].total_iops())
+        << apps[i].name << " vs " << apps[i - 1].name;
+}
+
+TEST(Benchmarks, LookupByName) {
+  auto video = benchmark_by_name("video");
+  ASSERT_TRUE(video.has_value());
+  EXPECT_EQ(video->name, "video");
+  EXPECT_FALSE(benchmark_by_name("nope").has_value());
+}
+
+TEST(Benchmarks, AllSoloFeasible) {
+  // Every benchmark must complete near its nominal runtime when alone —
+  // the behavioural parameters may not oversubscribe the host.
+  virt::HostConfig cfg = virt::HostConfig::paper_testbed();
+  cfg.noise_sigma = 0.0;
+  virt::HostSimulator sim(cfg);
+  for (const auto& app : paper_benchmarks()) {
+    virt::VmRunStats s = sim.solo(app);
+    EXPECT_TRUE(s.completed) << app.name;
+    EXPECT_NEAR(s.runtime_s, app.solo_runtime_s, 0.1 * app.solo_runtime_s)
+        << app.name;
+  }
+}
+
+TEST(Benchmarks, MicroAppsMatchTable1Roles) {
+  EXPECT_FALSE(calc_app().does_io());
+  EXPECT_GT(calc_app().cpu_util, 0.9);
+  EXPECT_GT(seqread_app().read_iops, 500);
+  EXPECT_GT(seqread_app().sequentiality, 0.9);
+  EXPECT_GT(cpu_io_high_app().total_iops(),
+            cpu_io_medium_app().total_iops());
+  EXPECT_GT(cpu_io_high_app().cpu_util, cpu_io_medium_app().cpu_util);
+}
+
+TEST(Synthetic, Produces125Workloads) {
+  auto all = synthetic_workloads();
+  EXPECT_EQ(all.size(), 125u);
+  // Exactly one idle combination.
+  int idle = 0;
+  for (const auto& a : all)
+    if (a.is_idle()) ++idle;
+  EXPECT_EQ(idle, 1);
+}
+
+TEST(Synthetic, IntensityLevelsScaleLinearly) {
+  SyntheticConfig cfg;
+  auto a = synthetic_workload(2, 0, 0, cfg);
+  EXPECT_NEAR(a.cpu_util, cfg.max_cpu * 0.5, 1e-12);
+  EXPECT_EQ(a.read_iops, 0.0);
+  auto b = synthetic_workload(0, 4, 2, cfg);
+  EXPECT_NEAR(b.read_iops, cfg.max_read_iops, 1e-12);
+  EXPECT_NEAR(b.write_iops, cfg.max_write_iops * 0.5, 1e-12);
+}
+
+TEST(Synthetic, NamesEncodeLevels) {
+  EXPECT_EQ(synthetic_workload(1, 2, 3).name, "synth-c1r2w3");
+}
+
+TEST(Synthetic, PatternNotConstant) {
+  // Request size / sequentiality vary across workloads (hash-assigned).
+  auto all = synthetic_workloads();
+  bool kb_varies = false, sigma_varies = false;
+  for (const auto& a : all) {
+    kb_varies |= a.request_kb != all[0].request_kb;
+    sigma_varies |= a.sequentiality != all[0].sequentiality;
+  }
+  EXPECT_TRUE(kb_varies);
+  EXPECT_TRUE(sigma_varies);
+}
+
+TEST(Synthetic, LevelRangeChecked) {
+  EXPECT_THROW(synthetic_workload(5, 0, 0), std::invalid_argument);
+  EXPECT_THROW(synthetic_workload(0, -1, 0), std::invalid_argument);
+}
+
+TEST(Mixes, NamesAndMeans) {
+  EXPECT_EQ(mix_name(MixKind::kLight), "light");
+  EXPECT_EQ(mix_name(MixKind::kHeavy), "heavy");
+  EXPECT_DOUBLE_EQ(mix_mean(MixKind::kLight), 2.5);
+  EXPECT_DOUBLE_EQ(mix_mean(MixKind::kMedium), 4.0);
+  EXPECT_DOUBLE_EQ(mix_mean(MixKind::kHeavy), 5.5);
+}
+
+TEST(Mixes, SampledRankMeansAreOrdered) {
+  Rng rng(21);
+  auto mean_rank = [&](MixKind kind) {
+    OnlineStats s;
+    for (int i = 0; i < 5000; ++i)
+      s.add(static_cast<double>(sample_benchmark_index(kind, rng)) + 1.0);
+    return s.mean();
+  };
+  double light = mean_rank(MixKind::kLight);
+  double medium = mean_rank(MixKind::kMedium);
+  double heavy = mean_rank(MixKind::kHeavy);
+  EXPECT_LT(light, medium);
+  EXPECT_LT(medium, heavy);
+  EXPECT_NEAR(light, 2.6, 0.3);   // clamping shifts the mean slightly
+  EXPECT_NEAR(heavy, 5.4, 0.3);
+}
+
+TEST(Mixes, IndicesInRange) {
+  Rng rng(22);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(sample_benchmark_index(MixKind::kHeavy, rng), 8u);
+    EXPECT_LT(sample_benchmark_index(MixKind::kUniform, rng), 8u);
+  }
+}
+
+TEST(Mixes, SampleTasksMaterializesApps) {
+  Rng rng(23);
+  auto tasks = sample_tasks(MixKind::kMedium, 10, rng);
+  EXPECT_EQ(tasks.size(), 10u);
+  for (const auto& t : tasks) EXPECT_FALSE(t.name.empty());
+}
+
+TEST(Mixes, InvalidStddevThrows) {
+  Rng rng(24);
+  EXPECT_THROW(sample_benchmark_index(MixKind::kLight, rng, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tracon::workload

@@ -1,0 +1,318 @@
+// tracon — command-line front end to the TRACON library.
+//
+// Subcommands:
+//   tracon table1                reproduce the interference micro-table
+//   tracon matrix                pairwise slowdown / IOPS-retention matrix
+//   tracon predict               model vs measured for one app pair
+//   tracon static                schedule a batch and report Speedup/IOBoost
+//   tracon dynamic               Poisson-arrival cluster simulation
+//
+// Common flags:
+//   --host paper|ssd|raid|iscsi  host/storage model   (default paper)
+//   --model wmm|lm|nlm|nlm-log   prediction model     (default nlm)
+//   --seed N                     RNG seed             (default 42)
+//   --csv                        machine-readable output where applicable
+//
+// Examples:
+//   tracon matrix --host ssd
+//   tracon predict --fg video --bg blastn
+//   tracon static --machines 16 --mix medium --objective io
+//   tracon dynamic --machines 64 --lambda 80 --hours 10 \\
+//                  --scheduler mibs --queue 8 --mix heavy
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/tracon.hpp"
+#include "sched/fifo.hpp"
+#include "sim/dynamic_scenario.hpp"
+#include "sim/hierarchy.hpp"
+#include "sim/static_scenario.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "virt/host_sim.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/mixes.hpp"
+
+namespace {
+
+using namespace tracon;
+
+virt::HostConfig host_from(const ArgParser& args) {
+  std::string h = args.get("host", "paper");
+  if (h == "paper") return virt::HostConfig::paper_testbed();
+  if (h == "ssd") return virt::HostConfig::ssd_testbed();
+  if (h == "raid") return virt::HostConfig::raid_testbed();
+  if (h == "iscsi") return virt::HostConfig::iscsi_testbed();
+  throw std::invalid_argument("unknown --host '" + h +
+                              "' (paper|ssd|raid|iscsi)");
+}
+
+model::ModelKind model_from(const ArgParser& args) {
+  std::string m = args.get("model", "nlm");
+  if (m == "wmm") return model::ModelKind::kWmm;
+  if (m == "lm") return model::ModelKind::kLinear;
+  if (m == "nlm") return model::ModelKind::kNonlinear;
+  if (m == "nlm-log") return model::ModelKind::kNonlinearLog;
+  if (m == "nlm-nodom0") return model::ModelKind::kNonlinearNoDom0;
+  throw std::invalid_argument("unknown --model '" + m +
+                              "' (wmm|lm|nlm|nlm-log|nlm-nodom0)");
+}
+
+workload::MixKind mix_from(const ArgParser& args) {
+  std::string m = args.get("mix", "medium");
+  if (m == "light") return workload::MixKind::kLight;
+  if (m == "medium") return workload::MixKind::kMedium;
+  if (m == "heavy") return workload::MixKind::kHeavy;
+  if (m == "uniform") return workload::MixKind::kUniform;
+  throw std::invalid_argument("unknown --mix '" + m +
+                              "' (light|medium|heavy|uniform)");
+}
+
+core::Tracon make_system(const ArgParser& args, bool train) {
+  core::TraconConfig cfg;
+  cfg.host = host_from(args);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  core::Tracon sys(cfg);
+  sys.register_applications(workload::paper_benchmarks());
+  if (train) sys.train(model_from(args));
+  return sys;
+}
+
+void emit(const TableWriter& table, const ArgParser& args) {
+  if (args.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+int cmd_table1(const ArgParser& args) {
+  virt::HostConfig cfg = host_from(args);
+  cfg.noise_sigma = 0.0;
+  virt::HostSimulator sim(cfg);
+  TableWriter out({"App1\\App2", "cpu-high", "io-high", "cpu-io-med",
+                   "cpu-io-high"});
+  for (const auto& fg : {workload::calc_app(), workload::seqread_app()}) {
+    double solo = sim.solo(fg).runtime_s;
+    std::vector<double> row;
+    for (const auto& bg :
+         {workload::cpu_high_app(), workload::io_high_app(),
+          workload::cpu_io_medium_app(), workload::cpu_io_high_app()})
+      row.push_back(sim.measure_pair(fg, bg).runtime_s / solo);
+    out.add_row_numeric(fg.name, row, 2);
+  }
+  emit(out, args);
+  return 0;
+}
+
+int cmd_matrix(const ArgParser& args) {
+  core::Tracon sys = make_system(args, false);
+  const sim::PerfTable& t = sys.perf_table();
+  std::vector<std::string> header = {"slowdown"};
+  for (std::size_t b = 0; b < t.num_apps(); ++b)
+    header.push_back(t.app_name(b));
+  header.push_back("solo_s");
+  TableWriter out(header);
+  for (std::size_t a = 0; a < t.num_apps(); ++a) {
+    std::vector<double> row;
+    for (std::size_t b = 0; b < t.num_apps(); ++b)
+      row.push_back(t.runtime(a, b) / t.solo_runtime(a));
+    row.push_back(t.solo_runtime(a));
+    out.add_row_numeric(t.app_name(a), row, 2);
+  }
+  emit(out, args);
+  return 0;
+}
+
+int cmd_predict(const ArgParser& args) {
+  auto fg = workload::benchmark_by_name(args.get("fg", "video"));
+  auto bg = workload::benchmark_by_name(args.get("bg", "blastn"));
+  if (!fg || !bg) {
+    std::fprintf(stderr, "unknown --fg/--bg benchmark name\n");
+    return 2;
+  }
+  core::Tracon sys = make_system(args, true);
+  const sim::PerfTable& t = sys.perf_table();
+  std::size_t fi = 0, bi = 0;
+  for (std::size_t a = 0; a < t.num_apps(); ++a) {
+    if (t.app_name(a) == fg->name) fi = a;
+    if (t.app_name(a) == bg->name) bi = a;
+  }
+  std::printf("%s next to %s (%s, model %s):\n", fg->name.c_str(),
+              bg->name.c_str(), args.get("host", "paper").c_str(),
+              model::model_kind_name(sys.model_kind()).c_str());
+  std::printf("  runtime: predicted %8.1f s   measured %8.1f s   solo %8.1f s\n",
+              sys.predictor().predict_runtime(fi, bi), t.runtime(fi, bi),
+              t.solo_runtime(fi));
+  std::printf("  IOPS:    predicted %8.1f     measured %8.1f     solo %8.1f\n",
+              sys.predictor().predict_iops(fi, bi), t.iops(fi, bi),
+              t.solo_iops(fi));
+  return 0;
+}
+
+std::unique_ptr<sched::Scheduler> scheduler_from(const ArgParser& args,
+                                                 const core::Tracon& sys,
+                                                 bool static_batch) {
+  std::string s = args.get("scheduler", "mibs");
+  auto objective = args.get("objective", "rt") == "io"
+                       ? sched::Objective::kIops
+                       : sched::Objective::kRuntime;
+  auto queue = static_cast<std::size_t>(args.get_int("queue", 8));
+  sched::PlacementPolicy policy;
+  if (static_batch) policy.beneficial_joins_only = false;
+  core::SchedulerKind kind;
+  if (s == "fifo") kind = core::SchedulerKind::kFifo;
+  else if (s == "mios") kind = core::SchedulerKind::kMios;
+  else if (s == "mibs") kind = core::SchedulerKind::kMibs;
+  else if (s == "mix") kind = core::SchedulerKind::kMix;
+  else throw std::invalid_argument("unknown --scheduler '" + s + "'");
+  return sys.make_scheduler(kind, objective, queue,
+                            static_batch ? 0.0 : 60.0, policy);
+}
+
+int cmd_static(const ArgParser& args) {
+  core::Tracon sys = make_system(args, true);
+  auto machines = static_cast<std::size_t>(args.get_int("machines", 16));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)) + 7);
+  auto tasks = workload::sample_task_indices(mix_from(args), 2 * machines,
+                                             rng);
+  double fifo_rt = 0, fifo_io = 0;
+  constexpr int kRepeats = 20;
+  for (int r = 0; r < kRepeats; ++r) {
+    sched::FifoScheduler fifo(500 + static_cast<unsigned>(r));
+    auto o = sim::run_static(sys.perf_table(), fifo, tasks, machines);
+    fifo_rt += o.total_runtime / kRepeats;
+    fifo_io += o.total_iops / kRepeats;
+  }
+  auto sched = scheduler_from(args, sys, true);
+  auto o = sim::run_static(sys.perf_table(), *sched, tasks, machines);
+  std::printf("%s on %zu machines, %zu %s tasks:\n", sched->name().c_str(),
+              machines, tasks.size(), args.get("mix", "medium").c_str());
+  std::printf("  total runtime %10.1f s  (FIFO avg %10.1f, Speedup %.3f)\n",
+              o.total_runtime, fifo_rt, fifo_rt / o.total_runtime);
+  std::printf("  total IOPS    %10.1f    (FIFO avg %10.1f, IOBoost %.3f)\n",
+              o.total_iops, fifo_io, o.total_iops / fifo_io);
+  if (o.unplaced > 0) std::printf("  unplaced tasks: %zu\n", o.unplaced);
+  return 0;
+}
+
+int cmd_dynamic(const ArgParser& args) {
+  core::Tracon sys = make_system(args, true);
+  sim::DynamicConfig cfg;
+  cfg.machines = static_cast<std::size_t>(args.get_int("machines", 64));
+  cfg.lambda_per_min = args.get_double("lambda", 100.0);
+  cfg.duration_s = args.get_double("hours", 10.0) * 3600.0;
+  cfg.mix = mix_from(args);
+  cfg.queue_capacity = static_cast<std::size_t>(args.get_int("queue", 8));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  auto fifo = sys.make_scheduler(core::SchedulerKind::kFifo,
+                                 sched::Objective::kRuntime);
+  auto base = sim::run_dynamic(sys.perf_table(), *fifo, cfg);
+  sim::TraceRecorder trace;
+  if (args.has("trace")) cfg.trace = &trace;
+  auto sched = scheduler_from(args, sys, false);
+  auto o = sim::run_dynamic(sys.perf_table(), *sched, cfg);
+  if (args.has("trace")) {
+    std::ofstream f(args.get("trace"));
+    if (!f) {
+      std::fprintf(stderr, "cannot open trace file '%s'\n",
+                   args.get("trace").c_str());
+      return 1;
+    }
+    trace.write_csv(f);
+    std::printf("trace (%zu events) written to %s\n", trace.events().size(),
+                args.get("trace").c_str());
+  }
+  std::printf("%s: %zu machines, lambda=%.0f/min, %.1f h, %s mix\n",
+              sched->name().c_str(), cfg.machines, cfg.lambda_per_min,
+              cfg.duration_s / 3600.0, workload::mix_name(cfg.mix).c_str());
+  std::printf("  completed %zu (FIFO %zu, normalized %.3f)\n", o.completed,
+              base.completed,
+              static_cast<double>(o.completed) / base.completed);
+  std::printf("  dropped %zu   mean runtime %.1f s   mean wait %.1f s\n",
+              o.dropped, o.total_runtime / std::max<std::size_t>(1, o.completed),
+              o.mean_wait_s);
+  return 0;
+}
+
+int cmd_profile(const ArgParser& args) {
+  core::Tracon sys = make_system(args, false);
+  std::string path = args.get("out", "perf_table.csv");
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  sys.perf_table().save_csv(f);
+  std::printf("pairwise perf table (%zu apps, host %s) written to %s\n",
+              sys.perf_table().num_apps(), args.get("host", "paper").c_str(),
+              path.c_str());
+  return 0;
+}
+
+int cmd_hierarchy(const ArgParser& args) {
+  core::Tracon sys = make_system(args, true);
+  sim::HierarchyConfig cfg;
+  cfg.managers = static_cast<std::size_t>(args.get_int("managers", 4));
+  cfg.machines_per_manager =
+      static_cast<std::size_t>(args.get_int("machines", 16));
+  cfg.lambda_per_min = args.get_double("lambda", 100.0);
+  cfg.duration_s = args.get_double("hours", 10.0) * 3600.0;
+  cfg.mix = mix_from(args);
+  cfg.queue_capacity = static_cast<std::size_t>(args.get_int("queue", 8));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  cfg.routing = args.get("routing", "rr") == "random"
+                    ? sim::Routing::kRandom
+                    : sim::Routing::kRoundRobin;
+
+  auto outcome = sim::run_hierarchical(
+      sys.perf_table(),
+      [&](std::size_t) {
+        return scheduler_from(args, sys, false);
+      },
+      cfg);
+  std::printf("%zu managers x %zu machines, lambda=%.0f/min total, %s mix\n",
+              cfg.managers, cfg.machines_per_manager, cfg.lambda_per_min,
+              workload::mix_name(cfg.mix).c_str());
+  std::printf("  completed %zu   dropped %zu   imbalance %.3f\n",
+              outcome.total.completed, outcome.total.dropped,
+              outcome.completion_imbalance());
+  for (std::size_t m = 0; m < outcome.per_manager.size(); ++m) {
+    const auto& pm = outcome.per_manager[m];
+    std::printf("  manager %zu: completed %zu dropped %zu\n", m,
+                pm.completed, pm.dropped);
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tracon "
+               "<table1|matrix|predict|static|dynamic|hierarchy|profile> "
+               "[flags]\n(see the header of tools/tracon_cli.cpp)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    ArgParser args(argc, argv);
+    if (args.positional().empty()) return usage();
+    const std::string& cmd = args.positional()[0];
+    if (cmd == "table1") return cmd_table1(args);
+    if (cmd == "matrix") return cmd_matrix(args);
+    if (cmd == "predict") return cmd_predict(args);
+    if (cmd == "static") return cmd_static(args);
+    if (cmd == "dynamic") return cmd_dynamic(args);
+    if (cmd == "hierarchy") return cmd_hierarchy(args);
+    if (cmd == "profile") return cmd_profile(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
