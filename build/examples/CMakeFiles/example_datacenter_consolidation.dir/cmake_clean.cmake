@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_datacenter_consolidation.dir/datacenter_consolidation.cpp.o"
+  "CMakeFiles/example_datacenter_consolidation.dir/datacenter_consolidation.cpp.o.d"
+  "example_datacenter_consolidation"
+  "example_datacenter_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_datacenter_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

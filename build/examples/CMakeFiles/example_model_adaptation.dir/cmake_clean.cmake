@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_model_adaptation.dir/model_adaptation.cpp.o"
+  "CMakeFiles/example_model_adaptation.dir/model_adaptation.cpp.o.d"
+  "example_model_adaptation"
+  "example_model_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_model_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

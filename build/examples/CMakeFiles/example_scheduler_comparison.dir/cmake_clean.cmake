@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scheduler_comparison.dir/scheduler_comparison.cpp.o"
+  "CMakeFiles/example_scheduler_comparison.dir/scheduler_comparison.cpp.o.d"
+  "example_scheduler_comparison"
+  "example_scheduler_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scheduler_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracon_core.dir/tracon.cpp.o"
+  "CMakeFiles/tracon_core.dir/tracon.cpp.o.d"
+  "libtracon_core.a"
+  "libtracon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/adaptive.cpp" "src/model/CMakeFiles/tracon_model.dir/adaptive.cpp.o" "gcc" "src/model/CMakeFiles/tracon_model.dir/adaptive.cpp.o.d"
+  "/root/repo/src/model/evaluate.cpp" "src/model/CMakeFiles/tracon_model.dir/evaluate.cpp.o" "gcc" "src/model/CMakeFiles/tracon_model.dir/evaluate.cpp.o.d"
+  "/root/repo/src/model/factory.cpp" "src/model/CMakeFiles/tracon_model.dir/factory.cpp.o" "gcc" "src/model/CMakeFiles/tracon_model.dir/factory.cpp.o.d"
+  "/root/repo/src/model/linear.cpp" "src/model/CMakeFiles/tracon_model.dir/linear.cpp.o" "gcc" "src/model/CMakeFiles/tracon_model.dir/linear.cpp.o.d"
+  "/root/repo/src/model/nonlinear.cpp" "src/model/CMakeFiles/tracon_model.dir/nonlinear.cpp.o" "gcc" "src/model/CMakeFiles/tracon_model.dir/nonlinear.cpp.o.d"
+  "/root/repo/src/model/profiler.cpp" "src/model/CMakeFiles/tracon_model.dir/profiler.cpp.o" "gcc" "src/model/CMakeFiles/tracon_model.dir/profiler.cpp.o.d"
+  "/root/repo/src/model/standardize.cpp" "src/model/CMakeFiles/tracon_model.dir/standardize.cpp.o" "gcc" "src/model/CMakeFiles/tracon_model.dir/standardize.cpp.o.d"
+  "/root/repo/src/model/training.cpp" "src/model/CMakeFiles/tracon_model.dir/training.cpp.o" "gcc" "src/model/CMakeFiles/tracon_model.dir/training.cpp.o.d"
+  "/root/repo/src/model/wmm.cpp" "src/model/CMakeFiles/tracon_model.dir/wmm.cpp.o" "gcc" "src/model/CMakeFiles/tracon_model.dir/wmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/tracon_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/tracon_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tracon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/tracon_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tracon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

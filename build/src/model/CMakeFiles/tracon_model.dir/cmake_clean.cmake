@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracon_model.dir/adaptive.cpp.o"
+  "CMakeFiles/tracon_model.dir/adaptive.cpp.o.d"
+  "CMakeFiles/tracon_model.dir/evaluate.cpp.o"
+  "CMakeFiles/tracon_model.dir/evaluate.cpp.o.d"
+  "CMakeFiles/tracon_model.dir/factory.cpp.o"
+  "CMakeFiles/tracon_model.dir/factory.cpp.o.d"
+  "CMakeFiles/tracon_model.dir/linear.cpp.o"
+  "CMakeFiles/tracon_model.dir/linear.cpp.o.d"
+  "CMakeFiles/tracon_model.dir/nonlinear.cpp.o"
+  "CMakeFiles/tracon_model.dir/nonlinear.cpp.o.d"
+  "CMakeFiles/tracon_model.dir/profiler.cpp.o"
+  "CMakeFiles/tracon_model.dir/profiler.cpp.o.d"
+  "CMakeFiles/tracon_model.dir/standardize.cpp.o"
+  "CMakeFiles/tracon_model.dir/standardize.cpp.o.d"
+  "CMakeFiles/tracon_model.dir/training.cpp.o"
+  "CMakeFiles/tracon_model.dir/training.cpp.o.d"
+  "CMakeFiles/tracon_model.dir/wmm.cpp.o"
+  "CMakeFiles/tracon_model.dir/wmm.cpp.o.d"
+  "libtracon_model.a"
+  "libtracon_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracon_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

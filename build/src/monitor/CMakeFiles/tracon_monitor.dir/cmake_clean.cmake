@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracon_monitor.dir/drift.cpp.o"
+  "CMakeFiles/tracon_monitor.dir/drift.cpp.o.d"
+  "CMakeFiles/tracon_monitor.dir/monitor.cpp.o"
+  "CMakeFiles/tracon_monitor.dir/monitor.cpp.o.d"
+  "CMakeFiles/tracon_monitor.dir/profile.cpp.o"
+  "CMakeFiles/tracon_monitor.dir/profile.cpp.o.d"
+  "libtracon_monitor.a"
+  "libtracon_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracon_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtracon_monitor.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cluster_counts.cpp" "src/sched/CMakeFiles/tracon_sched.dir/cluster_counts.cpp.o" "gcc" "src/sched/CMakeFiles/tracon_sched.dir/cluster_counts.cpp.o.d"
+  "/root/repo/src/sched/fifo.cpp" "src/sched/CMakeFiles/tracon_sched.dir/fifo.cpp.o" "gcc" "src/sched/CMakeFiles/tracon_sched.dir/fifo.cpp.o.d"
+  "/root/repo/src/sched/mibs.cpp" "src/sched/CMakeFiles/tracon_sched.dir/mibs.cpp.o" "gcc" "src/sched/CMakeFiles/tracon_sched.dir/mibs.cpp.o.d"
+  "/root/repo/src/sched/mios.cpp" "src/sched/CMakeFiles/tracon_sched.dir/mios.cpp.o" "gcc" "src/sched/CMakeFiles/tracon_sched.dir/mios.cpp.o.d"
+  "/root/repo/src/sched/mix.cpp" "src/sched/CMakeFiles/tracon_sched.dir/mix.cpp.o" "gcc" "src/sched/CMakeFiles/tracon_sched.dir/mix.cpp.o.d"
+  "/root/repo/src/sched/predictor.cpp" "src/sched/CMakeFiles/tracon_sched.dir/predictor.cpp.o" "gcc" "src/sched/CMakeFiles/tracon_sched.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/tracon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tracon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tracon_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/tracon_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tracon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/tracon_virt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

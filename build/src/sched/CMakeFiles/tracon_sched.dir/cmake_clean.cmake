@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracon_sched.dir/cluster_counts.cpp.o"
+  "CMakeFiles/tracon_sched.dir/cluster_counts.cpp.o.d"
+  "CMakeFiles/tracon_sched.dir/fifo.cpp.o"
+  "CMakeFiles/tracon_sched.dir/fifo.cpp.o.d"
+  "CMakeFiles/tracon_sched.dir/mibs.cpp.o"
+  "CMakeFiles/tracon_sched.dir/mibs.cpp.o.d"
+  "CMakeFiles/tracon_sched.dir/mios.cpp.o"
+  "CMakeFiles/tracon_sched.dir/mios.cpp.o.d"
+  "CMakeFiles/tracon_sched.dir/mix.cpp.o"
+  "CMakeFiles/tracon_sched.dir/mix.cpp.o.d"
+  "CMakeFiles/tracon_sched.dir/predictor.cpp.o"
+  "CMakeFiles/tracon_sched.dir/predictor.cpp.o.d"
+  "libtracon_sched.a"
+  "libtracon_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracon_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

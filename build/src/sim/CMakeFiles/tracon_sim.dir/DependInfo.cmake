@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dynamic_scenario.cpp" "src/sim/CMakeFiles/tracon_sim.dir/dynamic_scenario.cpp.o" "gcc" "src/sim/CMakeFiles/tracon_sim.dir/dynamic_scenario.cpp.o.d"
+  "/root/repo/src/sim/hierarchy.cpp" "src/sim/CMakeFiles/tracon_sim.dir/hierarchy.cpp.o" "gcc" "src/sim/CMakeFiles/tracon_sim.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/sim/perf_table.cpp" "src/sim/CMakeFiles/tracon_sim.dir/perf_table.cpp.o" "gcc" "src/sim/CMakeFiles/tracon_sim.dir/perf_table.cpp.o.d"
+  "/root/repo/src/sim/static_scenario.cpp" "src/sim/CMakeFiles/tracon_sim.dir/static_scenario.cpp.o" "gcc" "src/sim/CMakeFiles/tracon_sim.dir/static_scenario.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/tracon_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/tracon_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/tracon_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/tracon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tracon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tracon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tracon_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/tracon_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/tracon_virt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

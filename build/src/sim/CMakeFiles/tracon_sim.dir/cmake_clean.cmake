@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracon_sim.dir/dynamic_scenario.cpp.o"
+  "CMakeFiles/tracon_sim.dir/dynamic_scenario.cpp.o.d"
+  "CMakeFiles/tracon_sim.dir/hierarchy.cpp.o"
+  "CMakeFiles/tracon_sim.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/tracon_sim.dir/perf_table.cpp.o"
+  "CMakeFiles/tracon_sim.dir/perf_table.cpp.o.d"
+  "CMakeFiles/tracon_sim.dir/static_scenario.cpp.o"
+  "CMakeFiles/tracon_sim.dir/static_scenario.cpp.o.d"
+  "CMakeFiles/tracon_sim.dir/trace.cpp.o"
+  "CMakeFiles/tracon_sim.dir/trace.cpp.o.d"
+  "libtracon_sim.a"
+  "libtracon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

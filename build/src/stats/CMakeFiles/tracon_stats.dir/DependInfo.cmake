@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/knn.cpp" "src/stats/CMakeFiles/tracon_stats.dir/knn.cpp.o" "gcc" "src/stats/CMakeFiles/tracon_stats.dir/knn.cpp.o.d"
+  "/root/repo/src/stats/linalg.cpp" "src/stats/CMakeFiles/tracon_stats.dir/linalg.cpp.o" "gcc" "src/stats/CMakeFiles/tracon_stats.dir/linalg.cpp.o.d"
+  "/root/repo/src/stats/matrix.cpp" "src/stats/CMakeFiles/tracon_stats.dir/matrix.cpp.o" "gcc" "src/stats/CMakeFiles/tracon_stats.dir/matrix.cpp.o.d"
+  "/root/repo/src/stats/nls.cpp" "src/stats/CMakeFiles/tracon_stats.dir/nls.cpp.o" "gcc" "src/stats/CMakeFiles/tracon_stats.dir/nls.cpp.o.d"
+  "/root/repo/src/stats/ols.cpp" "src/stats/CMakeFiles/tracon_stats.dir/ols.cpp.o" "gcc" "src/stats/CMakeFiles/tracon_stats.dir/ols.cpp.o.d"
+  "/root/repo/src/stats/pca.cpp" "src/stats/CMakeFiles/tracon_stats.dir/pca.cpp.o" "gcc" "src/stats/CMakeFiles/tracon_stats.dir/pca.cpp.o.d"
+  "/root/repo/src/stats/polynomial.cpp" "src/stats/CMakeFiles/tracon_stats.dir/polynomial.cpp.o" "gcc" "src/stats/CMakeFiles/tracon_stats.dir/polynomial.cpp.o.d"
+  "/root/repo/src/stats/stepwise.cpp" "src/stats/CMakeFiles/tracon_stats.dir/stepwise.cpp.o" "gcc" "src/stats/CMakeFiles/tracon_stats.dir/stepwise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tracon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

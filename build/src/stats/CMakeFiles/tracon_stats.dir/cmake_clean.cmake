@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracon_stats.dir/knn.cpp.o"
+  "CMakeFiles/tracon_stats.dir/knn.cpp.o.d"
+  "CMakeFiles/tracon_stats.dir/linalg.cpp.o"
+  "CMakeFiles/tracon_stats.dir/linalg.cpp.o.d"
+  "CMakeFiles/tracon_stats.dir/matrix.cpp.o"
+  "CMakeFiles/tracon_stats.dir/matrix.cpp.o.d"
+  "CMakeFiles/tracon_stats.dir/nls.cpp.o"
+  "CMakeFiles/tracon_stats.dir/nls.cpp.o.d"
+  "CMakeFiles/tracon_stats.dir/ols.cpp.o"
+  "CMakeFiles/tracon_stats.dir/ols.cpp.o.d"
+  "CMakeFiles/tracon_stats.dir/pca.cpp.o"
+  "CMakeFiles/tracon_stats.dir/pca.cpp.o.d"
+  "CMakeFiles/tracon_stats.dir/polynomial.cpp.o"
+  "CMakeFiles/tracon_stats.dir/polynomial.cpp.o.d"
+  "CMakeFiles/tracon_stats.dir/stepwise.cpp.o"
+  "CMakeFiles/tracon_stats.dir/stepwise.cpp.o.d"
+  "libtracon_stats.a"
+  "libtracon_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracon_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracon_util.dir/cli.cpp.o"
+  "CMakeFiles/tracon_util.dir/cli.cpp.o.d"
+  "CMakeFiles/tracon_util.dir/log.cpp.o"
+  "CMakeFiles/tracon_util.dir/log.cpp.o.d"
+  "CMakeFiles/tracon_util.dir/rng.cpp.o"
+  "CMakeFiles/tracon_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tracon_util.dir/summary.cpp.o"
+  "CMakeFiles/tracon_util.dir/summary.cpp.o.d"
+  "CMakeFiles/tracon_util.dir/table.cpp.o"
+  "CMakeFiles/tracon_util.dir/table.cpp.o.d"
+  "libtracon_util.a"
+  "libtracon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/virt/fairshare.cpp" "src/virt/CMakeFiles/tracon_virt.dir/fairshare.cpp.o" "gcc" "src/virt/CMakeFiles/tracon_virt.dir/fairshare.cpp.o.d"
+  "/root/repo/src/virt/host_config.cpp" "src/virt/CMakeFiles/tracon_virt.dir/host_config.cpp.o" "gcc" "src/virt/CMakeFiles/tracon_virt.dir/host_config.cpp.o.d"
+  "/root/repo/src/virt/host_sim.cpp" "src/virt/CMakeFiles/tracon_virt.dir/host_sim.cpp.o" "gcc" "src/virt/CMakeFiles/tracon_virt.dir/host_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tracon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracon_virt.dir/fairshare.cpp.o"
+  "CMakeFiles/tracon_virt.dir/fairshare.cpp.o.d"
+  "CMakeFiles/tracon_virt.dir/host_config.cpp.o"
+  "CMakeFiles/tracon_virt.dir/host_config.cpp.o.d"
+  "CMakeFiles/tracon_virt.dir/host_sim.cpp.o"
+  "CMakeFiles/tracon_virt.dir/host_sim.cpp.o.d"
+  "libtracon_virt.a"
+  "libtracon_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracon_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

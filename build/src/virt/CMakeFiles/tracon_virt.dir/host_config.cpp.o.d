@@ -1,0 +1,3 @@
+src/virt/CMakeFiles/tracon_virt.dir/host_config.cpp.o: \
+ /root/repo/src/virt/host_config.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/virt/host_config.hpp

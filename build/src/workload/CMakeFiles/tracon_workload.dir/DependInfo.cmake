@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmarks.cpp" "src/workload/CMakeFiles/tracon_workload.dir/benchmarks.cpp.o" "gcc" "src/workload/CMakeFiles/tracon_workload.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/workload/mixes.cpp" "src/workload/CMakeFiles/tracon_workload.dir/mixes.cpp.o" "gcc" "src/workload/CMakeFiles/tracon_workload.dir/mixes.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/tracon_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/tracon_workload.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/virt/CMakeFiles/tracon_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tracon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

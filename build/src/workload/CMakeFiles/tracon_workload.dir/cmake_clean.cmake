@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracon_workload.dir/benchmarks.cpp.o"
+  "CMakeFiles/tracon_workload.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/tracon_workload.dir/mixes.cpp.o"
+  "CMakeFiles/tracon_workload.dir/mixes.cpp.o.d"
+  "CMakeFiles/tracon_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/tracon_workload.dir/synthetic.cpp.o.d"
+  "libtracon_workload.a"
+  "libtracon_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracon_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

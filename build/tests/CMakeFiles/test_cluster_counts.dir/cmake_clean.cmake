@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_counts.dir/test_cluster_counts.cpp.o"
+  "CMakeFiles/test_cluster_counts.dir/test_cluster_counts.cpp.o.d"
+  "test_cluster_counts"
+  "test_cluster_counts.pdb"
+  "test_cluster_counts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

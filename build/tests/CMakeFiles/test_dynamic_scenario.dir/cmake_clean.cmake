@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_scenario.dir/test_dynamic_scenario.cpp.o"
+  "CMakeFiles/test_dynamic_scenario.dir/test_dynamic_scenario.cpp.o.d"
+  "test_dynamic_scenario"
+  "test_dynamic_scenario.pdb"
+  "test_dynamic_scenario[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

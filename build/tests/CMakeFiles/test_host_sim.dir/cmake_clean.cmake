@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_sim.dir/test_host_sim.cpp.o"
+  "CMakeFiles/test_host_sim.dir/test_host_sim.cpp.o.d"
+  "test_host_sim"
+  "test_host_sim.pdb"
+  "test_host_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log_model.dir/test_log_model.cpp.o"
+  "CMakeFiles/test_log_model.dir/test_log_model.cpp.o.d"
+  "test_log_model"
+  "test_log_model.pdb"
+  "test_log_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

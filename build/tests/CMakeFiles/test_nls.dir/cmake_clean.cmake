@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nls.dir/test_nls.cpp.o"
+  "CMakeFiles/test_nls.dir/test_nls.cpp.o.d"
+  "test_nls"
+  "test_nls.pdb"
+  "test_nls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

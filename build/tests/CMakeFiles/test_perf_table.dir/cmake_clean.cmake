@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_table.dir/test_perf_table.cpp.o"
+  "CMakeFiles/test_perf_table.dir/test_perf_table.cpp.o.d"
+  "test_perf_table"
+  "test_perf_table.pdb"
+  "test_perf_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_scenario.dir/test_static_scenario.cpp.o"
+  "CMakeFiles/test_static_scenario.dir/test_static_scenario.cpp.o.d"
+  "test_static_scenario"
+  "test_static_scenario.pdb"
+  "test_static_scenario[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

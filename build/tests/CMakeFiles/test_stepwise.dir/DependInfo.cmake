@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_stepwise.cpp" "tests/CMakeFiles/test_stepwise.dir/test_stepwise.cpp.o" "gcc" "tests/CMakeFiles/test_stepwise.dir/test_stepwise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tracon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tracon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tracon_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/tracon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/tracon_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tracon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/tracon_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tracon_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tracon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stepwise.dir/test_stepwise.cpp.o"
+  "CMakeFiles/test_stepwise.dir/test_stepwise.cpp.o.d"
+  "test_stepwise"
+  "test_stepwise.pdb"
+  "test_stepwise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stepwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracon.dir/tracon_cli.cpp.o"
+  "CMakeFiles/tracon.dir/tracon_cli.cpp.o.d"
+  "tracon"
+  "tracon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
