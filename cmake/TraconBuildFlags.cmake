@@ -1,0 +1,38 @@
+# Central carrier for sanitizer and paranoid-mode build flags.
+#
+# Every compiled target (libraries, tools, tests, benches, examples)
+# links `tracon_build_flags`, so a single definition here propagates
+# through each module's CMakeLists.txt. Keeping the flags on an
+# INTERFACE target (rather than directory-scoped add_compile_options)
+# guarantees that a target added later cannot silently miss them: the
+# link edge is explicit in every build file.
+
+add_library(tracon_build_flags INTERFACE)
+
+if(TRACON_PARANOID)
+  # Compiles in TRACON_DCHECK / TRACON_CHECK_FINITE (see src/util/error.hpp).
+  target_compile_definitions(tracon_build_flags INTERFACE TRACON_PARANOID=1)
+endif()
+
+if(TRACON_SANITIZE)
+  set(_tracon_san_flags "")
+  foreach(_san IN LISTS TRACON_SANITIZE)
+    list(APPEND _tracon_san_flags "-fsanitize=${_san}")
+  endforeach()
+  # -fno-sanitize-recover makes UBSan findings fatal so CI cannot pass
+  # with a report in the log; frame pointers keep ASan traces symbolic.
+  target_compile_options(tracon_build_flags INTERFACE
+    ${_tracon_san_flags} -fno-omit-frame-pointer -fno-sanitize-recover=all)
+  target_link_options(tracon_build_flags INTERFACE ${_tracon_san_flags})
+endif()
+
+if(TRACON_CLANG_TIDY)
+  find_program(TRACON_CLANG_TIDY_EXE
+    NAMES clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16
+          clang-tidy-15 clang-tidy-14)
+  if(NOT TRACON_CLANG_TIDY_EXE)
+    message(WARNING
+      "TRACON_CLANG_TIDY=ON but no clang-tidy binary was found; "
+      "continuing without it")
+  endif()
+endif()

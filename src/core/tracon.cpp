@@ -21,7 +21,9 @@ std::string scheduler_kind_name(SchedulerKind kind) {
 Tracon::Tracon(TraconConfig cfg)
     : cfg_(cfg),
       profiler_(virt::HostSimulator(cfg.host), cfg.seed),
-      synthetic_(workload::synthetic_workloads(cfg.synthetic)) {}
+      synthetic_(workload::synthetic_workloads(cfg.synthetic)) {
+  TRACON_REQUIRE(cfg.host.num_cores > 0, "host must have at least one core");
+}
 
 void Tracon::register_applications(
     const std::vector<virt::AppBehavior>& apps) {

@@ -19,6 +19,10 @@ BatchOutcome mibs_batch(std::span<const QueuedTask> queue,
 
   auto place = [&](std::size_t pos,
                    const std::optional<std::size_t>& neighbour) {
+    TRACON_DCHECK(pos < queue.size(), "placement references a task outside "
+                                      "the batch window");
+    TRACON_DCHECK(state.has_slot(neighbour),
+                  "MIBS selected an infeasible placement slot");
     state.place(queue[pos].app, neighbour);
     out.placements.push_back({pos, neighbour});
     out.predicted_runtime +=

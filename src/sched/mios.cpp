@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "util/error.hpp"
+
 namespace tracon::sched {
 
 std::string objective_name(Objective o) {
@@ -78,6 +80,8 @@ std::vector<Placement> MiosScheduler::schedule(
     auto slot = mios_best_slot(queue[pos].app, state, predictor_, objective_,
                                policy_);
     if (!slot.has_value()) continue;  // no acceptable slot; task waits
+    TRACON_DCHECK(state.has_slot(*slot),
+                  "MIOS selected an infeasible placement slot");
     state.place(queue[pos].app, *slot);
     out.push_back({pos, *slot});
   }

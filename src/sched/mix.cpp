@@ -44,6 +44,14 @@ std::vector<Placement> MixScheduler::schedule(
 
     BatchOutcome outcome =
         mibs_batch(batch, order, cluster, predictor_, objective_, policy_);
+    TRACON_DCHECK(outcome.placements.size() <= window,
+                  "MIX batch placed more tasks than the window holds");
+    if constexpr (kParanoidChecksEnabled) {
+      for (const Placement& p : outcome.placements) {
+        TRACON_DCHECK(p.queue_pos < window,
+                      "MIX placement references a task outside the window");
+      }
+    }
     if (outcome.placements.empty()) continue;
     // Normalize by placements so rotations that place fewer tasks do not
     // look cheaper on the runtime objective.

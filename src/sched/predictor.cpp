@@ -19,6 +19,8 @@ double TablePredictor::predict_runtime(
   TRACON_REQUIRE(task < runtime_.rows(), "task class out of range");
   std::size_t col = neighbour.value_or(runtime_.rows());
   TRACON_REQUIRE(col < runtime_.cols(), "neighbour class out of range");
+  TRACON_CHECK_FINITE(runtime_(task, col), "predicted runtime");
+  TRACON_DCHECK(runtime_(task, col) >= 0.0, "negative predicted runtime");
   return runtime_(task, col);
 }
 
@@ -27,6 +29,8 @@ double TablePredictor::predict_iops(
   TRACON_REQUIRE(task < iops_.rows(), "task class out of range");
   std::size_t col = neighbour.value_or(iops_.rows());
   TRACON_REQUIRE(col < iops_.cols(), "neighbour class out of range");
+  TRACON_CHECK_FINITE(iops_(task, col), "predicted IOPS");
+  TRACON_DCHECK(iops_(task, col) >= 0.0, "negative predicted IOPS");
   return iops_(task, col);
 }
 
@@ -45,6 +49,10 @@ TablePredictor TablePredictor::from_models(
           b < n ? profiles[b] : monitor::AppProfile::idle();
       rt(t, b) = models[t].runtime->predict_pair(profiles[t], bg);
       io(t, b) = models[t].iops->predict_pair(profiles[t], bg);
+      TRACON_CHECK_FINITE(rt(t, b), "model-predicted runtime");
+      TRACON_CHECK_FINITE(io(t, b), "model-predicted IOPS");
+      TRACON_DCHECK(rt(t, b) >= 0.0 && io(t, b) >= 0.0,
+                    "models must clamp predictions at zero");
     }
   }
   return TablePredictor(std::move(rt), std::move(io));

@@ -11,8 +11,8 @@
 #include <vector>
 
 #include "sched/scheduler.hpp"
-#include "sim/trace.hpp"
 #include "sim/perf_table.hpp"
+#include "sim/trace.hpp"
 #include "workload/mixes.hpp"
 
 namespace tracon::sim {

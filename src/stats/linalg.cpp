@@ -17,10 +17,12 @@ Matrix cholesky_factor(const Matrix& a) {
     for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
     TRACON_REQUIRE(diag > 0.0, "matrix not positive definite");
     l(j, j) = std::sqrt(diag);
+    TRACON_CHECK_FINITE(l(j, j), "cholesky diagonal factor");
     for (std::size_t i = j + 1; i < n; ++i) {
       double s = a(i, j);
       for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
       l(i, j) = s / l(j, j);
+      TRACON_CHECK_FINITE(l(i, j), "cholesky subdiagonal factor");
     }
   }
   return l;
@@ -43,6 +45,7 @@ Vector cholesky_solve(const Matrix& a, std::span<const double> b) {
     double s = y[ii];
     for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
     x[ii] = s / l(ii, ii);
+    TRACON_CHECK_FINITE(x[ii], "cholesky solve component");
   }
   return x;
 }
@@ -97,6 +100,7 @@ Vector qr_least_squares(const Matrix& a, std::span<const double> b) {
     double d = r(ii, ii);
     TRACON_REQUIRE(std::abs(d) > 1e-13, "singular R in QR back substitution");
     x[ii] = s / d;
+    TRACON_CHECK_FINITE(x[ii], "QR least-squares coefficient");
   }
   return x;
 }
@@ -154,6 +158,7 @@ EigenResult jacobi_eigen(const Matrix& a, double tol, int max_sweeps) {
   res.vectors = Matrix(n, n);
   for (std::size_t c = 0; c < n; ++c) {
     res.values[c] = d(order[c], order[c]);
+    TRACON_CHECK_FINITE(res.values[c], "jacobi eigenvalue");
     for (std::size_t r = 0; r < n; ++r) res.vectors(r, c) = v(r, order[c]);
   }
   return res;

@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/error.hpp"
 
 namespace tracon::stats {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols)
-    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  TRACON_REQUIRE(cols == 0 ||
+                     rows <= std::numeric_limits<std::size_t>::max() / cols,
+                 "matrix dimensions overflow");
+}
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   rows_ = rows.size();

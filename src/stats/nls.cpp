@@ -73,6 +73,7 @@ NlsResult gauss_newton(const ResidualFunction& fn, Vector initial,
   Vector r(m);
   fn.eval(res.params, r);
   res.sse = dot(r, r);
+  TRACON_CHECK_FINITE(res.sse, "NLS initial residual sum of squares");
 
   double lambda = opts.initial_lambda;
 
@@ -114,7 +115,12 @@ NlsResult gauss_newton(const ResidualFunction& fn, Vector initial,
       Vector rt(m);
       fn.eval(trial, rt);
       double trial_sse = dot(rt, rt);
+      // A wild trial step may overflow the residual to Inf/NaN; the
+      // comparison below rejects it (NaN/Inf <= finite is false) and the
+      // damping retry absorbs it, so only accepted SSE values are checked.
       if (trial_sse <= res.sse) {
+        TRACON_CHECK_FINITE(trial_sse, "NLS accepted residual sum of squares");
+        TRACON_DCHECK(trial_sse >= 0.0, "NLS SSE must be non-negative");
         double step_norm = norm2(delta);
         res.params = std::move(trial);
         r = std::move(rt);

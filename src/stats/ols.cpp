@@ -34,7 +34,10 @@ OlsFit ols_fit(const Matrix& x, std::span<const double> y) {
   Vector yhat = x.multiply(fit.coefficients);
   fit.residuals = subtract(y, yhat);
   fit.sse = dot(fit.residuals, fit.residuals);
+  TRACON_CHECK_FINITE(fit.sse, "OLS residual sum of squares");
+  TRACON_DCHECK(fit.sse >= 0.0, "OLS SSE must be non-negative");
   fit.aic = gaussian_aic(fit.sse, fit.n, fit.k);
+  TRACON_CHECK_FINITE(fit.aic, "OLS AIC");
 
   // R^2 against the mean-only model.
   OnlineStats acc;

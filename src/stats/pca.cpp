@@ -50,9 +50,13 @@ Pca Pca::fit(const Matrix& x, std::size_t k, bool standardize) {
   p.components_ = Matrix(d, k);
   p.explained_.assign(k, 0.0);
   for (std::size_t c = 0; c < k; ++c) {
-    for (std::size_t r = 0; r < d; ++r)
+    for (std::size_t r = 0; r < d; ++r) {
       p.components_(r, c) = eig.vectors(r, c);
+      TRACON_CHECK_FINITE(p.components_(r, c), "PCA component loading");
+    }
     p.explained_[c] = std::max(eig.values[c], 0.0) / total;
+    TRACON_DCHECK(p.explained_[c] >= 0.0 && p.explained_[c] <= 1.0 + 1e-12,
+                  "explained variance ratio outside [0,1]");
   }
   return p;
 }

@@ -8,11 +8,15 @@
 namespace tracon {
 
 ArgParser::ArgParser(int argc, const char* const* argv) {
+  TRACON_REQUIRE(argc == 0 || argv != nullptr,
+                 "argv must be non-null when argc > 0");
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
   parse(args);
 }
 
+// Validation happens in parse(); an empty args vector is legitimate.
+// tracon-lint: allow(require-guard)
 ArgParser::ArgParser(const std::vector<std::string>& args) { parse(args); }
 
 void ArgParser::parse(const std::vector<std::string>& args) {

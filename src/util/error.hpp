@@ -5,8 +5,20 @@
 // names the failing expression and location. Simulation code is
 // exception-free on the hot path; checks guard construction and public
 // API boundaries.
+//
+// Two tiers exist:
+//   - TRACON_REQUIRE / TRACON_ASSERT are always compiled in and guard
+//     public API boundaries and cheap structural invariants.
+//   - TRACON_DCHECK / TRACON_CHECK_FINITE are the paranoid tier: deep
+//     per-step invariants (credit conservation, clock monotonicity,
+//     NaN/Inf poisoning after factorizations) that are too hot to pay
+//     for in release builds. They compile to nothing unless the build
+//     defines TRACON_PARANOID (cmake -DTRACON_PARANOID=ON); the
+//     condition is still type-checked in relaxed builds so paranoid
+//     breakage cannot bitrot silently.
 #pragma once
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -33,5 +45,55 @@ namespace tracon {
                              std::to_string(__LINE__));                   \
     }                                                                     \
   } while (false)
+
+#if defined(TRACON_PARANOID)
+
+/// Paranoid-tier invariant: behaves like TRACON_ASSERT when the build
+/// defines TRACON_PARANOID, compiles to nothing (but stays
+/// type-checked) otherwise. Use for per-step checks on hot paths.
+#define TRACON_DCHECK(cond, msg) TRACON_ASSERT(cond, msg)
+
+/// Paranoid-tier finiteness guard: throws std::logic_error if `value`
+/// is NaN or infinite. Use after factorizations, solves, and rate
+/// computations where a poisoned double would otherwise propagate into
+/// every downstream scheduling decision.
+#define TRACON_CHECK_FINITE(value, msg)                                      \
+  do {                                                                       \
+    const double tracon_cf_v_ = static_cast<double>(value);                  \
+    if (!std::isfinite(tracon_cf_v_)) {                                      \
+      throw std::logic_error(std::string("TRACON non-finite: ") + (msg) +    \
+                             " [" #value " = " +                             \
+                             std::to_string(tracon_cf_v_) + "] at "          \
+                             __FILE__ ":" + std::to_string(__LINE__));       \
+    }                                                                        \
+  } while (false)
+
+#else  // !TRACON_PARANOID
+
+#define TRACON_DCHECK(cond, msg)                                \
+  do {                                                          \
+    if (false) {                                                \
+      static_cast<void>(cond);                                  \
+      static_cast<void>(msg);                                   \
+    }                                                           \
+  } while (false)
+
+#define TRACON_CHECK_FINITE(value, msg)                         \
+  do {                                                          \
+    if (false) {                                                \
+      static_cast<void>(static_cast<double>(value));            \
+      static_cast<void>(msg);                                   \
+    }                                                           \
+  } while (false)
+
+#endif  // TRACON_PARANOID
+
+/// True when the paranoid tier is compiled in; lets tests and tools
+/// branch on the active mode without touching the preprocessor.
+#if defined(TRACON_PARANOID)
+inline constexpr bool kParanoidChecksEnabled = true;
+#else
+inline constexpr bool kParanoidChecksEnabled = false;
+#endif
 
 }  // namespace tracon

@@ -18,7 +18,7 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
 
 double Rng::normal(double mean, double stddev) {
   TRACON_REQUIRE(stddev >= 0.0, "normal stddev must be non-negative");
-  if (stddev == 0.0) return mean;
+  if (stddev <= 0.0) return mean;
   return std::normal_distribution<double>(mean, stddev)(engine_);
 }
 
@@ -29,7 +29,7 @@ double Rng::exponential(double rate) {
 
 double Rng::lognormal_noise(double sigma) {
   TRACON_REQUIRE(sigma >= 0.0, "lognormal sigma must be non-negative");
-  if (sigma == 0.0) return 1.0;
+  if (sigma <= 0.0) return 1.0;
   return std::exp(normal(0.0, sigma));
 }
 

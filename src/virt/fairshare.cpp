@@ -35,6 +35,19 @@ std::vector<double> waterfill(const std::vector<double>& demands,
     remaining -= granted;
     --left;
   }
+
+  if constexpr (kParanoidChecksEnabled) {
+    // Conservation: grants never exceed capacity, and no consumer is
+    // granted more than it asked for.
+    double granted_total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      TRACON_DCHECK(alloc[i] >= 0.0 && alloc[i] <= demands[i] + 1e-9,
+                    "waterfill grant exceeds demand");
+      granted_total += alloc[i];
+    }
+    TRACON_DCHECK(granted_total <= capacity + 1e-9 * std::max(1.0, capacity),
+                  "waterfill grants exceed capacity");
+  }
   return alloc;
 }
 
@@ -207,6 +220,25 @@ HostAllocation solve_speeds(const HostConfig& cfg,
   }
   result.dom0_cpu_total = dom0_total;
   result.disk_utilization = std::min(1.0, disk_busy / kDiskMsPerSec);
+
+  if constexpr (kParanoidChecksEnabled) {
+    // CPU-credit conservation: guest grants plus the Dom0 I/O handler
+    // can never exceed the host's physical cores. The speeds that fed
+    // cpu_used/dom0_cpu all came from waterfill shares of `cores`.
+    double cpu_granted = 0.0;
+    for (const VmAllocation& a : result.vms) {
+      TRACON_CHECK_FINITE(a.speed, "VM progress speed");
+      TRACON_DCHECK(a.speed >= 0.0 && a.speed <= 1.0,
+                    "VM speed outside [0,1]");
+      TRACON_DCHECK(a.iops >= 0.0, "negative achieved IOPS");
+      TRACON_DCHECK(a.disk_ms >= 0.0, "negative disk time");
+      TRACON_DCHECK(a.cpu_used >= 0.0 && a.dom0_cpu >= 0.0,
+                    "negative CPU grant");
+      cpu_granted += a.cpu_used;
+    }
+    TRACON_DCHECK(cpu_granted + result.dom0_cpu_total <= cores + 1e-6,
+                  "CPU credits exceed physical cores");
+  }
   return result;
 }
 

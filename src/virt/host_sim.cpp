@@ -104,6 +104,19 @@ RunResult HostSimulator::run(const std::vector<std::optional<VmWorkload>>& vms,
     if (demands.empty()) break;  // nothing left to simulate
 
     HostAllocation alloc = solve_speeds(cfg_, demands);
+    if constexpr (kParanoidChecksEnabled) {
+      // Credit conservation at every scheduler decision: guest CPU plus
+      // Dom0 I/O handling fits in the host's cores, and the disk is
+      // never more than 100% busy.
+      double cpu_sum = 0.0;
+      for (const VmAllocation& a : alloc.vms) cpu_sum += a.cpu_used;
+      TRACON_DCHECK(cpu_sum + alloc.dom0_cpu_total <=
+                        static_cast<double>(cfg_.num_cores) + 1e-6,
+                    "CPU credits exceed host cores at a scheduling step");
+      TRACON_DCHECK(alloc.disk_utilization >= 0.0 &&
+                        alloc.disk_utilization <= 1.0,
+                    "disk utilization outside [0,1]");
+    }
 
     // Horizon: completion, burst boundary, monitor tick, or max time.
     double dt = opts.max_time_s - now;
@@ -119,6 +132,8 @@ RunResult HostSimulator::run(const std::vector<std::optional<VmWorkload>>& vms,
       dt = std::min(dt, s.time_to_phase_boundary(now));
     }
     dt = std::max(dt, kMinDt);
+
+    TRACON_DCHECK(dt >= kMinDt, "simulation step collapsed below kMinDt");
 
     // Advance all active VMs by dt at the solved speeds.
     for (std::size_t i = 0; i < demands.size(); ++i) {
@@ -137,8 +152,16 @@ RunResult HostSimulator::run(const std::vector<std::optional<VmWorkload>>& vms,
       s.tick_dom0 += a.dom0_cpu * dt;
       s.tick_reads += read_rate * dt;
       s.tick_writes += write_rate * dt;
+      TRACON_CHECK_FINITE(s.progress, "VM progress fraction");
+      TRACON_DCHECK(s.progress >= 0.0, "VM progress went negative");
+      TRACON_DCHECK(s.int_cpu >= 0.0 && s.int_dom0 >= 0.0 &&
+                        s.int_reads >= 0.0 && s.int_writes >= 0.0,
+                    "negative resource integral");
     }
+    const double before = now;
     now += dt;
+    TRACON_DCHECK(now > before, "simulated clock failed to advance");
+    static_cast<void>(before);
 
     // Monitor tick: emit one sample per present VM.
     if (now >= next_tick - kEps) {
@@ -158,6 +181,9 @@ RunResult HostSimulator::run(const std::vector<std::optional<VmWorkload>>& vms,
               s.tick_cpu / period * noise.lognormal_noise(cfg_.noise_sigma);
           ms.dom0_cpu =
               s.tick_dom0 / period * noise.lognormal_noise(cfg_.noise_sigma);
+          TRACON_DCHECK(ms.reads_per_s >= 0.0 && ms.writes_per_s >= 0.0 &&
+                            ms.domu_cpu >= 0.0 && ms.dom0_cpu >= 0.0,
+                        "negative monitor sample");
           result.samples.push_back(ms);
         }
       }
@@ -201,6 +227,9 @@ RunResult HostSimulator::run(const std::vector<std::optional<VmWorkload>>& vms,
     out.iops = out.reads_per_s + out.writes_per_s;
     out.avg_domu_cpu = s.int_cpu / window;
     out.avg_dom0_cpu = s.int_dom0 / window;
+    TRACON_CHECK_FINITE(out.runtime_s, "measured runtime");
+    TRACON_DCHECK(out.runtime_s >= 0.0 && out.iops >= 0.0,
+                  "negative measured runtime or IOPS");
   }
   return result;
 }

@@ -1,0 +1,131 @@
+// Tests for the always-on check tier (TRACON_REQUIRE / TRACON_ASSERT)
+// and the paranoid tier with TRACON_PARANOID force-enabled for this
+// translation unit. tests/test_error_relaxed.cpp covers the same
+// macros with the paranoid tier force-disabled; together they pin the
+// on/off contract independently of how the build was configured.
+#ifndef TRACON_PARANOID
+#define TRACON_PARANOID 1
+#endif
+
+#include "util/error.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+std::string message_of(const std::exception& e) { return e.what(); }
+
+TEST(Require, NoThrowOnSuccess) {
+  EXPECT_NO_THROW(TRACON_REQUIRE(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(Require, ThrowsInvalidArgument) {
+  EXPECT_THROW(TRACON_REQUIRE(false, "nope"), std::invalid_argument);
+}
+
+TEST(Require, MessageNamesExpressionAndLocation) {
+  try {
+    TRACON_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string msg = message_of(e);
+    EXPECT_NE(msg.find("TRACON precondition:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("two is not less than one"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2 < 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("test_error.cpp"), std::string::npos) << msg;
+  }
+}
+
+TEST(Require, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto probe = [&calls]() {
+    ++calls;
+    return true;
+  };
+  TRACON_REQUIRE(probe(), "probe");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Assert, ThrowsLogicError) {
+  EXPECT_THROW(TRACON_ASSERT(false, "broken invariant"), std::logic_error);
+  EXPECT_NO_THROW(TRACON_ASSERT(true, "fine"));
+}
+
+TEST(Assert, MessagePrefix) {
+  try {
+    TRACON_ASSERT(0 > 1, "zero above one");
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    std::string msg = message_of(e);
+    EXPECT_NE(msg.find("TRACON invariant:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("zero above one"), std::string::npos) << msg;
+  }
+}
+
+TEST(DcheckParanoid, TierIsCompiledIn) {
+  EXPECT_TRUE(tracon::kParanoidChecksEnabled);
+}
+
+TEST(DcheckParanoid, ThrowsLikeAssert) {
+  EXPECT_THROW(TRACON_DCHECK(false, "deep invariant"), std::logic_error);
+  EXPECT_NO_THROW(TRACON_DCHECK(true, "fine"));
+}
+
+TEST(DcheckParanoid, MessageContents) {
+  try {
+    TRACON_DCHECK(1 == 3, "one is not three");
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    std::string msg = message_of(e);
+    EXPECT_NE(msg.find("TRACON invariant:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("one is not three"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("1 == 3"), std::string::npos) << msg;
+  }
+}
+
+TEST(CheckFiniteParanoid, NoThrowOnFiniteValues) {
+  EXPECT_NO_THROW(TRACON_CHECK_FINITE(0.0, "zero"));
+  EXPECT_NO_THROW(TRACON_CHECK_FINITE(-1.5e300, "large but finite"));
+}
+
+TEST(CheckFiniteParanoid, ThrowsOnNaN) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(TRACON_CHECK_FINITE(nan, "poisoned"), std::logic_error);
+}
+
+TEST(CheckFiniteParanoid, ThrowsOnInfinity) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(TRACON_CHECK_FINITE(inf, "diverged"), std::logic_error);
+  EXPECT_THROW(TRACON_CHECK_FINITE(-inf, "diverged down"), std::logic_error);
+}
+
+TEST(CheckFiniteParanoid, MessageNamesValueAndExpression) {
+  const double bad = std::numeric_limits<double>::quiet_NaN();
+  try {
+    TRACON_CHECK_FINITE(bad * 2.0, "scaled poison");
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    std::string msg = message_of(e);
+    EXPECT_NE(msg.find("TRACON non-finite:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("scaled poison"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bad * 2.0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("nan"), std::string::npos) << msg;
+  }
+}
+
+TEST(CheckFiniteParanoid, ValueEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto probe = [&calls]() {
+    ++calls;
+    return 1.0;
+  };
+  TRACON_CHECK_FINITE(probe(), "probe");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace

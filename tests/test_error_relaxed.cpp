@@ -1,0 +1,60 @@
+// Paranoid tier force-DISABLED for this translation unit: the deep
+// checks must compile away to nothing (no throw, no evaluation of the
+// condition) while the always-on tier keeps working. Compiled into the
+// same test binary as test_error.cpp, which force-enables the tier —
+// the two TUs together pin both sides of the contract in one build.
+#ifdef TRACON_PARANOID
+#undef TRACON_PARANOID
+#endif
+
+#include "util/error.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(DcheckRelaxed, TierIsCompiledOut) {
+  EXPECT_FALSE(tracon::kParanoidChecksEnabled);
+}
+
+TEST(DcheckRelaxed, NeverThrows) {
+  EXPECT_NO_THROW(TRACON_DCHECK(false, "would fire under paranoid"));
+  EXPECT_NO_THROW(TRACON_DCHECK(true, "fine either way"));
+}
+
+TEST(DcheckRelaxed, ConditionNotEvaluated) {
+  int calls = 0;
+  auto probe = [&calls]() {
+    ++calls;
+    return false;
+  };
+  TRACON_DCHECK(probe(), "must not run");
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(CheckFiniteRelaxed, NeverThrows) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_NO_THROW(TRACON_CHECK_FINITE(nan, "ignored"));
+  EXPECT_NO_THROW(TRACON_CHECK_FINITE(inf, "ignored"));
+}
+
+TEST(CheckFiniteRelaxed, ValueNotEvaluated) {
+  int calls = 0;
+  auto probe = [&calls]() {
+    ++calls;
+    return std::numeric_limits<double>::quiet_NaN();
+  };
+  TRACON_CHECK_FINITE(probe(), "must not run");
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(RequireRelaxed, StillActiveWithoutParanoid) {
+  EXPECT_THROW(TRACON_REQUIRE(false, "always on"), std::invalid_argument);
+  EXPECT_THROW(TRACON_ASSERT(false, "always on"), std::logic_error);
+}
+
+}  // namespace

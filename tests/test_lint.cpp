@@ -1,0 +1,187 @@
+// Unit tests for the tracon_lint rule engine: every rule must catch a
+// deliberately seeded violation and must stay quiet on conforming
+// code, comments, strings, and suppressed lines.
+#include "lint/lint_rules.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using tracon::lint::Finding;
+using tracon::lint::lint_content;
+using tracon::lint::strip_comments_and_strings;
+
+std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(Strip, RemovesCommentsAndStringsKeepsLines) {
+  std::string s = strip_comments_and_strings(
+      "int a; // rand()\n\"time(\"; /* clock(\n) */ int b;\n");
+  EXPECT_EQ(s.find("rand"), std::string::npos);
+  EXPECT_EQ(s.find("time"), std::string::npos);
+  EXPECT_EQ(s.find("clock"), std::string::npos);
+  EXPECT_NE(s.find("int a;"), std::string::npos);
+  EXPECT_NE(s.find("int b;"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+}
+
+TEST(Determinism, CatchesRandAndClocks) {
+  auto findings = lint_content(
+      "src/sim/bad.cpp",
+      "#include \"sim/bad.hpp\"\n\nvoid f() {\n  int x = rand();\n"
+      "  auto t = std::chrono::steady_clock::now();\n"
+      "  std::random_device rd;\n}\n");
+  std::vector<std::string> rules = rules_of(findings);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "determinism"), 3);
+}
+
+TEST(Determinism, OnlyFiresInSimVirtSched) {
+  const std::string body =
+      "#include \"util/bad.hpp\"\n\nint f() { return rand(); }\n";
+  EXPECT_TRUE(has_rule(lint_content("src/virt/bad.cpp", body), "determinism"));
+  EXPECT_TRUE(has_rule(lint_content("src/sched/bad.cpp", body), "determinism"));
+  EXPECT_FALSE(has_rule(lint_content("src/util/bad.cpp", body), "determinism"));
+}
+
+TEST(Determinism, IgnoresCommentsStringsAndSimilarNames) {
+  auto findings = lint_content(
+      "src/sim/ok.cpp",
+      "#include \"sim/ok.hpp\"\n\n// calls time() hourly\n"
+      "const char* kLabel = \"rand()\";\n"
+      "double predict_runtime(double solo_runtime_s);\n");
+  EXPECT_FALSE(has_rule(findings, "determinism"));
+}
+
+TEST(FloatEq, CatchesLiteralComparisonsBothSides) {
+  auto findings = lint_content(
+      "src/virt/bad.cpp",
+      "#include \"virt/bad.hpp\"\n\nbool f(double x) {\n"
+      "  if (x == 0.0) return true;\n  return 1.5 != x;\n}\n");
+  std::vector<std::string> rules = rules_of(findings);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "float-eq"), 2);
+}
+
+TEST(FloatEq, AllowsIntegerComparisonsAndStatsCode) {
+  EXPECT_FALSE(has_rule(
+      lint_content("src/virt/ok.cpp",
+                   "#include \"virt/ok.hpp\"\n\nbool f(int x) "
+                   "{ return x == 0 || x != 10; }\n"),
+      "float-eq"));
+  EXPECT_FALSE(has_rule(
+      lint_content("src/stats/kernel.cpp",
+                   "#include \"stats/kernel.hpp\"\n\nbool f(double x) "
+                   "{ return x == 0.0; }\n"),
+      "float-eq"));
+}
+
+TEST(Iostream, CatchesIncludeAndStreamUse) {
+  auto findings = lint_content(
+      "src/model/bad.cpp",
+      "#include \"model/bad.hpp\"\n\n#include <iostream>\n\n"
+      "void f() { std::cout << 1; }\n");
+  std::vector<std::string> rules = rules_of(findings);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "iostream"), 2);
+}
+
+TEST(Iostream, LoggerItselfIsExempt) {
+  EXPECT_FALSE(has_rule(
+      lint_content("src/util/log.cpp",
+                   "#include \"util/log.hpp\"\n\n#include <iostream>\n"),
+      "iostream"));
+}
+
+TEST(PragmaOnce, MissingGuardIsFlagged) {
+  EXPECT_TRUE(has_rule(
+      lint_content("src/sim/bad.hpp", "#include <vector>\nint f();\n"),
+      "pragma-once"));
+  EXPECT_FALSE(has_rule(
+      lint_content("src/sim/ok.hpp",
+                   "// A comment first is fine.\n#pragma once\nint f();\n"),
+      "pragma-once"));
+}
+
+TEST(IncludeOrder, OwnHeaderMustComeFirst) {
+  auto findings = lint_content(
+      "src/sim/thing.cpp",
+      "#include <vector>\n\n#include \"sim/thing.hpp\"\n\nint f();\n");
+  EXPECT_TRUE(has_rule(findings, "include-order"));
+}
+
+TEST(IncludeOrder, SystemBeforeProjectAndSorted) {
+  EXPECT_TRUE(has_rule(
+      lint_content("src/sim/a.cpp",
+                   "#include \"sim/a.hpp\"\n\n#include \"util/log.hpp\"\n"
+                   "#include <vector>\n"),
+      "include-order"));
+  EXPECT_TRUE(has_rule(
+      lint_content("src/sim/b.cpp",
+                   "#include \"sim/b.hpp\"\n\n#include <vector>\n"
+                   "#include <algorithm>\n"),
+      "include-order"));
+  EXPECT_FALSE(has_rule(
+      lint_content("src/sim/c.cpp",
+                   "#include \"sim/c.hpp\"\n\n#include <algorithm>\n"
+                   "#include <vector>\n\n#include \"util/error.hpp\"\n"
+                   "#include \"util/log.hpp\"\n"),
+      "include-order"));
+}
+
+TEST(RequireGuard, UnguardedConstructorIsFlagged) {
+  auto findings = lint_content(
+      "src/sched/widget.cpp",
+      "#include \"sched/widget.hpp\"\n\nnamespace tracon {\n"
+      "Widget::Widget(int n) : n_(n) {}\n}\n");
+  EXPECT_TRUE(has_rule(findings, "require-guard"));
+}
+
+TEST(RequireGuard, GuardedDefaultedAndZeroArgPass) {
+  const std::string ok =
+      "#include \"sched/widget.hpp\"\n\nnamespace tracon {\n"
+      "Widget::Widget(int n) : n_(n) {\n"
+      "  TRACON_REQUIRE(n > 0, \"n must be positive\");\n}\n"
+      "Gadget::Gadget() {}\n"
+      "Sprocket::Sprocket(const Sprocket&) = default;\n}\n";
+  EXPECT_FALSE(has_rule(lint_content("src/sched/widget.cpp", ok),
+                        "require-guard"));
+}
+
+TEST(Suppression, LineAndFileTagsSilenceFindings) {
+  EXPECT_FALSE(has_rule(
+      lint_content("src/sim/sup.cpp",
+                   "#include \"sim/sup.hpp\"\n\n"
+                   "// seeded entropy is fine here: tracon-lint: "
+                   "allow(determinism)\nint x = rand();\n"),
+      "determinism"));
+  EXPECT_FALSE(has_rule(
+      lint_content("src/sim/supfile.cpp",
+                   "#include \"sim/supfile.hpp\"\n\n"
+                   "// tracon-lint: allow-file(determinism)\n"
+                   "int x = rand();\nint y = rand();\n"),
+      "determinism"));
+}
+
+TEST(Scope, NonSourceFilesAndNonSrcPathsAreIgnored) {
+  EXPECT_TRUE(lint_content("tools/lint/x.cpp", "int x = rand();\n").empty());
+  EXPECT_TRUE(lint_content("src/sim/notes.md", "rand()\n").empty());
+}
+
+TEST(Findings, FormatIsCompilerStyle) {
+  Finding f{"src/sim/bad.cpp", 4, "determinism", "no clocks"};
+  EXPECT_EQ(tracon::lint::format(f),
+            "src/sim/bad.cpp:4: [determinism] no clocks");
+}
+
+}  // namespace

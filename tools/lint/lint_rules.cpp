@@ -1,0 +1,442 @@
+#include "lint/lint_rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace tracon::lint {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+/// True when the finding at 1-based `line` is suppressed by an allow
+/// tag on the same or the preceding original-source line, or by a
+/// file-level tag.
+class Suppressions {
+ public:
+  Suppressions(const std::string& original, const std::string& rel_path)
+      : lines_(split_lines(original)), rel_path_(rel_path) {}
+
+  bool allows(const std::string& rule, std::size_t line) const {
+    const std::string file_tag = "tracon-lint: allow-file(" + rule + ")";
+    for (const std::string& l : lines_) {
+      if (l.find(file_tag) != std::string::npos) return true;
+    }
+    const std::string tag = "tracon-lint: allow(" + rule + ")";
+    for (std::size_t n : {line, line - 1}) {
+      if (n >= 1 && n <= lines_.size() &&
+          lines_[n - 1].find(tag) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const std::string& rel_path() const { return rel_path_; }
+
+ private:
+  std::vector<std::string> lines_;
+  std::string rel_path_;
+};
+
+void scan_lines(const std::string& stripped, const std::regex& re,
+                const Suppressions& sup, const std::string& rule,
+                const std::string& message, std::vector<Finding>* out) {
+  std::vector<std::string> lines = split_lines(stripped);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!std::regex_search(lines[i], re)) continue;
+    if (sup.allows(rule, i + 1)) continue;
+    out->push_back({sup.rel_path(), i + 1, rule, message});
+  }
+}
+
+// --- determinism -----------------------------------------------------------
+
+const std::regex& determinism_regex() {
+  static const std::regex re(
+      R"(\b(rand|srand|drand48|lrand48|random)\s*\()"
+      R"(|std\s*::\s*random_device|\brandom_device\b)"
+      R"(|\b(time|clock)\s*\()"
+      R"(|gettimeofday|clock_gettime|localtime|\bgmtime\b)"
+      R"(|system_clock|steady_clock|high_resolution_clock)");
+  return re;
+}
+
+void check_determinism(const std::string& stripped, const Suppressions& sup,
+                       std::vector<Finding>* out) {
+  scan_lines(stripped, determinism_regex(), sup, "determinism",
+             "global RNG / wall-clock call in simulation code; thread a "
+             "seeded tracon::Rng or simulated time through instead",
+             out);
+}
+
+// --- float-eq --------------------------------------------------------------
+
+const std::regex& float_eq_regex() {
+  // A floating-point literal on either side of ==/!=. Integer literals
+  // (slot counts, iteration indices) are fine; anything with a decimal
+  // point or exponent is not.
+  static const std::regex re(
+      R"((==|!=)\s*[-+]?(\d+\.\d*|\.\d+|\d+[eE][-+]?\d+)([eE][-+]?\d+)?f?)"
+      R"(|[-+]?(\d+\.\d*|\.\d+|\d+[eE][-+]?\d+)([eE][-+]?\d+)?f?\s*(==|!=))");
+  return re;
+}
+
+void check_float_eq(const std::string& stripped, const Suppressions& sup,
+                    std::vector<Finding>* out) {
+  scan_lines(stripped, float_eq_regex(), sup, "float-eq",
+             "raw ==/!= against a floating-point literal; compare against "
+             "a tolerance or restructure the branch",
+             out);
+}
+
+// --- iostream --------------------------------------------------------------
+
+const std::regex& iostream_regex() {
+  static const std::regex re(
+      R"(#\s*include\s*<iostream>|std\s*::\s*(cout|cerr|cin)\b)");
+  return re;
+}
+
+void check_iostream(const std::string& stripped, const Suppressions& sup,
+                    std::vector<Finding>* out) {
+  scan_lines(stripped, iostream_regex(), sup, "iostream",
+             "library code must log through util/log, not iostream", out);
+}
+
+// --- pragma-once -----------------------------------------------------------
+
+void check_pragma_once(const std::string& stripped, const Suppressions& sup,
+                       std::vector<Finding>* out) {
+  std::vector<std::string> lines = split_lines(stripped);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string l = lines[i];
+    l.erase(0, l.find_first_not_of(" \t"));
+    while (!l.empty() && (l.back() == ' ' || l.back() == '\t' ||
+                          l.back() == '\r')) {
+      l.pop_back();
+    }
+    if (l.empty()) continue;
+    if (l == "#pragma once") return;
+    if (!sup.allows("pragma-once", i + 1)) {
+      out->push_back({sup.rel_path(), i + 1, "pragma-once",
+                      "header must open with #pragma once"});
+    }
+    return;
+  }
+}
+
+// --- include-order ---------------------------------------------------------
+
+struct Include {
+  std::size_t line = 0;  // 1-based
+  bool system = false;   // <...> vs "..."
+  std::string path;
+};
+
+std::vector<Include> parse_includes(const std::string& original,
+                                    const std::string& stripped) {
+  // The directive is confirmed against the stripped text (so a comment
+  // mentioning #include never counts), but the path is read from the
+  // original line: quoted paths are string literals the stripper blanks.
+  static const std::regex re(R"(^\s*#\s*include\s*([<"])([^">]+)[">])");
+  static const std::regex directive_re(R"(^\s*#\s*include\b)");
+  std::vector<Include> incs;
+  std::vector<std::string> orig_lines = split_lines(original);
+  std::vector<std::string> strip_lines = split_lines(stripped);
+  for (std::size_t i = 0; i < orig_lines.size(); ++i) {
+    if (i >= strip_lines.size() ||
+        !std::regex_search(strip_lines[i], directive_re)) {
+      continue;
+    }
+    std::smatch m;
+    if (std::regex_search(orig_lines[i], m, re)) {
+      incs.push_back({i + 1, m[1].str() == "<", m[2].str()});
+    }
+  }
+  return incs;
+}
+
+void check_include_order(const std::string& rel_path,
+                         const std::string& original,
+                         const std::string& stripped, const Suppressions& sup,
+                         std::vector<Finding>* out) {
+  std::vector<Include> incs = parse_includes(original, stripped);
+  if (incs.empty()) return;
+
+  auto report = [&](const Include& inc, const std::string& msg) {
+    if (!sup.allows("include-order", inc.line)) {
+      out->push_back({rel_path, inc.line, "include-order", msg});
+    }
+  };
+
+  std::size_t first = 0;
+  if (ends_with(rel_path, ".cpp") && starts_with(rel_path, "src/")) {
+    // src/<module>/<stem>.cpp pairs with "<module>/<stem>.hpp".
+    std::string own = rel_path.substr(4);
+    own.replace(own.size() - 4, 4, ".hpp");
+    for (const Include& inc : incs) {
+      if (!inc.system && inc.path == own && &inc != &incs[0]) {
+        report(incs[0], "own header \"" + own + "\" must be included first");
+        break;
+      }
+    }
+    if (!incs[0].system && incs[0].path == own) first = 1;
+  }
+
+  bool seen_project = false;
+  std::string prev_system, prev_project;
+  for (std::size_t i = first; i < incs.size(); ++i) {
+    const Include& inc = incs[i];
+    if (inc.system) {
+      if (seen_project) {
+        report(inc, "system include <" + inc.path +
+                        "> after project includes; keep <...> first");
+      } else if (!prev_system.empty() && inc.path < prev_system) {
+        report(inc, "system includes not in alphabetical order (<" +
+                        inc.path + "> after <" + prev_system + ">)");
+      }
+      prev_system = inc.path;
+    } else {
+      if (!prev_project.empty() && inc.path < prev_project) {
+        report(inc, "project includes not in alphabetical order (\"" +
+                        inc.path + "\" after \"" + prev_project + "\")");
+      }
+      seen_project = true;
+      prev_project = inc.path;
+    }
+  }
+}
+
+// --- require-guard ---------------------------------------------------------
+
+/// Finds out-of-line constructor definitions `X::X(args...)` with a
+/// non-empty argument list and requires TRACON_REQUIRE in the body.
+void check_require_guard(const std::string& stripped, const Suppressions& sup,
+                         std::vector<Finding>* out) {
+  static const std::regex ctor_re(R"(([A-Za-z_]\w*)\s*::\s*\1\s*\()");
+
+  auto line_of = [&](std::size_t pos) {
+    return static_cast<std::size_t>(
+               std::count(stripped.begin(),
+                          stripped.begin() + static_cast<std::ptrdiff_t>(pos),
+                          '\n')) +
+           1;
+  };
+
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(),
+                                      ctor_re);
+       it != std::sregex_iterator(); ++it) {
+    std::size_t open = static_cast<std::size_t>(it->position()) +
+                       static_cast<std::size_t>(it->length()) - 1;
+    // Match the parameter list's closing paren.
+    int depth = 0;
+    std::size_t close = open;
+    for (; close < stripped.size(); ++close) {
+      if (stripped[close] == '(') ++depth;
+      if (stripped[close] == ')' && --depth == 0) break;
+    }
+    if (close >= stripped.size()) continue;
+
+    std::string params = stripped.substr(open + 1, close - open - 1);
+    bool has_params = params.find_first_not_of(" \t\n\r") != std::string::npos;
+    if (!has_params || params == "void") continue;
+
+    // Locate the body: first '{' at paren depth zero. `= default`,
+    // `= delete`, and plain declarations (next ';') have no body.
+    std::size_t body = std::string::npos;
+    depth = 0;
+    for (std::size_t p = close + 1; p < stripped.size(); ++p) {
+      char c = stripped[p];
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (depth == 0 && (c == ';' || c == '=')) break;
+      if (depth == 0 && c == '{') {
+        body = p;
+        break;
+      }
+    }
+    if (body == std::string::npos) continue;
+
+    // Scan the balanced body for TRACON_REQUIRE.
+    depth = 0;
+    std::size_t end = body;
+    for (; end < stripped.size(); ++end) {
+      if (stripped[end] == '{') ++depth;
+      if (stripped[end] == '}' && --depth == 0) break;
+    }
+    std::string body_text = stripped.substr(body, end - body + 1);
+    if (body_text.find("TRACON_REQUIRE") != std::string::npos) continue;
+
+    std::size_t line = line_of(static_cast<std::size_t>(it->position()));
+    if (sup.allows("require-guard", line)) continue;
+    out->push_back(
+        {sup.rel_path(), line, "require-guard",
+         "constructor " + (*it)[1].str() +
+             " takes arguments but never validates them with TRACON_REQUIRE"});
+  }
+}
+
+}  // namespace
+
+std::string strip_comments_and_strings(const std::string& src) {
+  std::string out;
+  out.reserve(src.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    char c = src[i];
+    char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          out += c;
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += c;
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> lint_content(const std::string& rel_path,
+                                  const std::string& content) {
+  std::vector<Finding> out;
+  if (!starts_with(rel_path, "src/")) return out;
+  const bool is_header = ends_with(rel_path, ".hpp");
+  const bool is_source = ends_with(rel_path, ".cpp");
+  if (!is_header && !is_source) return out;
+
+  const std::string stripped = strip_comments_and_strings(content);
+  const Suppressions sup(content, rel_path);
+
+  if (starts_with(rel_path, "src/sim/") || starts_with(rel_path, "src/virt/") ||
+      starts_with(rel_path, "src/sched/")) {
+    check_determinism(stripped, sup, &out);
+  }
+  if (!starts_with(rel_path, "src/stats/")) {
+    check_float_eq(stripped, sup, &out);
+  }
+  if (rel_path != "src/util/log.cpp" && rel_path != "src/util/log.hpp") {
+    check_iostream(stripped, sup, &out);
+  }
+  if (is_header) {
+    check_pragma_once(stripped, sup, &out);
+  }
+  check_include_order(rel_path, content, stripped, sup, &out);
+  if (is_source) {
+    check_require_guard(stripped, sup, &out);
+  }
+  return out;
+}
+
+std::vector<Finding> lint_tree(const std::filesystem::path& root) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> out;
+  const fs::path src = root / "src";
+  if (!fs::is_directory(src)) {
+    out.push_back({src.string(), 0, "setup", "no src/ directory under root"});
+    return out;
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string rel =
+        fs::relative(file, root).generic_string();
+    std::vector<Finding> found = lint_content(rel, buf.str());
+    out.insert(out.end(), found.begin(), found.end());
+  }
+  return out;
+}
+
+std::string format(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+         f.message;
+}
+
+}  // namespace tracon::lint

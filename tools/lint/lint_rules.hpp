@@ -1,0 +1,54 @@
+// Project-specific lint rules for the TRACON source tree.
+//
+// These encode conventions no generic tool knows about:
+//
+//   determinism    src/sim, src/virt, src/sched must not call the
+//                  global RNG or any wall clock — every simulated run
+//                  must replay bit-identically from its seed.
+//   float-eq       raw ==/!= against floating-point literals outside
+//                  src/stats (numeric kernels own their exact-zero
+//                  checks and test tolerances).
+//   iostream       library code logs through util/log, never iostream.
+//   pragma-once    every header opens with #pragma once.
+//   include-order  a .cpp includes its own header first, then system
+//                  headers, then project headers, each block sorted.
+//   require-guard  out-of-line constructors taking arguments validate
+//                  them with TRACON_REQUIRE (or carry an allow tag).
+//
+// A finding on line N is suppressed when line N or N-1 of the original
+// source contains `tracon-lint: allow(<rule>)`; a whole file opts out
+// of one rule with `tracon-lint: allow-file(<rule>)` anywhere in it.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace tracon::lint {
+
+struct Finding {
+  std::string file;  // path relative to the scanned root, POSIX separators
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Replaces comment bodies and string/char literal contents with
+/// spaces, preserving line structure, so rules never fire on prose.
+std::string strip_comments_and_strings(const std::string& src);
+
+/// Lints `content` as if it lived at `rel_path` (POSIX separators,
+/// e.g. "src/sim/trace.cpp") under the repository root. Exposed
+/// separately from lint_tree so tests can seed violations in memory.
+std::vector<Finding> lint_content(const std::string& rel_path,
+                                  const std::string& content);
+
+/// Walks `root`/src and lints every .hpp/.cpp file, in sorted path
+/// order so output is stable across platforms.
+std::vector<Finding> lint_tree(const std::filesystem::path& root);
+
+/// "file:line: [rule] message" — matches compiler diagnostics so
+/// editors can jump to the offending line.
+std::string format(const Finding& f);
+
+}  // namespace tracon::lint

@@ -1,0 +1,53 @@
+// tracon_lint: project-specific convention checker.
+//
+// Usage: tracon_lint [REPO_ROOT]
+//
+// Scans REPO_ROOT/src (default: the current directory) with the rules
+// in lint_rules.hpp and prints one compiler-style diagnostic per
+// violation. Exit status is 0 when clean, 1 when any finding remains,
+// 2 on usage errors. Registered as a ctest test so `ctest` fails when
+// a convention regresses.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/lint_rules.hpp"
+
+int main(int argc, char** argv) {
+  std::filesystem::path root = ".";
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: %s [REPO_ROOT]\n", argv[0]);
+    return 2;
+  }
+  if (argc == 2) {
+    const std::string arg = argv[1];
+    if (arg == "-h" || arg == "--help") {
+      std::printf(
+          "usage: %s [REPO_ROOT]\n"
+          "Checks TRACON source conventions under REPO_ROOT/src:\n"
+          "  determinism    no RNG/wall-clock calls in sim, virt, sched\n"
+          "  float-eq       no ==/!= against float literals outside stats\n"
+          "  iostream       library code logs through util/log\n"
+          "  pragma-once    headers open with #pragma once\n"
+          "  include-order  own header, then <system>, then \"project\"\n"
+          "  require-guard  argument-taking constructors use TRACON_REQUIRE\n"
+          "Suppress one line with `tracon-lint: allow(<rule>)`, a file\n"
+          "with `tracon-lint: allow-file(<rule>)`.\n",
+          argv[0]);
+      return 0;
+    }
+    root = arg;
+  }
+
+  std::vector<tracon::lint::Finding> findings = tracon::lint::lint_tree(root);
+  for (const tracon::lint::Finding& f : findings) {
+    std::fprintf(stderr, "%s\n", tracon::lint::format(f).c_str());
+  }
+  if (findings.empty()) {
+    std::printf("tracon_lint: clean\n");
+    return 0;
+  }
+  std::fprintf(stderr, "tracon_lint: %zu finding(s)\n", findings.size());
+  return 1;
+}

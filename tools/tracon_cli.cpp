@@ -17,8 +17,8 @@
 //   tracon matrix --host ssd
 //   tracon predict --fg video --bg blastn
 //   tracon static --machines 16 --mix medium --objective io
-//   tracon dynamic --machines 64 --lambda 80 --hours 10 \\
-//                  --scheduler mibs --queue 8 --mix heavy
+//   tracon dynamic --machines 64 --lambda 80 --hours 10
+//          [continued] --scheduler mibs --queue 8 --mix heavy
 #include <cstdio>
 #include <fstream>
 #include <iostream>
