@@ -7,11 +7,15 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/tracon.hpp"
+#include "obs/telemetry.hpp"
 #include "sched/fifo.hpp"
 #include "sched/mibs.hpp"
 #include "sim/dynamic_scenario.hpp"
@@ -64,5 +68,42 @@ inline sched::PlacementPolicy static_policy() {
 inline void print_header(const char* figure, const char* what) {
   std::printf("== %s: %s ==\n", figure, what);
 }
+
+/// Opt-in telemetry for a bench's representative runs: when the
+/// TRACON_TELEMETRY_DIR environment variable names a directory, the
+/// sidecar carries live telemetry sinks and writes
+/// `<dir>/<name>_metrics.json` and `<dir>/<name>_trace.json` at scope
+/// exit. Without the variable it is inert — telemetry() returns nullptr
+/// and the bench runs exactly as before (the <2%% overhead budget).
+class TelemetrySidecar {
+ public:
+  explicit TelemetrySidecar(std::string name) : name_(std::move(name)) {
+    const char* dir = std::getenv("TRACON_TELEMETRY_DIR");
+    if (dir == nullptr || *dir == '\0') return;
+    dir_ = dir;
+    tel_ = std::make_unique<obs::Telemetry>();
+    tel_->tracer.set_enabled(true);
+    // Metrics accumulate over every instrumented run, but an unbounded
+    // trace of a multi-hour 1024-machine sweep reaches GB scale; cap
+    // the trace at a Perfetto-friendly size (~25 MB of JSON).
+    tel_->tracer.set_max_events(200000);
+  }
+  ~TelemetrySidecar() {
+    if (tel_ == nullptr) return;
+    std::ofstream mf(dir_ + "/" + name_ + "_metrics.json");
+    if (mf) tel_->metrics.write_json(mf);
+    std::ofstream tf(dir_ + "/" + name_ + "_trace.json");
+    if (tf) tel_->tracer.write_chrome_json(tf);
+  }
+  TelemetrySidecar(const TelemetrySidecar&) = delete;
+  TelemetrySidecar& operator=(const TelemetrySidecar&) = delete;
+
+  obs::Telemetry* telemetry() { return tel_.get(); }
+
+ private:
+  std::string name_;
+  std::string dir_;
+  std::unique_ptr<obs::Telemetry> tel_;
+};
 
 }  // namespace tracon::bench

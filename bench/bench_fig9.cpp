@@ -13,6 +13,10 @@ int main() {
   core::Tracon sys = bench::make_system();
   sys.train(model::ModelKind::kNonlinear);
 
+  // With TRACON_TELEMETRY_DIR set, the MIBS_8 runs accumulate metrics
+  // and a trace into <dir>/fig9_{metrics,trace}.json; inert otherwise.
+  bench::TelemetrySidecar sidecar("fig9");
+
   const std::vector<double> lambdas = {20, 40, 60, 80, 120, 160};
   const std::vector<workload::MixKind> mixes = {workload::MixKind::kLight,
                                                 workload::MixKind::kMedium,
@@ -37,7 +41,14 @@ int main() {
                                      sched::Objective::kRuntime, 8);
       auto df = sim::run_dynamic(sys.perf_table(), *fifo, cfg);
       auto dm = sim::run_dynamic(sys.perf_table(), *mios, cfg);
-      auto db = sim::run_dynamic(sys.perf_table(), *mibs, cfg);
+      sim::DynamicConfig mibs_cfg = cfg;
+      if (obs::Telemetry* tel = sidecar.telemetry()) {
+        mibs_cfg.telemetry = tel;
+        mibs_cfg.accuracy_probe = &sys.predictor();
+        mibs_cfg.accuracy_family = model::model_kind_name(sys.model_kind());
+        mibs->set_telemetry(tel);
+      }
+      auto db = sim::run_dynamic(sys.perf_table(), *mibs, mibs_cfg);
       auto dx = sim::run_dynamic(sys.perf_table(), *mix8, cfg);
       double base = static_cast<double>(df.completed);
       out.add_row({fmt(lam, 0), std::to_string(df.completed),

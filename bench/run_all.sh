@@ -1,0 +1,66 @@
+#!/bin/sh
+# Runs every bench harness binary and records wall-clock time plus exit
+# status as JSON: one <out-dir>/BENCH_<name>.json per binary and a
+# consolidated <out-dir>/BENCH_all.json. Stdout/stderr of each bench is
+# captured next to its JSON as <name>.log.
+#
+# Usage: bench/run_all.sh [build-dir] [out-dir]
+#   build-dir  CMake build tree containing bench/ (default: build)
+#   out-dir    where results are written (default: bench-results)
+#
+# Environment:
+#   TRACON_BENCH_SKIP     space-separated bench names to skip
+#                         (e.g. "bench_micro bench_fig11")
+#   TRACON_TELEMETRY_DIR  if set, bench_fig9/bench_fig11 additionally
+#                         write metrics + trace JSON into it (see
+#                         bench/bench_common.hpp).
+set -eu
+
+build_dir="${1:-build}"
+out_dir="${2:-bench-results}"
+skip="${TRACON_BENCH_SKIP:-}"
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "error: $build_dir/bench not found (build the project first)" >&2
+  exit 2
+fi
+mkdir -p "$out_dir"
+
+names=""
+overall=0
+for bin in "$build_dir"/bench/bench_*; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name="${bin##*/}"
+  skipped=0
+  for s in $skip; do
+    [ "$s" = "$name" ] && skipped=1
+  done
+  if [ "$skipped" -eq 1 ]; then
+    echo "$name: skipped (TRACON_BENCH_SKIP)"
+    continue
+  fi
+  start=$(date +%s)
+  status=0
+  "$bin" >"$out_dir/${name}.log" 2>&1 || status=$?
+  end=$(date +%s)
+  wall=$((end - start))
+  printf '{"bench": "%s", "exit_status": %d, "wall_seconds": %d}\n' \
+    "$name" "$status" "$wall" >"$out_dir/BENCH_${name}.json"
+  echo "$name: exit=$status wall=${wall}s"
+  names="$names $name"
+  [ "$status" -eq 0 ] || overall=1
+done
+
+{
+  printf '{"benches": [\n'
+  first=1
+  for name in $names; do
+    [ "$first" -eq 1 ] || printf ',\n'
+    first=0
+    printf '  %s' "$(tr -d '\n' <"$out_dir/BENCH_${name}.json")"
+  done
+  printf '\n]}\n'
+} >"$out_dir/BENCH_all.json"
+
+echo "wrote $out_dir/BENCH_all.json"
+exit "$overall"

@@ -5,15 +5,25 @@
 // seed). The interference-aware schedulers keep capacity by refusing
 // capacity-negative co-locations; the table shows completed tasks,
 // rejected arrivals, and the mean realized runtime per task.
+//
+// Telemetry flags (attach to the MIBS run; timestamps are virtual-clock
+// so same-seed runs emit byte-identical files):
+//   --metrics-out FILE   metrics registry as JSON
+//   --trace-out FILE     Chrome trace_event JSON (Perfetto-loadable)
+//   --hours H            shorten/lengthen the horizon (default 4)
 #include <cstdio>
+#include <fstream>
 
 #include "core/tracon.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/dynamic_scenario.hpp"
+#include "util/cli.hpp"
 #include "workload/benchmarks.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tracon;
 
+  ArgParser args(argc, argv);
   core::Tracon system;
   system.register_applications(workload::paper_benchmarks());
   system.train(model::ModelKind::kNonlinear);
@@ -21,8 +31,12 @@ int main() {
   sim::DynamicConfig cfg;
   cfg.machines = 32;
   cfg.lambda_per_min = 60.0;
-  cfg.duration_s = 4 * 3600.0;
+  cfg.duration_s = args.get_double("hours", 4.0) * 3600.0;
   cfg.mix = workload::MixKind::kHeavy;
+
+  obs::Telemetry tel;
+  tel.tracer.set_enabled(args.has("trace-out"));
+  const bool want_telemetry = args.has("metrics-out") || args.has("trace-out");
 
   std::printf("heavy I/O mix, %zu machines, lambda=%.0f/min, %.0f h\n\n",
               cfg.machines, cfg.lambda_per_min, cfg.duration_s / 3600.0);
@@ -33,13 +47,45 @@ int main() {
   for (auto kind : {core::SchedulerKind::kFifo, core::SchedulerKind::kMios,
                     core::SchedulerKind::kMibs, core::SchedulerKind::kMix}) {
     auto sched = system.make_scheduler(kind, sched::Objective::kRuntime, 8);
-    sim::DynamicOutcome o = sim::run_dynamic(system.perf_table(), *sched, cfg);
+    // Telemetry instruments the MIBS run — the scheduler whose decision
+    // stream and prediction accuracy the paper's figures examine.
+    sim::DynamicConfig run_cfg = cfg;
+    if (want_telemetry && kind == core::SchedulerKind::kMibs) {
+      run_cfg.telemetry = &tel;
+      run_cfg.accuracy_probe = &system.predictor();
+      run_cfg.accuracy_family = model::model_kind_name(system.model_kind());
+      sched->set_telemetry(&tel);
+    }
+    sim::DynamicOutcome o =
+        sim::run_dynamic(system.perf_table(), *sched, run_cfg);
     if (kind == core::SchedulerKind::kFifo)
       fifo_completed = static_cast<double>(o.completed);
     std::printf("%-10s %10zu %9zu %9.1fs %11.3fx\n", sched->name().c_str(),
                 o.completed, o.dropped,
                 o.total_runtime / static_cast<double>(o.completed),
                 static_cast<double>(o.completed) / fifo_completed);
+  }
+
+  if (args.has("metrics-out")) {
+    std::ofstream f(args.get("metrics-out"));
+    if (!f) {
+      std::fprintf(stderr, "cannot open '%s'\n",
+                   args.get("metrics-out").c_str());
+      return 1;
+    }
+    tel.metrics.write_json(f);
+    std::printf("\nmetrics written to %s\n", args.get("metrics-out").c_str());
+  }
+  if (args.has("trace-out")) {
+    std::ofstream f(args.get("trace-out"));
+    if (!f) {
+      std::fprintf(stderr, "cannot open '%s'\n",
+                   args.get("trace-out").c_str());
+      return 1;
+    }
+    tel.tracer.write_chrome_json(f);
+    std::printf("trace written to %s (load in ui.perfetto.dev)\n",
+                args.get("trace-out").c_str());
   }
   std::printf(
       "\nFIFO packs any two tasks together and pays for it in interference;\n"

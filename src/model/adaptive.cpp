@@ -24,8 +24,10 @@ double AdaptiveModel::predict(std::span<const double> features) const {
 
 double AdaptiveModel::observe(const Observation& obs) {
   double actual = response_ == Response::kRuntime ? obs.runtime : obs.iops;
-  double err = relative_error(model_->predict(obs.features), actual);
+  double predicted = model_->predict(obs.features);
+  double err = relative_error(predicted, actual);
   errors_.push_back(err);
+  if (accuracy_.has_value()) accuracy_->record(predicted, actual);
 
   window_.add(obs);
   window_.truncate_to_newest(cfg_.window_size);
@@ -33,6 +35,14 @@ double AdaptiveModel::observe(const Observation& obs) {
 
   bool drifted = cfg_.drift_triggered_rebuild &&
                  drift_.observe(err) != monitor::DriftKind::kNone;
+  if (drifted && telemetry_ != nullptr) {
+    telemetry_->metrics.counter(metric_prefix_ + ".drift_events").inc();
+    obs::TraceEvent ev;
+    ev.time_s = static_cast<double>(errors_.size());
+    ev.kind = obs::TraceEventKind::kModelDrift;
+    ev.value = err;
+    telemetry_->tracer.record(ev);
+  }
   // A drift rebuild only helps once enough post-change data is in the
   // window; require a quarter interval of fresh points.
   bool drift_ready = drifted && fresh_ >= cfg_.rebuild_interval / 4;
@@ -45,6 +55,26 @@ void AdaptiveModel::rebuild() {
   drift_.reset();
   fresh_ = 0;
   ++rebuilds_;
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics.counter(metric_prefix_ + ".rebuilds").inc();
+    obs::TraceEvent ev;
+    ev.time_s = static_cast<double>(errors_.size());
+    ev.kind = obs::TraceEventKind::kModelRetrain;
+    ev.count = window_.size();
+    ev.value = static_cast<double>(rebuilds_);
+    telemetry_->tracer.record(ev);
+  }
+}
+
+void AdaptiveModel::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  accuracy_.reset();
+  metric_prefix_.clear();
+  if (telemetry_ == nullptr) return;
+  std::string family = model_kind_name(cfg_.kind);
+  metric_prefix_ = "model." + obs::metric_path_component(family);
+  accuracy_.emplace(telemetry_->metrics, family,
+                    response_ == Response::kRuntime ? "runtime" : "iops");
 }
 
 }  // namespace tracon::model

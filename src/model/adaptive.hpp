@@ -10,10 +10,14 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "model/factory.hpp"
 #include "monitor/drift.hpp"
+#include "obs/accuracy.hpp"
+#include "obs/telemetry.hpp"
 
 namespace tracon::model {
 
@@ -45,6 +49,13 @@ class AdaptiveModel {
   /// Relative errors in observation order (for Fig 7 style plots).
   const std::vector<double>& error_history() const { return errors_; }
 
+  /// Attaches (or detaches, with nullptr) telemetry sinks. While
+  /// attached, every observation feeds per-family accuracy histograms
+  /// and rebuilds/drift detections emit counters plus kModelRetrain /
+  /// kModelDrift trace events timestamped with the observation ordinal
+  /// (the adaptive loop's own virtual clock).
+  void set_telemetry(obs::Telemetry* telemetry);
+
  private:
   void rebuild();
 
@@ -56,6 +67,9 @@ class AdaptiveModel {
   std::size_t fresh_ = 0;
   std::size_t rebuilds_ = 0;
   std::vector<double> errors_;
+  obs::Telemetry* telemetry_ = nullptr;
+  std::string metric_prefix_;  ///< "model.<family>" while attached
+  std::optional<obs::AccuracyTracker> accuracy_;
 };
 
 }  // namespace tracon::model

@@ -3,6 +3,7 @@
 #include "model/linear.hpp"
 #include "model/nonlinear.hpp"
 #include "model/wmm.hpp"
+#include "obs/scope_timer.hpp"
 #include "util/error.hpp"
 
 namespace tracon::model {
@@ -27,6 +28,7 @@ std::string model_kind_name(ModelKind kind) {
 std::unique_ptr<InterferenceModel> train_model(ModelKind kind,
                                                const TrainingSet& data,
                                                Response response) {
+  TRACON_PROF_SCOPE("model.train");
   switch (kind) {
     case ModelKind::kWmm:
       return std::make_unique<WmmModel>(data, response);

@@ -1,0 +1,57 @@
+#include "obs/accuracy.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace tracon::obs {
+
+namespace {
+
+std::string metric_prefix(std::string_view family, std::string_view response) {
+  std::string prefix = "model.";
+  prefix += metric_path_component(family);
+  prefix += '.';
+  prefix += metric_path_component(response);
+  return prefix;
+}
+
+}  // namespace
+
+AccuracyTracker::AccuracyTracker(MetricsRegistry& registry,
+                                 std::string_view family,
+                                 std::string_view response)
+    : signed_(&registry.histogram(
+          metric_prefix(family, response) + ".rel_error_signed",
+          signed_error_bounds())),
+      abs_(&registry.histogram(
+          metric_prefix(family, response) + ".rel_error_abs",
+          abs_error_bounds())),
+      samples_(&registry.counter(metric_prefix(family, response) +
+                                 ".samples")) {
+  TRACON_REQUIRE(!family.empty(), "AccuracyTracker: family must be non-empty");
+  TRACON_REQUIRE(!response.empty(),
+                 "AccuracyTracker: response must be non-empty");
+}
+
+void AccuracyTracker::record(double predicted, double actual) {
+  TRACON_CHECK_FINITE(predicted, "accuracy sample prediction");
+  TRACON_CHECK_FINITE(actual, "accuracy sample actual");
+  double denom = std::abs(actual);
+  if (denom < 1e-9) denom = 1e-9;
+  double err = (predicted - actual) / denom;
+  signed_->observe(err);
+  abs_->observe(std::abs(err));
+  samples_->inc();
+}
+
+std::vector<double> AccuracyTracker::signed_error_bounds() {
+  return {-1.0, -0.5, -0.2, -0.1, -0.05, 0.0, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0};
+}
+
+std::vector<double> AccuracyTracker::abs_error_bounds() {
+  return {0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1.0, 2.0};
+}
+
+}  // namespace tracon::obs

@@ -1,0 +1,40 @@
+// Prediction-accuracy instrumentation (ISSUE: Table-1 style error
+// tracking at simulation time).
+//
+// An AccuracyTracker owns three metrics under a per-model-family
+// prefix — `model.<family>.<response>.rel_error_signed`,
+// `.rel_error_abs` (histograms) and `.samples` (counter) — and is fed
+// one (predicted, actual) pair per completed task. Family strings come
+// from model_kind_name() and are sanitized with
+// metric_path_component(), so "NLM-noDom0" lands under
+// `model.nlm_nodom0.*`.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace tracon::obs {
+
+class AccuracyTracker {
+ public:
+  AccuracyTracker(MetricsRegistry& registry, std::string_view family,
+                  std::string_view response);
+
+  /// Records the signed and absolute relative error of one prediction.
+  /// Relative error is (predicted - actual) / max(|actual|, epsilon).
+  void record(double predicted, double actual);
+
+  /// Bucket upper bounds shared by every tracker so histograms are
+  /// comparable across model families.
+  static std::vector<double> signed_error_bounds();
+  static std::vector<double> abs_error_bounds();
+
+ private:
+  Histogram* signed_;
+  Histogram* abs_;
+  Counter* samples_;
+};
+
+}  // namespace tracon::obs

@@ -1,0 +1,41 @@
+#include "obs/kvlog.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace tracon::obs {
+
+KvLine::KvLine(std::string_view event) : line_(event) {
+  TRACON_REQUIRE(valid_metric_name(event),
+                 "log event name must be a dotted snake_case path");
+}
+
+KvLine& KvLine::kv(std::string_view key, std::string_view value) {
+  line_ += ' ';
+  line_ += key;
+  line_ += '=';
+  line_ += value;
+  return *this;
+}
+
+KvLine& KvLine::kv(std::string_view key, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return kv(key, std::string_view(buf));
+}
+
+KvLine& KvLine::kv_int(std::string_view key, std::int64_t value,
+                       bool is_unsigned) {
+  char buf[32];
+  if (is_unsigned) {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  }
+  return kv(key, std::string_view(buf));
+}
+
+}  // namespace tracon::obs

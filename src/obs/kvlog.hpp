@@ -1,0 +1,55 @@
+// Structured one-line key=value logging on top of util/log.
+//
+// Library code that wants human-greppable AND machine-parseable log
+// lines builds them with KvLine instead of ad-hoc stream insertion:
+//
+//   TRACON_KV_LOG(LogLevel::kDebug,
+//                 KvLine("sched.mibs.batch").kv("window", w).kv("placed", n));
+//
+// emits `sched.mibs.batch window=8 placed=5`. The macro only evaluates
+// (and allocates) the line when the level is enabled. Event names are
+// dotted snake_case paths, same rule as metric names.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "util/log.hpp"
+
+namespace tracon::obs {
+
+class KvLine {
+ public:
+  explicit KvLine(std::string_view event);
+
+  KvLine& kv(std::string_view key, std::string_view value);
+  KvLine& kv(std::string_view key, const char* value) {
+    return kv(key, std::string_view(value));
+  }
+  KvLine& kv(std::string_view key, double value);
+  template <class T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  KvLine& kv(std::string_view key, T value) {
+    return kv_int(key, static_cast<std::int64_t>(value),
+                  std::is_unsigned_v<T>);
+  }
+
+  const std::string& text() const { return line_; }
+  void emit(LogLevel level) const { Log::write(level, line_); }
+
+ private:
+  KvLine& kv_int(std::string_view key, std::int64_t value, bool is_unsigned);
+
+  std::string line_;
+};
+
+/// Builds and emits `line_expr` only when `level` is enabled.
+#define TRACON_KV_LOG(level, line_expr)                 \
+  do {                                                  \
+    if (::tracon::Log::enabled(level)) {                \
+      (line_expr).emit(level);                          \
+    }                                                   \
+  } while (false)
+
+}  // namespace tracon::obs

@@ -1,0 +1,70 @@
+#include "obs/scope_timer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace tracon::obs {
+
+ProfRegistry& ProfRegistry::global() {
+  static ProfRegistry registry;
+  return registry;
+}
+
+ScopeStats& ProfRegistry::scope(const std::string& name) {
+  TRACON_REQUIRE(valid_metric_name(name),
+                 "profiling scope name must be a dotted snake_case path");
+  return scopes_[name];
+}
+
+void ProfRegistry::reset() {
+  for (auto& [name, stats] : scopes_) stats = ScopeStats{};
+}
+
+void ProfRegistry::write_text(std::ostream& os) const {
+  std::vector<const std::pair<const std::string, ScopeStats>*> rows;
+  rows.reserve(scopes_.size());
+  for (const auto& entry : scopes_) rows.push_back(&entry);
+  std::stable_sort(rows.begin(), rows.end(), [](const auto* a, const auto* b) {
+    return a->second.total_ns > b->second.total_ns;
+  });
+  char line[160];
+  std::snprintf(line, sizeof line, "%-36s %9s %12s %12s %12s\n", "scope",
+                "calls", "total_ms", "avg_us", "max_us");
+  os << line;
+  for (const auto* row : rows) {
+    const ScopeStats& s = row->second;
+    double total_ms = static_cast<double>(s.total_ns) / 1e6;
+    double avg_us = s.calls > 0 ? static_cast<double>(s.total_ns) /
+                                      static_cast<double>(s.calls) / 1e3
+                                : 0.0;
+    double max_us = static_cast<double>(s.max_ns) / 1e3;
+    std::snprintf(line, sizeof line, "%-36s %9llu %12.3f %12.3f %12.3f\n",
+                  row->first.c_str(),
+                  static_cast<unsigned long long>(s.calls), total_ms, avg_us,
+                  max_us);
+    os << line;
+  }
+}
+
+std::uint64_t ScopeTimer::now_ns() {
+  // The obs-layer wall-clock exemption: see scope_timer.hpp.
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void ScopeTimer::stop() {
+  std::uint64_t elapsed = now_ns() - start_ns_;
+  ++stats_->calls;
+  stats_->total_ns += elapsed;
+  if (elapsed > stats_->max_ns) stats_->max_ns = elapsed;
+}
+
+}  // namespace tracon::obs

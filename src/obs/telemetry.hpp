@@ -1,0 +1,20 @@
+// Telemetry bundle handed through the simulator and schedulers.
+//
+// Components take a nullable `obs::Telemetry*`; nullptr means telemetry
+// is disabled and every recording site reduces to a pointer test. The
+// bundle owns both sinks so one flag at the CLI wires everything:
+//   - metrics: aggregated counters/gauges/histograms (JSON/CSV export);
+//   - tracer: the per-event timeline (Chrome trace / JSONL export).
+#pragma once
+
+#include "obs/event_tracer.hpp"
+#include "obs/metrics.hpp"
+
+namespace tracon::obs {
+
+struct Telemetry {
+  MetricsRegistry metrics;
+  EventTracer tracer;
+};
+
+}  // namespace tracon::obs

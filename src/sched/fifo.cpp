@@ -5,7 +5,6 @@ namespace tracon::sched {
 std::vector<Placement> FifoScheduler::schedule(
     std::span<const QueuedTask> queue, const ClusterCounts& cluster,
     const ScheduleContext& ctx) {
-  (void)ctx;
   ClusterCounts state = cluster;
   std::vector<Placement> out;
   for (std::size_t pos = 0; pos < queue.size() && state.any_free(); ++pos) {
@@ -29,6 +28,8 @@ std::vector<Placement> FifoScheduler::schedule(
     state.place(queue[pos].app, neighbour);
     out.push_back({pos, neighbour});
   }
+  // FIFO is interference-oblivious, so its predicted cost is always 0.
+  note_round(queue.size(), out.size(), 0.0, ctx.now_s);
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/kvlog.hpp"
 #include "sched/mios.hpp"
 #include "util/error.hpp"
 
@@ -119,9 +120,18 @@ std::vector<Placement> MibsScheduler::schedule(
   std::size_t window = std::min(queue.size(), queue_limit_);
   std::vector<std::size_t> order(window);
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  return mibs_batch(queue.first(window), order, cluster, predictor_,
-                    objective_, policy_)
-      .placements;
+  BatchOutcome outcome = mibs_batch(queue.first(window), order, cluster,
+                                    predictor_, objective_, policy_);
+  note_round(queue.size(), outcome.placements.size(),
+             objective_ == Objective::kRuntime ? outcome.predicted_runtime
+                                               : outcome.predicted_iops,
+             ctx.now_s);
+  TRACON_KV_LOG(LogLevel::kDebug,
+                obs::KvLine("sched.mibs.batch")
+                    .kv("now_s", ctx.now_s)
+                    .kv("window", window)
+                    .kv("placed", outcome.placements.size()));
+  return std::move(outcome.placements);
 }
 
 std::optional<double> MibsScheduler::next_wakeup(

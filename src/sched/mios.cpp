@@ -72,9 +72,9 @@ std::optional<std::optional<std::size_t>> mios_best_slot(
 std::vector<Placement> MiosScheduler::schedule(
     std::span<const QueuedTask> queue, const ClusterCounts& cluster,
     const ScheduleContext& ctx) {
-  (void)ctx;
   ClusterCounts state = cluster;
   std::vector<Placement> out;
+  double predicted_cost = 0.0;
   for (std::size_t pos = 0; pos < queue.size(); ++pos) {
     if (!state.any_free()) break;
     auto slot = mios_best_slot(queue[pos].app, state, predictor_, objective_,
@@ -82,9 +82,14 @@ std::vector<Placement> MiosScheduler::schedule(
     if (!slot.has_value()) continue;  // no acceptable slot; task waits
     TRACON_DCHECK(state.has_slot(*slot),
                   "MIOS selected an infeasible placement slot");
+    predicted_cost +=
+        objective_ == Objective::kRuntime
+            ? predictor_.predict_runtime(queue[pos].app, *slot)
+            : predictor_.predict_iops(queue[pos].app, *slot);
     state.place(queue[pos].app, *slot);
     out.push_back({pos, *slot});
   }
+  note_round(queue.size(), out.size(), predicted_cost, ctx.now_s);
   return out;
 }
 

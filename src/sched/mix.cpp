@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "obs/scope_timer.hpp"
 #include "util/error.hpp"
 
 namespace tracon::sched {
@@ -28,12 +29,14 @@ std::vector<Placement> MixScheduler::schedule(
     const ScheduleContext& ctx) {
   if (!batch_due(queue, cluster, ctx, queue_limit_, batch_timeout_s_))
     return {};
+  TRACON_PROF_SCOPE("sched.mix.schedule");
 
   // Every task in the batch window gets a turn as the head
   // (Algorithm 3); the assignment with the best predicted total wins.
   std::size_t window = std::min(queue.size(), queue_limit_);
   std::span<const QueuedTask> batch = queue.first(window);
   std::vector<Placement> best_placements;
+  double best_cost = 0.0;
   double best_score = std::numeric_limits<double>::infinity();
   std::vector<std::size_t> order(window);
   for (std::size_t head = 0; head < window; ++head) {
@@ -64,9 +67,12 @@ std::vector<Placement> MixScheduler::schedule(
         1e-9 * static_cast<double>(outcome.placements.size());
     if (score < best_score) {
       best_score = score;
+      best_cost = objective_ == Objective::kRuntime ? outcome.predicted_runtime
+                                                    : outcome.predicted_iops;
       best_placements = std::move(outcome.placements);
     }
   }
+  note_round(queue.size(), best_placements.size(), best_cost, ctx.now_s);
   return best_placements;
 }
 

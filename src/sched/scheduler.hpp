@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "sched/cluster_counts.hpp"
 
 namespace tracon::sched {
@@ -56,6 +57,41 @@ class Scheduler {
     (void)ctx;
     return std::nullopt;
   }
+
+  /// Attaches (or detaches, with nullptr) the telemetry sinks. The
+  /// scheduler does not own the bundle; the caller keeps it alive for
+  /// the scheduler's lifetime.
+  void set_telemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
+  obs::Telemetry* telemetry() const { return telemetry_; }
+
+ protected:
+  /// Records one scheduling round: counters for rounds/decisions/
+  /// placements, the queue-length gauge, a placed-per-round histogram,
+  /// and a kSchedDecision trace event carrying the predicted cost of
+  /// the chosen placements. No-op when telemetry is detached.
+  void note_round(std::size_t queue_len, std::size_t placed,
+                  double predicted_cost, double now_s) {
+    if (telemetry_ == nullptr) return;
+    obs::MetricsRegistry& m = telemetry_->metrics;
+    m.counter("sched.rounds").inc();
+    m.gauge("sched.queue_length").set(static_cast<double>(queue_len));
+    if (placed > 0) {
+      m.counter("sched.decisions").inc();
+      m.counter("sched.placements").inc(placed);
+      m.histogram("sched.batch.placed", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0})
+          .observe(static_cast<double>(placed));
+    }
+    obs::TraceEvent ev;
+    ev.time_s = now_s;
+    ev.kind = obs::TraceEventKind::kSchedDecision;
+    ev.count = queue_len;
+    ev.value = predicted_cost;
+    ev.value2 = static_cast<double>(placed);
+    telemetry_->tracer.record(ev);
+  }
+
+ private:
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace tracon::sched

@@ -5,6 +5,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/accuracy.hpp"
+#include "obs/kvlog.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -18,6 +20,10 @@ struct RunningTask {
   double started_s = 0.0;         ///< when it was placed
   double iops_integral = 0.0;     ///< integral of achieved IOPS over time
   double last_update_s = 0.0;
+  /// Accuracy-probe predictions captured at placement (negative when no
+  /// probe was attached).
+  double predicted_runtime_s = -1.0;
+  double predicted_iops = -1.0;
 };
 
 struct Machine {
@@ -142,6 +148,48 @@ DynamicOutcome run_dynamic(const PerfTable& table,
   double queue_len_integral = 0.0;
   double last_event_time = 0.0;
 
+  // Utilization accounting: time-integrals of busy machines (>=1 task)
+  // and busy VM slots, advanced at every event alongside the queue
+  // integral.
+  std::size_t busy_machines = 0;
+  std::size_t busy_slots = 0;
+  double busy_machine_integral = 0.0;
+  double busy_slot_integral = 0.0;
+
+  obs::Telemetry* tel = cfg.telemetry;
+  obs::Histogram* wait_hist = nullptr;
+  obs::Histogram* runtime_hist = nullptr;
+  std::optional<obs::AccuracyTracker> acc_runtime;
+  std::optional<obs::AccuracyTracker> acc_iops;
+  if (tel != nullptr) {
+    wait_hist = &tel->metrics.histogram(
+        "sim.task.wait_s",
+        {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0});
+    runtime_hist = &tel->metrics.histogram(
+        "sim.task.runtime_s",
+        {10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0});
+    if (cfg.accuracy_probe != nullptr) {
+      std::string family =
+          cfg.accuracy_family.empty() ? "probe" : cfg.accuracy_family;
+      acc_runtime.emplace(tel->metrics, family, "runtime");
+      acc_iops.emplace(tel->metrics, family, "iops");
+    }
+  }
+  auto trace_event = [&](double now, obs::TraceEventKind kind,
+                         std::size_t app, std::size_t machine,
+                         std::size_t count, double value, double value2) {
+    if (tel == nullptr) return;
+    obs::TraceEvent ev;
+    ev.time_s = now;
+    ev.kind = kind;
+    ev.app = app;
+    ev.machine = machine;
+    ev.count = count;
+    ev.value = value;
+    ev.value2 = value2;
+    tel->tracer.record(ev);
+  };
+
   auto neighbour_of = [&](const Machine& m,
                           int slot) -> std::optional<std::size_t> {
     const auto& other = m.slot[1 - slot];
@@ -205,12 +253,27 @@ DynamicOutcome run_dynamic(const PerfTable& table,
         t.remaining_solo_s = table.solo_runtime(app);
         t.started_s = now;
         t.last_update_s = now;
+        if (cfg.accuracy_probe != nullptr) {
+          t.predicted_runtime_s =
+              cfg.accuracy_probe->predict_runtime(app, p.neighbour);
+          t.predicted_iops = cfg.accuracy_probe->predict_iops(app, p.neighbour);
+        }
         m.slot[slot] = t;
         registry.set_key(mi, registry_key(m));
         refresh_completions(mi, now);
+        ++busy_slots;
+        if (m.occupancy() == 1) {
+          ++busy_machines;
+          trace_event(now, obs::TraceEventKind::kVmStart, app, mi,
+                      m.occupancy(), 0.0, 0.0);
+        }
         if (cfg.trace != nullptr)
           cfg.trace->record(now, TaskEventKind::kPlaced, app, mi);
-        wait_sum += now - queue[p.queue_pos].arrival_s;
+        double wait = now - queue[p.queue_pos].arrival_s;
+        if (wait_hist != nullptr) wait_hist->observe(wait);
+        trace_event(now, obs::TraceEventKind::kTaskPlaced, app, mi,
+                    queue.size(), t.predicted_runtime_s, wait);
+        wait_sum += wait;
         ++started;
         remove.push_back(p.queue_pos);
       }
@@ -245,8 +308,10 @@ DynamicOutcome run_dynamic(const PerfTable& table,
     events.pop();
     if (ev.time > cfg.duration_s) break;
 
-    queue_len_integral +=
-        static_cast<double>(queue.size()) * (ev.time - last_event_time);
+    double dt = ev.time - last_event_time;
+    queue_len_integral += static_cast<double>(queue.size()) * dt;
+    busy_machine_integral += static_cast<double>(busy_machines) * dt;
+    busy_slot_integral += static_cast<double>(busy_slots) * dt;
     last_event_time = ev.time;
 
     switch (ev.type) {
@@ -257,6 +322,8 @@ DynamicOutcome run_dynamic(const PerfTable& table,
         TRACON_ASSERT(app < n, "arrival app out of range");
         if (cfg.trace != nullptr)
           cfg.trace->record(ev.time, TaskEventKind::kArrived, app);
+        trace_event(ev.time, obs::TraceEventKind::kTaskArrival, app,
+                    obs::TraceEvent::kNone, queue.size(), 0.0, 0.0);
         if (queue.size() < cfg.queue_capacity) {
           queue.push_back({app, ev.time});
           run_scheduler(ev.time);
@@ -264,6 +331,8 @@ DynamicOutcome run_dynamic(const PerfTable& table,
           ++out.dropped;  // manager queue full: task rejected
           if (cfg.trace != nullptr)
             cfg.trace->record(ev.time, TaskEventKind::kDropped, app);
+          trace_event(ev.time, obs::TraceEventKind::kTaskDropped, app,
+                      obs::TraceEvent::kNone, queue.size(), 0.0, 0.0);
         }
         if (idx + 1 < arrivals.size() &&
             arrivals[idx + 1].time_s < cfg.duration_s) {
@@ -284,14 +353,28 @@ DynamicOutcome run_dynamic(const PerfTable& table,
           break;
         }
         double runtime = ev.time - t->started_s;
+        double mean_iops = runtime > 0.0 ? t->iops_integral / runtime : 0.0;
         ++out.completed;
         out.total_runtime += runtime;
-        out.total_iops += runtime > 0.0 ? t->iops_integral / runtime : 0.0;
+        out.total_iops += mean_iops;
         std::size_t departed = t->app;
         if (cfg.trace != nullptr)
           cfg.trace->record(ev.time, TaskEventKind::kCompleted, departed,
                             ev.machine);
+        if (runtime_hist != nullptr) runtime_hist->observe(runtime);
+        trace_event(ev.time, obs::TraceEventKind::kTaskCompleted, departed,
+                    ev.machine, 0, runtime, mean_iops);
+        if (acc_runtime.has_value() && t->predicted_runtime_s >= 0.0)
+          acc_runtime->record(t->predicted_runtime_s, runtime);
+        if (acc_iops.has_value() && t->predicted_iops >= 0.0)
+          acc_iops->record(t->predicted_iops, mean_iops);
         m.slot[ev.slot].reset();
+        --busy_slots;
+        if (m.occupancy() == 0) {
+          --busy_machines;
+          trace_event(ev.time, obs::TraceEventKind::kVmStop, departed,
+                      ev.machine, 0, runtime, 0.0);
+        }
         counts.depart(departed, neighbour_of(m, ev.slot));
         registry.set_key(ev.machine, registry_key(m));
         refresh_completions(ev.machine, ev.time);
@@ -316,6 +399,37 @@ DynamicOutcome run_dynamic(const PerfTable& table,
                                 : 0.0;
   out.mean_queue_length =
       last_event_time > 0.0 ? queue_len_integral / last_event_time : 0.0;
+
+  if (tel != nullptr) {
+    // Run the utilization integrals out to the simulated horizon (the
+    // cluster keeps its final occupancy until the clock stops).
+    double tail = cfg.duration_s - last_event_time;
+    if (tail > 0.0) {
+      busy_machine_integral += static_cast<double>(busy_machines) * tail;
+      busy_slot_integral += static_cast<double>(busy_slots) * tail;
+      queue_len_integral += static_cast<double>(queue.size()) * tail;
+    }
+    double span_s = cfg.duration_s;
+    obs::MetricsRegistry& m = tel->metrics;
+    m.counter("sim.tasks.arrived").inc(out.arrived);
+    m.counter("sim.tasks.dropped").inc(out.dropped);
+    m.counter("sim.tasks.placed").inc(started);
+    m.counter("sim.tasks.completed").inc(out.completed);
+    m.gauge("sim.util.host_busy_fraction")
+        .set(busy_machine_integral /
+             (static_cast<double>(cfg.machines) * span_s));
+    m.gauge("sim.util.slot_busy_fraction")
+        .set(busy_slot_integral /
+             (2.0 * static_cast<double>(cfg.machines) * span_s));
+    m.gauge("sim.queue.mean_length").set(queue_len_integral / span_s);
+  }
+  TRACON_KV_LOG(LogLevel::kInfo,
+                obs::KvLine("sim.dynamic.done")
+                    .kv("scheduler", scheduler.name())
+                    .kv("arrived", out.arrived)
+                    .kv("dropped", out.dropped)
+                    .kv("completed", out.completed)
+                    .kv("mean_wait_s", out.mean_wait_s));
   return out;
 }
 

@@ -8,8 +8,11 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+#include "sched/predictor.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/perf_table.hpp"
 #include "sim/trace.hpp"
@@ -37,6 +40,21 @@ struct DynamicConfig {
   double schedule_period_s = 5.0;
   /// Optional per-task event trace (not owned; may be nullptr).
   TraceRecorder* trace = nullptr;
+  /// Optional telemetry sinks (not owned; may be nullptr). When set, the
+  /// run records task/VM/queue counters and histograms plus typed trace
+  /// events at virtual-clock timestamps.
+  obs::Telemetry* telemetry = nullptr;
+  /// Optional prediction-accuracy probe (not owned). When both this and
+  /// `telemetry` are set, each placement captures the probe's predicted
+  /// runtime/IOPS for the chosen slot, and each completion feeds the
+  /// realized values into per-family relative-error histograms
+  /// (`model.<accuracy_family>.{runtime,iops}.rel_error_*`). Predictions
+  /// are as-of placement: neighbour churn afterwards is part of the
+  /// error being measured, exactly like the paper's online setting.
+  const sched::Predictor* accuracy_probe = nullptr;
+  /// Model-family label for the accuracy metrics (e.g. "NLM"); sanitized
+  /// into a metric path component. Empty means "probe".
+  std::string accuracy_family;
 };
 
 struct DynamicOutcome {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/scope_timer.hpp"
 #include "stats/linalg.hpp"
 #include "util/error.hpp"
 
@@ -66,6 +67,7 @@ NlsResult gauss_newton(const ResidualFunction& fn, Vector initial,
   const std::size_t n = fn.num_params();
   TRACON_REQUIRE(initial.size() == n, "initial params size mismatch");
   TRACON_REQUIRE(m >= n, "need at least as many residuals as params");
+  TRACON_PROF_SCOPE("stats.nls.gauss_newton");
 
   NlsResult res;
   res.params = std::move(initial);

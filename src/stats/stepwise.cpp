@@ -4,6 +4,7 @@
 #include <limits>
 #include <optional>
 
+#include "obs/scope_timer.hpp"
 #include "util/error.hpp"
 
 namespace tracon::stats {
@@ -44,6 +45,7 @@ StepwiseResult stepwise_aic(const Matrix& candidates,
   TRACON_REQUIRE(!opts.forced.empty(), "stepwise needs forced columns");
   for (std::size_t f : opts.forced)
     TRACON_REQUIRE(f < candidates.cols(), "forced column out of range");
+  TRACON_PROF_SCOPE("stats.stepwise.aic");
 
   std::vector<std::size_t> current(opts.forced);
   std::sort(current.begin(), current.end());

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/scope_timer.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -60,6 +61,7 @@ RunResult HostSimulator::run(const std::vector<std::optional<VmWorkload>>& vms,
                              const RunOptions& opts) const {
   TRACON_REQUIRE(!vms.empty(), "run needs at least one VM slot");
   TRACON_REQUIRE(opts.max_time_s > 0.0, "max_time_s must be positive");
+  TRACON_PROF_SCOPE("virt.host_sim.run");
 
   const std::size_t n = vms.size();
   std::vector<VmState> state(n);

@@ -158,6 +158,59 @@ TEST(RequireGuard, GuardedDefaultedAndZeroArgPass) {
                         "require-guard"));
 }
 
+TEST(Determinism, ObsIsCoveredButScopeTimerIsExempt) {
+  const std::string body =
+      "#include \"obs/bad.hpp\"\n\n"
+      "double f() { return std::chrono::steady_clock::now()"
+      ".time_since_epoch().count(); }\n";
+  EXPECT_TRUE(has_rule(lint_content("src/obs/bad.cpp", body), "determinism"));
+  EXPECT_FALSE(has_rule(
+      lint_content("src/obs/scope_timer.cpp",
+                   "#include \"obs/scope_timer.hpp\"\n\n" + body.substr(body.find("double"))),
+      "determinism"));
+  EXPECT_FALSE(has_rule(lint_content("src/obs/scope_timer.hpp",
+                                     "#pragma once\nint now() { return "
+                                     "clock(); }\n"),
+                        "determinism"));
+}
+
+TEST(MetricName, BadLiteralsAreFlaggedAtEveryRegistrationSite) {
+  auto findings = lint_content(
+      "src/obs/bad_metrics.cpp",
+      "#include \"obs/bad_metrics.hpp\"\n\nvoid f(R& m) {\n"
+      "  m.counter(\"Sched.Decisions\").inc();\n"
+      "  m.gauge(\"sched queue\").set(1.0);\n"
+      "  m.histogram(\"sched..placed\", {1.0}).observe(1.0);\n"
+      "  TRACON_PROF_SCOPE(\"MixRotate\");\n"
+      "  KvLine(\"9bad.event\");\n}\n");
+  std::vector<std::string> rules = rules_of(findings);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "metric-name"), 5);
+}
+
+TEST(MetricName, ValidPathsVariablesAndProseAreQuiet) {
+  auto findings = lint_content(
+      "src/obs/ok_metrics.cpp",
+      "#include \"obs/ok_metrics.hpp\"\n\nvoid f(R& m, const std::string& n) "
+      "{\n"
+      "  m.counter(\"sched.mios.decisions\").inc();\n"
+      "  m.counter(n).inc();\n"
+      "  m.counter(prefix + \".samples\").inc();\n"
+      "  // counter(\"Not Code\") in a comment\n"
+      "  log(\"histogram (\\\"Loose Prose\\\")\");\n"
+      "  TRACON_PROF_SCOPE(\"stats.nls.gauss_newton\");\n}\n");
+  EXPECT_FALSE(has_rule(findings, "metric-name"));
+}
+
+TEST(MetricName, SuppressionTagWorks) {
+  EXPECT_FALSE(has_rule(
+      lint_content("src/obs/sup_metrics.cpp",
+                   "#include \"obs/sup_metrics.hpp\"\n\nvoid f(R& m) {\n"
+                   "  // legacy dashboard key: tracon-lint: "
+                   "allow(metric-name)\n"
+                   "  m.counter(\"Legacy-Key\").inc();\n}\n"),
+      "metric-name"));
+}
+
 TEST(Suppression, LineAndFileTagsSilenceFindings) {
   EXPECT_FALSE(has_rule(
       lint_content("src/sim/sup.cpp",

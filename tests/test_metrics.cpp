@@ -1,0 +1,201 @@
+// Unit tests for the obs metrics registry: counter/gauge/histogram
+// semantics, name validation, bucket edge behaviour, deterministic
+// export, and a JSON parse-back round trip through the obs JSON reader.
+#include "obs/metrics.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/accuracy.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using tracon::obs::AccuracyTracker;
+using tracon::obs::Histogram;
+using tracon::obs::JsonValue;
+using tracon::obs::MetricsRegistry;
+using tracon::obs::metric_path_component;
+using tracon::obs::parse_json;
+using tracon::obs::valid_metric_name;
+
+TEST(MetricName, ValidatesDottedSnakeCase) {
+  EXPECT_TRUE(valid_metric_name("sched.mios.decisions"));
+  EXPECT_TRUE(valid_metric_name("a"));
+  EXPECT_TRUE(valid_metric_name("a1.b_2.c"));
+  EXPECT_FALSE(valid_metric_name(""));
+  EXPECT_FALSE(valid_metric_name("Sched.decisions"));
+  EXPECT_FALSE(valid_metric_name("sched..decisions"));
+  EXPECT_FALSE(valid_metric_name(".sched"));
+  EXPECT_FALSE(valid_metric_name("sched."));
+  EXPECT_FALSE(valid_metric_name("9sched"));
+  EXPECT_FALSE(valid_metric_name("sched decisions"));
+}
+
+TEST(MetricName, PathComponentSanitizesForeignIdentifiers) {
+  EXPECT_EQ(metric_path_component("NLM-noDom0"), "nlm_nodom0");
+  EXPECT_EQ(metric_path_component("WMM"), "wmm");
+  EXPECT_EQ(metric_path_component("already_fine"), "already_fine");
+}
+
+TEST(Counter, AccumulatesAndDefaultsToOne) {
+  MetricsRegistry reg;
+  reg.counter("test.hits").inc();
+  reg.counter("test.hits").inc(41);
+  EXPECT_EQ(reg.counter("test.hits").value(), 42u);
+}
+
+TEST(Gauge, LastValueWinsAndAddAccumulates) {
+  MetricsRegistry reg;
+  reg.gauge("test.level").set(3.0);
+  reg.gauge("test.level").set(1.5);
+  reg.gauge("test.level").add(0.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("test.level").value(), 2.0);
+}
+
+TEST(HistogramTest, BucketEdgesAreUpperInclusive) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(1.0);   // lands in le=1 (inclusive upper bound)
+  h.observe(1.001); // lands in le=2
+  h.observe(5.0);   // lands in le=5
+  h.observe(7.0);   // overflow
+  ASSERT_EQ(h.num_buckets(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 14.001);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 7.0);
+}
+
+TEST(HistogramTest, MinMaxZeroBeforeFirstObservation) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Registry, RejectsInvalidNames) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter("Bad Name"), std::invalid_argument);
+  EXPECT_THROW(reg.gauge("bad..name"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("UPPER", {1.0}), std::invalid_argument);
+}
+
+TEST(Registry, HandlesAreStableAcrossLaterRegistrations) {
+  MetricsRegistry reg;
+  auto& a = reg.counter("a.first");
+  a.inc();
+  for (int i = 0; i < 100; ++i)
+    reg.counter("z.filler_" + std::to_string(i));
+  a.inc();
+  EXPECT_EQ(reg.counter("a.first").value(), 2u);
+}
+
+TEST(Registry, JsonRoundTripPreservesValues) {
+  MetricsRegistry reg;
+  reg.counter("sched.decisions").inc(7);
+  reg.gauge("sim.util.host_busy_fraction").set(0.625);
+  auto& h = reg.histogram("model.nlm.runtime.rel_error_abs", {0.1, 0.5});
+  h.observe(0.05);
+  h.observe(0.3);
+  h.observe(2.0);
+
+  std::ostringstream os;
+  reg.write_json(os);
+  JsonValue doc = parse_json(os.str());
+
+  const JsonValue* c = doc.find("counters");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->find("sched.decisions")->as_number(), 7.0);
+
+  const JsonValue* g = doc.find("gauges");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->find("sim.util.host_busy_fraction")->as_number(), 0.625);
+
+  const JsonValue* hs = doc.find("histograms");
+  ASSERT_NE(hs, nullptr);
+  const JsonValue* hist = hs->find("model.nlm.runtime.rel_error_abs");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->find("count")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(hist->find("sum")->as_number(), 2.35);
+  const auto& buckets = hist->find("buckets")->as_array();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(buckets[0]->find("le")->as_number(), 0.1);
+  EXPECT_DOUBLE_EQ(buckets[0]->find("count")->as_number(), 1.0);
+  EXPECT_EQ(buckets[2]->find("le")->as_string(), "inf");
+  EXPECT_DOUBLE_EQ(buckets[2]->find("count")->as_number(), 1.0);
+}
+
+TEST(Registry, ExportsAreDeterministic) {
+  auto build = [] {
+    MetricsRegistry reg;
+    reg.gauge("z.last").set(1.0 / 3.0);
+    reg.counter("a.first").inc(3);
+    reg.histogram("m.mid", {1.0, 2.0}).observe(1.7);
+    std::ostringstream json, csv;
+    reg.write_json(json);
+    reg.write_csv(csv);
+    return json.str() + "\x01" + csv.str();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(Registry, CsvHasHeaderAndAllKinds) {
+  MetricsRegistry reg;
+  reg.counter("a.c").inc();
+  reg.gauge("a.g").set(2.0);
+  reg.histogram("a.h", {1.0}).observe(0.5);
+  std::ostringstream os;
+  reg.write_csv(os);
+  std::string csv = os.str();
+  EXPECT_NE(csv.find("kind,name,field,value"), std::string::npos);
+  EXPECT_NE(csv.find("counter,a.c,"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,a.g,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,a.h,"), std::string::npos);
+}
+
+TEST(Accuracy, RecordsSignedAndAbsoluteRelativeError) {
+  MetricsRegistry reg;
+  AccuracyTracker acc(reg, "NLM-noDom0", "runtime");
+  acc.record(110.0, 100.0);  // +10% error
+  acc.record(80.0, 100.0);   // -20% error
+
+  const auto& hists = reg.histograms();
+  auto sit = hists.find("model.nlm_nodom0.runtime.rel_error_signed");
+  auto ait = hists.find("model.nlm_nodom0.runtime.rel_error_abs");
+  ASSERT_NE(sit, hists.end());
+  ASSERT_NE(ait, hists.end());
+  EXPECT_EQ(sit->second.count(), 2u);
+  EXPECT_NEAR(sit->second.sum(), -0.1, 1e-12);
+  EXPECT_NEAR(ait->second.sum(), 0.3, 1e-12);
+  EXPECT_EQ(
+      reg.counters().at("model.nlm_nodom0.runtime.samples").value(), 2u);
+}
+
+TEST(Json, ParserHandlesEscapesAndRejectsGarbage) {
+  JsonValue v = parse_json(R"({"s": "a\"b\n", "arr": [1, -2.5e1, true,
+                              null]})");
+  EXPECT_EQ(v.find("s")->as_string(), "a\"b\n");
+  const auto& arr = v.find("arr")->as_array();
+  ASSERT_EQ(arr.size(), 4u);
+  EXPECT_DOUBLE_EQ(arr[1]->as_number(), -25.0);
+  EXPECT_TRUE(arr[2]->as_bool());
+  EXPECT_TRUE(arr[3]->is_null());
+  EXPECT_THROW(parse_json("{"), std::invalid_argument);
+  EXPECT_THROW(parse_json("{} trailing"), std::invalid_argument);
+  EXPECT_THROW(parse_json("nope"), std::invalid_argument);
+}
+
+}  // namespace

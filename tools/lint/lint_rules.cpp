@@ -302,6 +302,44 @@ void check_require_guard(const std::string& stripped, const Suppressions& sup,
   }
 }
 
+// --- metric-name -----------------------------------------------------------
+
+bool valid_metric_path(const std::string& name) {
+  static const std::regex re(R"(^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$)");
+  return std::regex_match(name, re);
+}
+
+/// Registration sites (MetricsRegistry::counter/gauge/histogram,
+/// ProfRegistry::scope, TRACON_PROF_SCOPE, KvLine) take the name as a
+/// string literal first argument. The stripper is length-preserving, so
+/// after matching on the stripped line the literal's characters are
+/// read back from the original text at the same offsets.
+void check_metric_name(const std::string& original,
+                       const std::string& stripped, const Suppressions& sup,
+                       std::vector<Finding>* out) {
+  static const std::regex re(
+      R"(\b(counter|gauge|histogram|scope|TRACON_PROF_SCOPE|KvLine)\s*\(\s*")");
+  std::vector<std::string> strip_lines = split_lines(stripped);
+  std::vector<std::string> orig_lines = split_lines(original);
+  for (std::size_t i = 0; i < strip_lines.size(); ++i) {
+    const std::string& sl = strip_lines[i];
+    for (auto it = std::sregex_iterator(sl.begin(), sl.end(), re);
+         it != std::sregex_iterator(); ++it) {
+      std::size_t quote = static_cast<std::size_t>(it->position()) +
+                         static_cast<std::size_t>(it->length()) - 1;
+      const std::string& ol = orig_lines[i];
+      std::size_t end = ol.find('"', quote + 1);
+      if (end == std::string::npos) continue;  // literal spans lines
+      std::string name = ol.substr(quote + 1, end - quote - 1);
+      if (valid_metric_path(name)) continue;
+      if (sup.allows("metric-name", i + 1)) continue;
+      out->push_back({sup.rel_path(), i + 1, "metric-name",
+                      "metric/scope/event name \"" + name +
+                          "\" is not a dotted snake_case path"});
+    }
+  }
+}
+
 }  // namespace
 
 std::string strip_comments_and_strings(const std::string& src) {
@@ -387,10 +425,18 @@ std::vector<Finding> lint_content(const std::string& rel_path,
   const std::string stripped = strip_comments_and_strings(content);
   const Suppressions sup(content, rel_path);
 
-  if (starts_with(rel_path, "src/sim/") || starts_with(rel_path, "src/virt/") ||
-      starts_with(rel_path, "src/sched/")) {
+  // src/obs is deterministic too, with one sanctioned exception: the
+  // scope-timer profiler is the library's single wall-clock site (its
+  // output never feeds the metrics/trace exports).
+  const bool obs_clock_exempt = starts_with(rel_path, "src/obs/scope_timer");
+  if ((starts_with(rel_path, "src/sim/") ||
+       starts_with(rel_path, "src/virt/") ||
+       starts_with(rel_path, "src/sched/") ||
+       starts_with(rel_path, "src/obs/")) &&
+      !obs_clock_exempt) {
     check_determinism(stripped, sup, &out);
   }
+  check_metric_name(content, stripped, sup, &out);
   if (!starts_with(rel_path, "src/stats/")) {
     check_float_eq(stripped, sup, &out);
   }

@@ -2,9 +2,12 @@
 //
 // These encode conventions no generic tool knows about:
 //
-//   determinism    src/sim, src/virt, src/sched must not call the
-//                  global RNG or any wall clock — every simulated run
-//                  must replay bit-identically from its seed.
+//   determinism    src/sim, src/virt, src/sched, and src/obs must not
+//                  call the global RNG or any wall clock — every
+//                  simulated run must replay bit-identically from its
+//                  seed. Sole exemption: src/obs/scope_timer, the
+//                  opt-in wall-clock profiler whose output never feeds
+//                  the deterministic exports.
 //   float-eq       raw ==/!= against floating-point literals outside
 //                  src/stats (numeric kernels own their exact-zero
 //                  checks and test tolerances).
@@ -14,6 +17,10 @@
 //                  headers, then project headers, each block sorted.
 //   require-guard  out-of-line constructors taking arguments validate
 //                  them with TRACON_REQUIRE (or carry an allow tag).
+//   metric-name    metric/scope/log-event name literals passed to
+//                  counter()/gauge()/histogram()/scope()/
+//                  TRACON_PROF_SCOPE/KvLine are dotted snake_case
+//                  paths ("sched.mios.decisions").
 //
 // A finding on line N is suppressed when line N or N-1 of the original
 // source contains `tracon-lint: allow(<rule>)`; a whole file opts out

@@ -26,12 +26,15 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: %s [REPO_ROOT]\n"
           "Checks TRACON source conventions under REPO_ROOT/src:\n"
-          "  determinism    no RNG/wall-clock calls in sim, virt, sched\n"
+          "  determinism    no RNG/wall-clock calls in sim, virt, sched,\n"
+          "                 obs (except the scope-timer profiler)\n"
           "  float-eq       no ==/!= against float literals outside stats\n"
           "  iostream       library code logs through util/log\n"
           "  pragma-once    headers open with #pragma once\n"
           "  include-order  own header, then <system>, then \"project\"\n"
           "  require-guard  argument-taking constructors use TRACON_REQUIRE\n"
+          "  metric-name    metric/scope/event literals are dotted\n"
+          "                 snake_case paths\n"
           "Suppress one line with `tracon-lint: allow(<rule>)`, a file\n"
           "with `tracon-lint: allow-file(<rule>)`.\n",
           argv[0]);

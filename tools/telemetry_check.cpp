@@ -1,0 +1,150 @@
+// telemetry_check: validates the files the telemetry subsystem emits.
+//
+// Usage: telemetry_check --metrics METRICS.json [--trace TRACE.json]
+//
+// Checks (exit 0 when all pass, 1 otherwise):
+//   metrics: parses as JSON; has the scheduler decision counters, at
+//     least one sim.util.* gauge, and at least one prediction-error
+//     histogram whose buckets are structurally sound (le-ascending,
+//     bucket counts summing to `count`).
+//   trace: parses as JSON; traceEvents is a non-empty array whose
+//     entries carry name/ph/ts/pid/tid, with at least one complete
+//     "X" duration slice.
+//
+// Used by CI after an instrumented example/CLI run; kept dependency-free
+// via the in-tree obs JSON reader.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using tracon::obs::JsonValue;
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (ok) {
+    std::printf("ok: %s\n", what.c_str());
+  } else {
+    std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool histogram_sound(const JsonValue& hist) {
+  const JsonValue* count = hist.find("count");
+  const JsonValue* buckets = hist.find("buckets");
+  if (count == nullptr || buckets == nullptr || !buckets->is_array()) {
+    return false;
+  }
+  double total = 0.0;
+  double prev_le = 0.0;
+  bool first = true;
+  for (const auto& b : buckets->as_array()) {
+    const JsonValue* le = b->find("le");
+    const JsonValue* c = b->find("count");
+    if (le == nullptr || c == nullptr) return false;
+    if (le->is_number()) {
+      if (!first && le->as_number() <= prev_le) return false;
+      prev_le = le->as_number();
+      first = false;
+    } else if (!le->is_string() || le->as_string() != "inf") {
+      return false;
+    }
+    total += c->as_number();
+  }
+  return total == count->as_number();  // exact: both are integer counts
+}
+
+void check_metrics(const JsonValue& doc) {
+  const JsonValue* counters = doc.find("counters");
+  check(counters != nullptr && counters->is_object(),
+        "metrics has a counters object");
+  check(counters != nullptr && counters->find("sched.decisions") != nullptr,
+        "metrics counters include sched.decisions");
+
+  const JsonValue* gauges = doc.find("gauges");
+  bool has_util = false;
+  if (gauges != nullptr && gauges->is_object()) {
+    for (const auto& [name, value] : gauges->as_object()) {
+      (void)value;
+      if (name.rfind("sim.util.", 0) == 0) has_util = true;
+    }
+  }
+  check(has_util, "metrics gauges include a sim.util.* utilization gauge");
+
+  const JsonValue* hists = doc.find("histograms");
+  bool has_err = false;
+  bool all_sound = true;
+  if (hists != nullptr && hists->is_object()) {
+    for (const auto& [name, value] : hists->as_object()) {
+      if (name.find(".rel_error") != std::string::npos) has_err = true;
+      if (!histogram_sound(*value)) all_sound = false;
+    }
+  }
+  check(has_err, "metrics include a prediction rel_error histogram");
+  check(all_sound, "every histogram has ascending buckets summing to count");
+}
+
+void check_trace(const JsonValue& doc) {
+  const JsonValue* events = doc.find("traceEvents");
+  check(events != nullptr && events->is_array() && !events->as_array().empty(),
+        "trace has a non-empty traceEvents array");
+  if (events == nullptr || !events->is_array()) return;
+
+  bool fields_ok = true;
+  bool has_slice = false;
+  for (const auto& ev : events->as_array()) {
+    const JsonValue* ph = ev->find("ph");
+    if (ph == nullptr || !ph->is_string() || ev->find("name") == nullptr ||
+        ev->find("pid") == nullptr || ev->find("tid") == nullptr) {
+      fields_ok = false;
+      continue;
+    }
+    // Metadata events carry no timestamp; everything else must.
+    if (ph->as_string() != "M" && ev->find("ts") == nullptr) fields_ok = false;
+    if (ph->as_string() == "X" && ev->find("dur") != nullptr) has_slice = true;
+  }
+  check(fields_ok, "every trace event has name/ph/pid/tid (+ts when timed)");
+  check(has_slice, "trace contains at least one X duration slice");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    tracon::ArgParser args(argc, argv);
+    if (!args.has("metrics")) {
+      std::fprintf(stderr,
+                   "usage: %s --metrics METRICS.json [--trace TRACE.json]\n",
+                   argv[0]);
+      return 2;
+    }
+    check_metrics(tracon::obs::parse_json(slurp(args.get("metrics"))));
+    if (args.has("trace")) {
+      check_trace(tracon::obs::parse_json(slurp(args.get("trace"))));
+    }
+    if (g_failures > 0) {
+      std::fprintf(stderr, "telemetry_check: %d failure(s)\n", g_failures);
+      return 1;
+    }
+    std::printf("telemetry_check: all checks passed\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "telemetry_check error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -12,6 +12,15 @@
 //   --model wmm|lm|nlm|nlm-log   prediction model     (default nlm)
 //   --seed N                     RNG seed             (default 42)
 //   --csv                        machine-readable output where applicable
+//   --prof                       print wall-clock kernel profile to stderr
+//
+// Telemetry flags (dynamic subcommand):
+//   --metrics-out FILE           metrics registry as JSON
+//   --metrics-csv FILE           metrics registry as CSV
+//   --trace-out FILE             Chrome trace_event JSON (Perfetto-loadable)
+//   --trace-jsonl FILE           one trace event per line
+// All telemetry timestamps are virtual-clock; same-seed runs produce
+// byte-identical files.
 //
 // Examples:
 //   tracon matrix --host ssd
@@ -25,6 +34,8 @@
 #include <string>
 
 #include "core/tracon.hpp"
+#include "obs/scope_timer.hpp"
+#include "obs/telemetry.hpp"
 #include "sched/fifo.hpp"
 #include "sim/dynamic_scenario.hpp"
 #include "sim/hierarchy.hpp"
@@ -214,7 +225,51 @@ int cmd_dynamic(const ArgParser& args) {
   sim::TraceRecorder trace;
   if (args.has("trace")) cfg.trace = &trace;
   auto sched = scheduler_from(args, sys, false);
+
+  // Telemetry wraps only the chosen-scheduler run (the FIFO pass above
+  // is just the normalization baseline).
+  const bool want_metrics = args.has("metrics-out") || args.has("metrics-csv");
+  const bool want_trace = args.has("trace-out") || args.has("trace-jsonl");
+  obs::Telemetry tel;
+  if (want_metrics || want_trace) {
+    tel.tracer.set_enabled(want_trace);
+    cfg.telemetry = &tel;
+    cfg.accuracy_probe = &sys.predictor();
+    cfg.accuracy_family = model::model_kind_name(sys.model_kind());
+    sched->set_telemetry(&tel);
+  }
+
   auto o = sim::run_dynamic(sys.perf_table(), *sched, cfg);
+
+  auto write_file = [&](const char* flag, const char* what,
+                        auto&& writer) -> bool {
+    std::string path = args.get(flag);
+    std::ofstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s file '%s'\n", what, path.c_str());
+      return false;
+    }
+    writer(f);
+    std::printf("%s written to %s\n", what, path.c_str());
+    return true;
+  };
+  bool io_ok = true;
+  if (args.has("metrics-out"))
+    io_ok &= write_file("metrics-out", "metrics JSON",
+                        [&](std::ostream& f) { tel.metrics.write_json(f); });
+  if (args.has("metrics-csv"))
+    io_ok &= write_file("metrics-csv", "metrics CSV",
+                        [&](std::ostream& f) { tel.metrics.write_csv(f); });
+  if (args.has("trace-out"))
+    io_ok &= write_file("trace-out", "Chrome trace", [&](std::ostream& f) {
+      tel.tracer.write_chrome_json(f);
+    });
+  if (args.has("trace-jsonl"))
+    io_ok &= write_file("trace-jsonl", "JSONL trace", [&](std::ostream& f) {
+      tel.tracer.write_jsonl(f);
+    });
+  if (!io_ok) return 1;
+
   if (args.has("trace")) {
     std::ofstream f(args.get("trace"));
     if (!f) {
@@ -302,15 +357,22 @@ int main(int argc, char** argv) {
   try {
     ArgParser args(argc, argv);
     if (args.positional().empty()) return usage();
+    if (args.has("prof")) tracon::obs::ProfRegistry::global().set_enabled(true);
     const std::string& cmd = args.positional()[0];
-    if (cmd == "table1") return cmd_table1(args);
-    if (cmd == "matrix") return cmd_matrix(args);
-    if (cmd == "predict") return cmd_predict(args);
-    if (cmd == "static") return cmd_static(args);
-    if (cmd == "dynamic") return cmd_dynamic(args);
-    if (cmd == "hierarchy") return cmd_hierarchy(args);
-    if (cmd == "profile") return cmd_profile(args);
-    return usage();
+    int rc;
+    if (cmd == "table1") rc = cmd_table1(args);
+    else if (cmd == "matrix") rc = cmd_matrix(args);
+    else if (cmd == "predict") rc = cmd_predict(args);
+    else if (cmd == "static") rc = cmd_static(args);
+    else if (cmd == "dynamic") rc = cmd_dynamic(args);
+    else if (cmd == "hierarchy") rc = cmd_hierarchy(args);
+    else if (cmd == "profile") rc = cmd_profile(args);
+    else return usage();
+    if (args.has("prof")) {
+      std::cerr << "--- wall-clock kernel profile (--prof) ---\n";
+      tracon::obs::ProfRegistry::global().write_text(std::cerr);
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
