@@ -55,6 +55,14 @@ int main(int argc, char** argv) {
       run_cfg.accuracy_probe = &system.predictor();
       run_cfg.accuracy_family = model::model_kind_name(system.model_kind());
       sched->set_telemetry(&tel);
+      tel.metrics.set_fingerprint("seed", std::to_string(run_cfg.seed));
+      tel.metrics.set_fingerprint("scheduler", sched->name());
+      tel.metrics.set_fingerprint("machines",
+                                  std::to_string(run_cfg.machines));
+      tel.metrics.set_fingerprint("mix", workload::mix_name(run_cfg.mix));
+      tel.metrics.set_fingerprint("host", "paper");
+      tel.metrics.set_fingerprint("model", "nlm");
+      tel.metrics.set_fingerprint("source", "live");
     }
     sim::DynamicOutcome o =
         sim::run_dynamic(system.perf_table(), *sched, run_cfg);

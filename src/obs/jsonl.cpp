@@ -1,0 +1,113 @@
+#include "obs/jsonl.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace tracon::obs {
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonLineWriter::key(std::string_view k) {
+  if (!first_) body_ += ", ";
+  first_ = false;
+  body_ += '"';
+  body_ += json_escape(k);
+  body_ += "\": ";
+}
+
+JsonLineWriter& JsonLineWriter::field(std::string_view k,
+                                      std::string_view value) {
+  key(k);
+  body_ += '"';
+  body_ += json_escape(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonLineWriter& JsonLineWriter::field(std::string_view k, const char* value) {
+  return field(k, std::string_view(value));
+}
+
+JsonLineWriter& JsonLineWriter::field(std::string_view k, double value) {
+  key(k);
+  // Shortest round-trip representation (std::to_chars default): the
+  // parsed double is bit-identical to `value`, which is what lets a
+  // replayed trace reproduce its recording exactly — %.10g would
+  // quantize arrival times and quietly fork the two simulations.
+  char buf[32];
+  auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  body_.append(buf, result.ptr);
+  return *this;
+}
+
+JsonLineWriter& JsonLineWriter::field(std::string_view k,
+                                      std::uint64_t value) {
+  key(k);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonLineWriter& JsonLineWriter::field(std::string_view k, int value) {
+  key(k);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonLineWriter& JsonLineWriter::raw_field(std::string_view k,
+                                          std::string_view json) {
+  key(k);
+  body_ += json;
+  return *this;
+}
+
+std::string JsonLineWriter::str() const { return body_ + "}"; }
+
+int require_schema(const JsonValue& header, std::string_view schema) {
+  if (!header.is_object()) {
+    throw std::invalid_argument("jsonl header is not a JSON object");
+  }
+  const JsonValue* s = header.find("schema");
+  if (s == nullptr || !s->is_string() || s->as_string() != schema) {
+    throw std::invalid_argument("jsonl header schema mismatch: expected \"" +
+                                std::string(schema) + "\"");
+  }
+  const JsonValue* v = header.find("version");
+  if (v == nullptr || !v->is_number()) {
+    throw std::invalid_argument("jsonl header missing integer version");
+  }
+  int version = static_cast<int>(v->as_number());
+  if (version < 1 || version > kJsonlSchemaVersion) {
+    throw std::invalid_argument("unsupported jsonl schema version " +
+                                std::to_string(version));
+  }
+  return version;
+}
+
+}  // namespace tracon::obs

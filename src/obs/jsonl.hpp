@@ -1,0 +1,58 @@
+// Deterministic single-line JSON writing plus the shared schema-version
+// header used by every JSONL file format in the tree (arrival traces,
+// task-event logs, the runstore index).
+//
+// A JSONL file opens with one header object
+//   {"schema": "<format name>", "version": N, ...format fields}
+// followed by one record object per line. Readers call require_schema()
+// on the parsed header line to reject foreign or future files early.
+//
+// JsonLineWriter emits fields in insertion order and formats doubles as
+// their shortest round-trip representation (std::to_chars), so
+// same-input runs write byte-identical lines and parsing a written
+// value recovers it bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tracon::obs {
+
+class JsonValue;
+
+/// Version shared by the tracon JSONL formats; bumped in lockstep when
+/// any record schema changes shape.
+inline constexpr int kJsonlSchemaVersion = 1;
+
+/// Escapes `raw` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(std::string_view raw);
+
+/// Builds one JSON object on a single line, fields in call order.
+class JsonLineWriter {
+ public:
+  JsonLineWriter& field(std::string_view key, std::string_view value);
+  JsonLineWriter& field(std::string_view key, const char* value);
+  JsonLineWriter& field(std::string_view key, double value);
+  JsonLineWriter& field(std::string_view key, std::uint64_t value);
+  JsonLineWriter& field(std::string_view key, int value);
+  /// Pre-serialized JSON (nested object/array) inserted verbatim.
+  JsonLineWriter& raw_field(std::string_view key, std::string_view json);
+
+  /// The closed object, without a trailing newline.
+  std::string str() const;
+
+ private:
+  void key(std::string_view k);
+  std::string body_ = "{";
+  bool first_ = true;
+};
+
+/// Validates a parsed JSONL header line: it must be an object whose
+/// "schema" equals `schema` and whose integer "version" is at most
+/// kJsonlSchemaVersion. Returns the version; throws
+/// std::invalid_argument otherwise.
+int require_schema(const JsonValue& header, std::string_view schema);
+
+}  // namespace tracon::obs

@@ -5,6 +5,7 @@
 #include <limits>
 #include <ostream>
 
+#include "obs/jsonl.hpp"
 #include "util/error.hpp"
 
 namespace tracon::obs {
@@ -111,6 +112,13 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return histograms_.emplace(name, Histogram(upper_bounds)).first->second;
 }
 
+void MetricsRegistry::set_fingerprint(const std::string& key,
+                                      const std::string& value) {
+  TRACON_REQUIRE(valid_metric_name(key),
+                 "fingerprint key must be a snake_case identifier");
+  fingerprint_[key] = value;
+}
+
 bool MetricsRegistry::empty() const {
   return counters_.empty() && gauges_.empty() && histograms_.empty();
 }
@@ -137,8 +145,15 @@ void write_histogram_json(std::ostream& os, const Histogram& h) {
 }  // namespace
 
 void MetricsRegistry::write_json(std::ostream& os) const {
-  os << "{\n  \"counters\": {";
+  os << "{\n  \"fingerprint\": {";
   bool first = true;
+  for (const auto& [key, value] : fingerprint_) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(key) << "\": \""
+       << json_escape(value) << "\"";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"counters\": {";
+  first = true;
   for (const auto& [name, c] : counters_) {
     os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << c.value();
     first = false;
@@ -162,6 +177,9 @@ void MetricsRegistry::write_json(std::ostream& os) const {
 
 void MetricsRegistry::write_csv(std::ostream& os) const {
   os << "kind,name,field,value\n";
+  for (const auto& [key, value] : fingerprint_) {
+    os << "fingerprint," << key << ",value," << value << "\n";
+  }
   for (const auto& [name, c] : counters_) {
     os << "counter," << name << ",value," << c.value() << "\n";
   }

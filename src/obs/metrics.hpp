@@ -103,6 +103,16 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name,
                        const std::vector<double>& upper_bounds);
 
+  /// Stamps one config-fingerprint entry (seed, scheduler, machines,
+  /// mix, build, ...). The fingerprint is exported as its own block so
+  /// every metrics file is self-describing — runstore entries can be
+  /// diffed without the command line that produced them. Keys are
+  /// snake_case identifiers; values are free-form strings.
+  void set_fingerprint(const std::string& key, const std::string& value);
+  const std::map<std::string, std::string>& fingerprint() const {
+    return fingerprint_;
+  }
+
   bool empty() const;
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Gauge>& gauges() const { return gauges_; }
@@ -110,13 +120,15 @@ class MetricsRegistry {
     return histograms_;
   }
 
-  /// One JSON object: {"counters": {...}, "gauges": {...},
-  /// "histograms": {...}}, keys in name order.
+  /// One JSON object: {"fingerprint": {...}, "counters": {...},
+  /// "gauges": {...}, "histograms": {...}}, keys in name order.
   void write_json(std::ostream& os) const;
-  /// Rows of `kind,name,field,value` with a header line.
+  /// Rows of `kind,name,field,value` with a header line (fingerprint
+  /// entries first, as `fingerprint,<key>,value,<value>`).
   void write_csv(std::ostream& os) const;
 
  private:
+  std::map<std::string, std::string> fingerprint_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

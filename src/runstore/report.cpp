@@ -1,0 +1,208 @@
+#include "runstore/report.hpp"
+
+#include <ostream>
+#include <set>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "util/table.hpp"
+
+namespace tracon::runstore {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void read_scalar_section(const obs::JsonValue& doc, const std::string& key,
+                         std::map<std::string, double>* out) {
+  const obs::JsonValue* section = doc.find(key);
+  if (section == nullptr || !section->is_object()) {
+    throw std::invalid_argument("metrics document has no \"" + key +
+                                "\" object");
+  }
+  for (const auto& [name, value] : section->as_object()) {
+    if (!value->is_number()) {
+      throw std::invalid_argument("metrics " + key + " entry \"" + name +
+                                  "\" is not a number");
+    }
+    (*out)[name] = value->as_number();
+  }
+}
+
+double hist_field(const obs::JsonValue& hist, const std::string& name,
+                  const std::string& field) {
+  const obs::JsonValue* v = hist.find(field);
+  if (v == nullptr || !v->is_number()) {
+    throw std::invalid_argument("metrics histogram \"" + name +
+                                "\" lacks numeric \"" + field + "\"");
+  }
+  return v->as_number();
+}
+
+/// Union of the key sets of two maps, sorted.
+template <typename Map>
+std::set<std::string> key_union(const Map& a, const Map& b) {
+  std::set<std::string> keys;
+  for (const auto& [k, v] : a) keys.insert(k);
+  for (const auto& [k, v] : b) keys.insert(k);
+  return keys;
+}
+
+ReportSection scalar_section(const std::string& title,
+                             const std::map<std::string, double>& a,
+                             const std::map<std::string, double>& b) {
+  ReportSection section{title, {}};
+  for (const std::string& name : key_union(a, b)) {
+    auto ia = a.find(name);
+    auto ib = b.find(name);
+    section.rows.push_back({name, ia != a.end() ? ia->second : 0.0,
+                            ib != b.end() ? ib->second : 0.0});
+  }
+  return section;
+}
+
+}  // namespace
+
+MetricsSummary summarize_metrics(const obs::JsonValue& doc) {
+  MetricsSummary out;
+  if (const obs::JsonValue* fp = doc.find("fingerprint");
+      fp != nullptr && fp->is_object()) {
+    for (const auto& [key, value] : fp->as_object()) {
+      if (value->is_string()) out.fingerprint[key] = value->as_string();
+    }
+  }
+  read_scalar_section(doc, "counters", &out.counters);
+  read_scalar_section(doc, "gauges", &out.gauges);
+  const obs::JsonValue* hists = doc.find("histograms");
+  if (hists == nullptr || !hists->is_object()) {
+    throw std::invalid_argument("metrics document has no histograms object");
+  }
+  for (const auto& [name, value] : hists->as_object()) {
+    MetricsSummary::HistStats stats;
+    stats.count = hist_field(*value, name, "count");
+    stats.sum = hist_field(*value, name, "sum");
+    stats.min = hist_field(*value, name, "min");
+    stats.max = hist_field(*value, name, "max");
+    out.histograms[name] = stats;
+  }
+  return out;
+}
+
+RunReport diff_runs(const MetricsSummary& a, const MetricsSummary& b,
+                    const std::string& label_a, const std::string& label_b) {
+  RunReport report;
+  report.label_a = label_a;
+  report.label_b = label_b;
+  report.fingerprint_a = a.fingerprint;
+  report.fingerprint_b = b.fingerprint;
+
+  report.sections.push_back(
+      scalar_section("counters", a.counters, b.counters));
+  report.sections.push_back(scalar_section("gauges", a.gauges, b.gauges));
+
+  ReportSection latency{"task latency", {}};
+  ReportSection accuracy{"model accuracy (mean |rel error|)", {}};
+  for (const std::string& name : key_union(a.histograms, b.histograms)) {
+    auto ia = a.histograms.find(name);
+    auto ib = b.histograms.find(name);
+    MetricsSummary::HistStats ha =
+        ia != a.histograms.end() ? ia->second : MetricsSummary::HistStats{};
+    MetricsSummary::HistStats hb =
+        ib != b.histograms.end() ? ib->second : MetricsSummary::HistStats{};
+    if (starts_with(name, "sim.task.")) {
+      latency.rows.push_back({name + " count", ha.count, hb.count});
+      latency.rows.push_back({name + " mean", ha.mean(), hb.mean()});
+      latency.rows.push_back({name + " max", ha.max, hb.max});
+    } else if (ends_with(name, ".rel_error_abs")) {
+      accuracy.rows.push_back({name, ha.mean(), hb.mean()});
+    }
+  }
+  report.sections.push_back(std::move(latency));
+  report.sections.push_back(std::move(accuracy));
+  return report;
+}
+
+void write_report_text(std::ostream& os, const RunReport& report) {
+  os << "A = " << report.label_a << "\nB = " << report.label_b << "\n";
+  bool fingerprint_diff = false;
+  for (const std::string& key :
+       key_union(report.fingerprint_a, report.fingerprint_b)) {
+    auto ia = report.fingerprint_a.find(key);
+    auto ib = report.fingerprint_b.find(key);
+    const std::string va =
+        ia != report.fingerprint_a.end() ? ia->second : "(unset)";
+    const std::string vb =
+        ib != report.fingerprint_b.end() ? ib->second : "(unset)";
+    if (va == vb) continue;
+    if (!fingerprint_diff) os << "fingerprint differences:\n";
+    fingerprint_diff = true;
+    os << "  " << key << ": " << va << " -> " << vb << "\n";
+  }
+  if (!fingerprint_diff) os << "fingerprints identical\n";
+
+  for (const ReportSection& section : report.sections) {
+    if (section.rows.empty()) continue;
+    os << "\n" << section.title << ":\n";
+    TableWriter table({"metric", "A", "B", "delta"});
+    for (const ReportRow& row : section.rows) {
+      table.add_row({row.name, obs::format_double(row.a),
+                     obs::format_double(row.b),
+                     obs::format_double(row.delta())});
+    }
+    table.print(os);
+  }
+}
+
+namespace {
+
+void write_fingerprint_json(std::ostream& os,
+                            const std::map<std::string, std::string>& fp) {
+  os << "{";
+  bool first = true;
+  for (const auto& [key, value] : fp) {
+    os << (first ? "" : ", ") << "\"" << obs::json_escape(key) << "\": \""
+       << obs::json_escape(value) << "\"";
+    first = false;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void write_report_json(std::ostream& os, const RunReport& report) {
+  os << "{\n  \"a\": {\"label\": \"" << obs::json_escape(report.label_a)
+     << "\", \"fingerprint\": ";
+  write_fingerprint_json(os, report.fingerprint_a);
+  os << "},\n  \"b\": {\"label\": \"" << obs::json_escape(report.label_b)
+     << "\", \"fingerprint\": ";
+  write_fingerprint_json(os, report.fingerprint_b);
+  os << "},\n  \"sections\": [";
+  bool first_section = true;
+  for (const ReportSection& section : report.sections) {
+    os << (first_section ? "\n" : ",\n") << "    {\"title\": \""
+       << obs::json_escape(section.title) << "\", \"rows\": [";
+    first_section = false;
+    bool first_row = true;
+    for (const ReportRow& row : section.rows) {
+      os << (first_row ? "\n" : ",\n") << "      {\"name\": \""
+         << obs::json_escape(row.name) << "\", \"a\": "
+         << obs::format_double(row.a) << ", \"b\": "
+         << obs::format_double(row.b) << ", \"delta\": "
+         << obs::format_double(row.delta()) << "}";
+      first_row = false;
+    }
+    os << (first_row ? "" : "\n    ") << "]}";
+  }
+  os << (first_section ? "" : "\n  ") << "]\n}\n";
+}
+
+}  // namespace tracon::runstore

@@ -1,0 +1,78 @@
+// Run comparison: the `tracon report` engine.
+//
+// Takes two metrics JSON documents (as stored by RunStore), flattens
+// them into comparable summaries, and produces a sectioned A/B diff:
+// scheduler/task counters, utilization gauges, wait/makespan histogram
+// statistics, and per-model-family mean |relative error| — rendered as
+// an aligned text table or as JSON.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tracon::obs {
+class JsonValue;
+}
+
+namespace tracon::runstore {
+
+/// Flat view of one metrics export.
+struct MetricsSummary {
+  struct HistStats {
+    double count = 0.0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean() const { return count > 0.0 ? sum / count : 0.0; }
+  };
+
+  std::map<std::string, std::string> fingerprint;
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistStats> histograms;
+};
+
+/// Flattens a parsed metrics document (write_json output). Throws
+/// std::invalid_argument when the document lacks the expected shape.
+MetricsSummary summarize_metrics(const obs::JsonValue& doc);
+
+struct ReportRow {
+  std::string name;
+  double a = 0.0;
+  double b = 0.0;
+  double delta() const { return b - a; }
+};
+
+struct ReportSection {
+  std::string title;
+  std::vector<ReportRow> rows;
+};
+
+struct RunReport {
+  std::string label_a;
+  std::string label_b;
+  std::map<std::string, std::string> fingerprint_a;
+  std::map<std::string, std::string> fingerprint_b;
+  std::vector<ReportSection> sections;
+};
+
+/// Builds the A/B diff. Sections (rows over the union of names, absent
+/// side reported as 0):
+///   counters      every counter (sched.*, sim.tasks.*, model samples)
+///   gauges        every gauge (utilization, queue length)
+///   task latency  count/mean/max of each sim.task.* histogram
+///                 (wait = queueing delay, runtime = makespan per task)
+///   model accuracy  mean of each model.*.rel_error_abs histogram
+RunReport diff_runs(const MetricsSummary& a, const MetricsSummary& b,
+                    const std::string& label_a, const std::string& label_b);
+
+/// Aligned text tables, one per non-empty section, preceded by the
+/// fingerprint keys on which the two runs differ.
+void write_report_text(std::ostream& os, const RunReport& report);
+
+/// One JSON document mirroring the section/row structure.
+void write_report_json(std::ostream& os, const RunReport& report);
+
+}  // namespace tracon::runstore

@@ -1,0 +1,228 @@
+#include "runstore/runstore.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unistd.h>
+
+#include "obs/json.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace tracon::runstore {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Writes `content` to `path` durably: temp file in the same directory,
+/// fflush + fsync, then rename into place.
+void write_file_atomic(const fs::path& path, const std::string& content) {
+  fs::path tmp = path;
+  tmp += ".tmp";
+  std::FILE* f = std::fopen(tmp.string().c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("runstore: cannot open '" + tmp.string() + "'");
+  }
+  bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+                content.size() &&
+            std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    throw std::runtime_error("runstore: short write to '" + tmp.string() +
+                             "'");
+  }
+  fs::rename(tmp, path);
+}
+
+/// Appends `line` (plus newline) to `path` and fsyncs before returning,
+/// so a completed add_run survives power loss. If a previous crash left
+/// the file without a trailing newline (a half-written record), a
+/// newline is inserted first so the torn record stays confined to its
+/// own line instead of swallowing this append.
+void append_line_fsync(const fs::path& path, const std::string& line) {
+  bool repair_newline = false;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (in && in.tellg() > 0) {
+      in.seekg(-1, std::ios::end);
+      char last = '\n';
+      in.get(last);
+      repair_newline = last != '\n';
+    }
+  }
+  std::FILE* f = std::fopen(path.string().c_str(), "ab");
+  if (f == nullptr) {
+    throw std::runtime_error("runstore: cannot append to '" + path.string() +
+                             "'");
+  }
+  std::string with_nl = (repair_newline ? "\n" : "") + line + "\n";
+  bool ok = std::fwrite(with_nl.data(), 1, with_nl.size(), f) ==
+                with_nl.size() &&
+            std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    throw std::runtime_error("runstore: short append to '" + path.string() +
+                             "'");
+  }
+}
+
+std::string fingerprint_json(
+    const std::map<std::string, std::string>& fingerprint) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : fingerprint) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + obs::json_escape(key) + "\": \"" + obs::json_escape(value) +
+           "\"";
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+RunStore::RunStore(fs::path dir) : dir_(std::move(dir)) {
+  TRACON_REQUIRE(!dir_.empty(), "runstore directory must be non-empty");
+  fs::create_directories(dir_ / "objects");
+}
+
+std::string RunStore::content_id(std::string_view content) {
+  // FNV-1a 64-bit: deterministic, dependency-free, sufficient for
+  // distinguishing run exports (not a cryptographic digest).
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : content) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string RunStore::add_run(const obs::MetricsRegistry& metrics,
+                              const std::string& scheduler,
+                              const std::string& source) {
+  std::ostringstream os;
+  metrics.write_json(os);
+  return add_run_json(os.str(), scheduler, source, metrics.fingerprint());
+}
+
+std::string RunStore::add_run_json(
+    const std::string& metrics_json, const std::string& scheduler,
+    const std::string& source,
+    const std::map<std::string, std::string>& fingerprint) {
+  const std::string id = content_id(metrics_json);
+  LoadResult existing = load();
+  for (const RunRecord& r : existing.runs) {
+    if (r.id == id) return id;  // idempotent: content already stored
+  }
+
+  const std::string metrics_rel = "objects/" + id + ".json";
+  write_file_atomic(dir_ / metrics_rel, metrics_json);
+
+  const fs::path index = dir_ / "index.jsonl";
+  std::error_code ec;
+  if (!fs::exists(index, ec) || fs::file_size(index, ec) == 0) {
+    append_line_fsync(index, obs::JsonLineWriter()
+                                 .field("schema", kRunIndexSchema)
+                                 .field("version", obs::kJsonlSchemaVersion)
+                                 .str());
+  }
+  append_line_fsync(index,
+                    obs::JsonLineWriter()
+                        .field("id", id)
+                        .field("scheduler", scheduler)
+                        .field("source", source)
+                        .field("metrics", metrics_rel)
+                        .raw_field("fingerprint", fingerprint_json(fingerprint))
+                        .str());
+  return id;
+}
+
+RunStore::LoadResult RunStore::load() const {
+  LoadResult result;
+  std::ifstream in(dir_ / "index.jsonl", std::ios::binary);
+  if (!in) return result;  // empty store
+
+  std::string line;
+  std::size_t line_no = 0;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      obs::JsonValue obj = obs::parse_json(line);
+      if (!have_header) {
+        obs::require_schema(obj, kRunIndexSchema);
+        have_header = true;
+        continue;
+      }
+      const obs::JsonValue* id = obj.find("id");
+      const obs::JsonValue* scheduler = obj.find("scheduler");
+      const obs::JsonValue* source = obj.find("source");
+      const obs::JsonValue* metrics = obj.find("metrics");
+      if (id == nullptr || !id->is_string() || scheduler == nullptr ||
+          !scheduler->is_string() || source == nullptr ||
+          !source->is_string() || metrics == nullptr ||
+          !metrics->is_string()) {
+        throw std::invalid_argument("missing id/scheduler/source/metrics");
+      }
+      RunRecord rec;
+      rec.id = id->as_string();
+      rec.scheduler = scheduler->as_string();
+      rec.source = source->as_string();
+      rec.metrics_rel = metrics->as_string();
+      if (const obs::JsonValue* fp = obj.find("fingerprint");
+          fp != nullptr && fp->is_object()) {
+        for (const auto& [key, value] : fp->as_object()) {
+          if (value->is_string()) rec.fingerprint[key] = value->as_string();
+        }
+      }
+      bool duplicate = false;
+      for (const RunRecord& seen : result.runs) {
+        if (seen.id == rec.id) duplicate = true;
+      }
+      if (!duplicate) result.runs.push_back(std::move(rec));
+    } catch (const std::exception& e) {
+      ++result.skipped_lines;
+      result.warnings.push_back("index line " + std::to_string(line_no) +
+                                " skipped (" + e.what() +
+                                "); truncated tail record?");
+    }
+  }
+  return result;
+}
+
+std::optional<RunRecord> RunStore::find(const std::string& id_prefix) const {
+  TRACON_REQUIRE(!id_prefix.empty(), "run id prefix must be non-empty");
+  LoadResult loaded = load();
+  std::optional<RunRecord> match;
+  for (const RunRecord& r : loaded.runs) {
+    if (r.id.rfind(id_prefix, 0) != 0) continue;
+    if (match.has_value()) {
+      throw std::invalid_argument("run id prefix '" + id_prefix +
+                                  "' is ambiguous (matches " + match->id +
+                                  " and " + r.id + ")");
+    }
+    match = r;
+  }
+  return match;
+}
+
+std::string RunStore::read_metrics(const RunRecord& record) const {
+  std::ifstream in(dir_ / record.metrics_rel, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("runstore: cannot open metrics object for run " +
+                             record.id);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace tracon::runstore

@@ -1,0 +1,37 @@
+#include "sim/arrival_source.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tracon::sim {
+
+PoissonArrivalSource::PoissonArrivalSource(double lambda_per_min,
+                                           double duration_s,
+                                           workload::MixKind mix,
+                                           double mix_stddev,
+                                           std::uint64_t seed)
+    : lambda_per_min_(lambda_per_min),
+      duration_s_(duration_s),
+      mix_(mix),
+      mix_stddev_(mix_stddev),
+      seed_(seed) {
+  TRACON_REQUIRE(lambda_per_min > 0.0, "lambda must be positive");
+  TRACON_REQUIRE(duration_s > 0.0, "duration must be positive");
+}
+
+std::vector<Arrival> PoissonArrivalSource::arrivals(std::size_t num_apps) {
+  TRACON_REQUIRE(num_apps > 0, "need at least one application class");
+  Rng rng(seed_);
+  double rate_per_s = lambda_per_min_ / 60.0;
+  std::vector<Arrival> out;
+  double t = rng.exponential(rate_per_s);
+  while (t < duration_s_) {
+    std::size_t app = workload::sample_benchmark_index(mix_, rng, mix_stddev_);
+    TRACON_ASSERT(app < num_apps, "sampled app out of range");
+    out.push_back({t, app});
+    t += rng.exponential(rate_per_s);
+  }
+  return out;
+}
+
+}  // namespace tracon::sim

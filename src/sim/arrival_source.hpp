@@ -1,0 +1,59 @@
+// Arrival-stream abstraction for the dynamic scenario.
+//
+// run_dynamic consumes a materialized, time-sorted arrival list; an
+// ArrivalSource is anything that can produce one. The Poisson/mix
+// generator the paper's dynamic experiment uses is one implementation
+// (below); src/replay adds TraceArrivalSource, which replays a recorded
+// JSONL arrival trace byte-for-byte so the same historical workload can
+// be driven through different schedulers (A/B on real traces).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/mixes.hpp"
+
+namespace tracon::sim {
+
+/// One externally supplied task arrival.
+struct Arrival {
+  double time_s = 0.0;
+  std::size_t app = 0;
+};
+
+class ArrivalSource {
+ public:
+  virtual ~ArrivalSource() = default;
+
+  /// Materializes the full arrival stream, sorted by time. `num_apps`
+  /// is the size of the application-class universe; every returned
+  /// arrival's app index must be < num_apps.
+  virtual std::vector<Arrival> arrivals(std::size_t num_apps) = 0;
+
+  /// Short label for logs and run fingerprints ("poisson", "trace").
+  virtual std::string name() const = 0;
+};
+
+/// The paper's arrival model: a Poisson process with rate lambda per
+/// minute whose task classes are drawn from a Gaussian-rank workload
+/// mix. Deterministic given the seed.
+class PoissonArrivalSource final : public ArrivalSource {
+ public:
+  PoissonArrivalSource(double lambda_per_min, double duration_s,
+                       workload::MixKind mix, double mix_stddev,
+                       std::uint64_t seed);
+
+  std::vector<Arrival> arrivals(std::size_t num_apps) override;
+  std::string name() const override { return "poisson"; }
+
+ private:
+  double lambda_per_min_;
+  double duration_s_;
+  workload::MixKind mix_;
+  double mix_stddev_;
+  std::uint64_t seed_;
+};
+
+}  // namespace tracon::sim

@@ -8,7 +8,6 @@
 #include "obs/accuracy.hpp"
 #include "obs/kvlog.hpp"
 #include "util/error.hpp"
-#include "util/rng.hpp"
 
 namespace tracon::sim {
 
@@ -97,27 +96,18 @@ double DynamicOutcome::throughput_per_hour() const {
 
 std::vector<Arrival> generate_arrivals(const DynamicConfig& cfg,
                                        std::size_t num_apps) {
-  TRACON_REQUIRE(cfg.lambda_per_min > 0.0, "lambda must be positive");
-  TRACON_REQUIRE(cfg.duration_s > 0.0, "duration must be positive");
-  TRACON_REQUIRE(num_apps > 0, "need at least one application class");
-  Rng rng(cfg.seed);
-  double rate_per_s = cfg.lambda_per_min / 60.0;
-  std::vector<Arrival> out;
-  double t = rng.exponential(rate_per_s);
-  while (t < cfg.duration_s) {
-    std::size_t app =
-        workload::sample_benchmark_index(cfg.mix, rng, cfg.mix_stddev);
-    TRACON_ASSERT(app < num_apps, "sampled app out of range");
-    out.push_back({t, app});
-    t += rng.exponential(rate_per_s);
-  }
-  return out;
+  PoissonArrivalSource source(cfg.lambda_per_min, cfg.duration_s, cfg.mix,
+                              cfg.mix_stddev, cfg.seed);
+  return source.arrivals(num_apps);
 }
 
 DynamicOutcome run_dynamic(const PerfTable& table,
                            sched::Scheduler& scheduler,
                            const DynamicConfig& cfg) {
-  std::vector<Arrival> arrivals = generate_arrivals(cfg, table.num_apps());
+  std::vector<Arrival> arrivals =
+      cfg.arrival_source != nullptr
+          ? cfg.arrival_source->arrivals(table.num_apps())
+          : generate_arrivals(cfg, table.num_apps());
   return run_dynamic(table, scheduler, cfg, arrivals);
 }
 

@@ -14,6 +14,7 @@
 #include "obs/telemetry.hpp"
 #include "sched/predictor.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/arrival_source.hpp"
 #include "sim/perf_table.hpp"
 #include "sim/trace.hpp"
 #include "workload/mixes.hpp"
@@ -55,6 +56,13 @@ struct DynamicConfig {
   /// Model-family label for the accuracy metrics (e.g. "NLM"); sanitized
   /// into a metric path component. Empty means "probe".
   std::string accuracy_family;
+  /// Optional arrival stream override (not owned; may be nullptr). When
+  /// set, run_dynamic(table, scheduler, cfg) draws the arrival list from
+  /// this source and lambda_per_min / mix / mix_stddev / seed are
+  /// ignored; when null, the paper's Poisson generator
+  /// (PoissonArrivalSource over those fields) is used. This is how a
+  /// recorded trace is replayed under a different scheduler.
+  ArrivalSource* arrival_source = nullptr;
 };
 
 struct DynamicOutcome {
@@ -73,15 +81,10 @@ DynamicOutcome run_dynamic(const PerfTable& table,
                            sched::Scheduler& scheduler,
                            const DynamicConfig& cfg);
 
-/// One externally supplied task arrival.
-struct Arrival {
-  double time_s = 0.0;
-  std::size_t app = 0;
-};
-
-/// Generates the Poisson/mix arrival stream `run_dynamic` would use —
-/// exposed so callers (e.g. the hierarchical manager) can split one
-/// stream exactly across sub-simulations.
+/// Generates the Poisson/mix arrival stream `run_dynamic` would use
+/// when cfg.arrival_source is null — exposed so callers (e.g. the
+/// hierarchical manager) can split one stream exactly across
+/// sub-simulations. Thin wrapper over PoissonArrivalSource.
 std::vector<Arrival> generate_arrivals(const DynamicConfig& cfg,
                                        std::size_t num_apps);
 

@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "obs/jsonl.hpp"
+
 namespace tracon::sim {
 
 std::string task_event_kind_name(TaskEventKind kind) {
@@ -12,6 +14,14 @@ std::string task_event_kind_name(TaskEventKind kind) {
     case TaskEventKind::kCompleted: return "completed";
   }
   return "unknown";
+}
+
+std::optional<TaskEventKind> parse_task_event_kind(std::string_view name) {
+  if (name == "arrived") return TaskEventKind::kArrived;
+  if (name == "dropped") return TaskEventKind::kDropped;
+  if (name == "placed") return TaskEventKind::kPlaced;
+  if (name == "completed") return TaskEventKind::kCompleted;
+  return std::nullopt;
 }
 
 std::size_t TraceRecorder::count(TaskEventKind kind) const {
@@ -28,6 +38,23 @@ void TraceRecorder::write_csv(std::ostream& os) const {
        << ',';
     if (e.machine != TaskEvent::kNoMachine) os << e.machine;
     os << '\n';
+  }
+}
+
+void TraceRecorder::write_jsonl(std::ostream& os) const {
+  os << obs::JsonLineWriter()
+            .field("schema", "tracon.task_events")
+            .field("version", obs::kJsonlSchemaVersion)
+            .field("events", events_.size())
+            .str()
+     << '\n';
+  for (const auto& e : events_) {
+    obs::JsonLineWriter line;
+    line.field("time_s", e.time_s)
+        .field("event", task_event_kind_name(e.kind))
+        .field("app", e.app);
+    if (e.machine != TaskEvent::kNoMachine) line.field("machine", e.machine);
+    os << line.str() << '\n';
   }
 }
 

@@ -1,12 +1,14 @@
 // Per-task event tracing for the dynamic scenario: who arrived, where
 // each task was placed, when it completed, what was rejected. Useful for
 // debugging scheduler behaviour and for offline analysis/plotting
-// (CSV export; `tracon dynamic --trace out.csv`).
+// (CSV or JSONL export; `tracon dynamic --trace out.csv`).
 #pragma once
 
 #include <cstddef>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace tracon::sim {
@@ -14,6 +16,10 @@ namespace tracon::sim {
 enum class TaskEventKind { kArrived, kDropped, kPlaced, kCompleted };
 
 std::string task_event_kind_name(TaskEventKind kind);
+
+/// Inverse of task_event_kind_name; nullopt for unknown names, so
+/// task-event files round-trip through their textual form.
+std::optional<TaskEventKind> parse_task_event_kind(std::string_view name);
 
 struct TaskEvent {
   double time_s = 0.0;
@@ -39,6 +45,12 @@ class TraceRecorder {
 
   /// CSV with header: time_s,event,app,machine (machine empty if none).
   void write_csv(std::ostream& os) const;
+
+  /// JSONL: a schema-version header line ({"schema":
+  /// "tracon.task_events", "version": N} — the same header shape as the
+  /// replay arrival-trace format) followed by one event object per line
+  /// ("machine" omitted when the event has none).
+  void write_jsonl(std::ostream& os) const;
 
  private:
   std::vector<TaskEvent> events_;

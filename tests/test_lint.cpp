@@ -56,6 +56,40 @@ TEST(Determinism, OnlyFiresInSimVirtSched) {
   EXPECT_FALSE(has_rule(lint_content("src/util/bad.cpp", body), "determinism"));
 }
 
+TEST(Determinism, CoversReplayAndRunstore) {
+  const std::string body =
+      "#include \"replay/bad.hpp\"\n\nint f() { return rand(); }\n";
+  EXPECT_TRUE(
+      has_rule(lint_content("src/replay/bad.cpp", body), "determinism"));
+  EXPECT_TRUE(
+      has_rule(lint_content("src/runstore/bad.cpp", body), "determinism"));
+}
+
+TEST(UnorderedOutput, FiresOnlyInSerializationDirs) {
+  const std::string body =
+      "#include <unordered_map>\n\n"
+      "std::unordered_map<std::string, int> g_index;\n";
+  EXPECT_TRUE(has_rule(lint_content("src/replay/bad.cpp", body),
+                       "unordered-output"));
+  EXPECT_TRUE(has_rule(lint_content("src/runstore/bad.hpp", body),
+                       "unordered-output"));
+  // Hash containers are fine where iteration order never reaches a
+  // serialized byte stream.
+  EXPECT_FALSE(has_rule(lint_content("src/sim/ok.cpp", body),
+                        "unordered-output"));
+  EXPECT_FALSE(has_rule(lint_content("src/util/ok.cpp", body),
+                        "unordered-output"));
+}
+
+TEST(UnorderedOutput, OrderedContainersAndProseAreQuiet) {
+  auto findings = lint_content(
+      "src/runstore/ok.cpp",
+      "#include \"runstore/ok.hpp\"\n\n#include <map>\n\n"
+      "// unordered_map would break byte stability here\n"
+      "std::map<std::string, int> g_index;\n");
+  EXPECT_FALSE(has_rule(findings, "unordered-output"));
+}
+
 TEST(Determinism, IgnoresCommentsStringsAndSimilarNames) {
   auto findings = lint_content(
       "src/sim/ok.cpp",

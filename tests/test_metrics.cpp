@@ -138,6 +138,46 @@ TEST(Registry, JsonRoundTripPreservesValues) {
   EXPECT_DOUBLE_EQ(buckets[2]->find("count")->as_number(), 1.0);
 }
 
+TEST(Registry, FingerprintExportsFirstInJsonAndCsv) {
+  MetricsRegistry reg;
+  reg.counter("sched.decisions").inc();
+  reg.set_fingerprint("seed", "42");
+  reg.set_fingerprint("scheduler", "MIBS8-RT");
+
+  std::ostringstream json;
+  reg.write_json(json);
+  JsonValue doc = parse_json(json.str());
+  const JsonValue* fp = doc.find("fingerprint");
+  ASSERT_NE(fp, nullptr);
+  EXPECT_EQ(fp->find("seed")->as_string(), "42");
+  EXPECT_EQ(fp->find("scheduler")->as_string(), "MIBS8-RT");
+  // The fingerprint leads the document, so a human sees the run
+  // identity before any metric.
+  EXPECT_LT(json.str().find("\"fingerprint\""),
+            json.str().find("\"counters\""));
+
+  std::ostringstream csv;
+  reg.write_csv(csv);
+  EXPECT_NE(csv.str().find("fingerprint,seed,value,42"), std::string::npos);
+}
+
+TEST(Registry, FingerprintKeyMustBeMetricShaped) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.set_fingerprint("Not A Key", "x"), std::invalid_argument);
+  reg.set_fingerprint("run.build", "abc123");  // dotted paths are fine
+  EXPECT_EQ(reg.fingerprint().at("run.build"), "abc123");
+}
+
+TEST(Registry, EmptyFingerprintStillExportsObject) {
+  MetricsRegistry reg;
+  reg.counter("a.c").inc();
+  std::ostringstream os;
+  reg.write_json(os);
+  const JsonValue* fp = parse_json(os.str()).find("fingerprint");
+  ASSERT_NE(fp, nullptr);
+  EXPECT_TRUE(fp->is_object());
+}
+
 TEST(Registry, ExportsAreDeterministic) {
   auto build = [] {
     MetricsRegistry reg;

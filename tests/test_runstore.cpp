@@ -1,0 +1,221 @@
+// The run database: content-addressed ids, idempotent appends,
+// crash-tail recovery, prefix lookup, and the report diff engine.
+#include "runstore/runstore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "runstore/report.hpp"
+
+namespace tracon::runstore {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("runstore_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// A minimal but shape-complete metrics document (what write_json
+/// emits), parameterized so two runs differ.
+std::string metrics_doc(double completed, const std::string& scheduler) {
+  std::ostringstream os;
+  os << "{\n  \"fingerprint\": {\"scheduler\": \"" << scheduler
+     << "\", \"seed\": \"7\"},\n"
+     << "  \"counters\": {\"sim.tasks.completed\": " << completed << "},\n"
+     << "  \"gauges\": {\"sim.util.slot_busy_fraction\": 0.5},\n"
+     << "  \"histograms\": {\"sim.task.wait_s\": {\"count\": 4, \"sum\": 10, "
+        "\"min\": 1, \"max\": 4},\n"
+     << "  \"model.nlm.runtime.rel_error_abs\": {\"count\": 2, \"sum\": 0.3, "
+        "\"min\": 0.1, \"max\": 0.2}}\n}\n";
+  return os.str();
+}
+
+TEST(RunStore, ContentIdIsStableFnv1a) {
+  // Reference digests of the 64-bit FNV-1a function.
+  EXPECT_EQ(RunStore::content_id(""), "cbf29ce484222325");
+  EXPECT_EQ(RunStore::content_id("abc"), "e71fa2190541574b");
+  EXPECT_NE(RunStore::content_id("abc"), RunStore::content_id("abd"));
+}
+
+TEST(RunStore, AddThenLoadRoundTrips) {
+  RunStore store(fresh_dir("roundtrip"));
+  std::string id = store.add_run_json(metrics_doc(10, "FIFO"), "FIFO", "live",
+                                      {{"seed", "7"}, {"mix", "medium"}});
+  EXPECT_EQ(id, RunStore::content_id(metrics_doc(10, "FIFO")));
+
+  RunStore::LoadResult loaded = store.load();
+  EXPECT_EQ(loaded.skipped_lines, 0u);
+  ASSERT_EQ(loaded.runs.size(), 1u);
+  EXPECT_EQ(loaded.runs[0].id, id);
+  EXPECT_EQ(loaded.runs[0].scheduler, "FIFO");
+  EXPECT_EQ(loaded.runs[0].source, "live");
+  EXPECT_EQ(loaded.runs[0].fingerprint.at("seed"), "7");
+  EXPECT_EQ(loaded.runs[0].fingerprint.at("mix"), "medium");
+  EXPECT_EQ(store.read_metrics(loaded.runs[0]), metrics_doc(10, "FIFO"));
+}
+
+TEST(RunStore, StoringIdenticalContentIsIdempotent) {
+  RunStore store(fresh_dir("idempotent"));
+  std::string a = store.add_run_json(metrics_doc(10, "FIFO"), "FIFO", "live",
+                                     {});
+  std::string b = store.add_run_json(metrics_doc(10, "FIFO"), "FIFO", "trace",
+                                     {});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(store.load().runs.size(), 1u);
+}
+
+TEST(RunStore, AddRunSerializesRegistry) {
+  RunStore store(fresh_dir("registry"));
+  obs::MetricsRegistry metrics;
+  metrics.counter("sim.tasks.completed").inc(3);
+  metrics.set_fingerprint("seed", "7");
+  std::string id = store.add_run(metrics, "MIBS8-RT", "live");
+  auto rec = store.find(id);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->fingerprint.at("seed"), "7");
+  std::ostringstream expect;
+  metrics.write_json(expect);
+  EXPECT_EQ(store.read_metrics(*rec), expect.str());
+}
+
+TEST(RunStore, FindResolvesUniquePrefix) {
+  RunStore store(fresh_dir("find"));
+  std::string a = store.add_run_json(metrics_doc(10, "FIFO"), "FIFO", "live",
+                                     {});
+  std::string b = store.add_run_json(metrics_doc(11, "MIX"), "MIX", "trace",
+                                     {});
+  ASSERT_NE(a, b);
+
+  EXPECT_EQ(store.find(a)->id, a);
+  EXPECT_EQ(store.find(a.substr(0, 6))->id, a);
+  EXPECT_FALSE(store.find("zzzzzz").has_value());
+  EXPECT_THROW(store.find(""), std::invalid_argument);
+}
+
+TEST(RunStore, FindRejectsAmbiguousPrefix) {
+  RunStore store(fresh_dir("ambiguous"));
+  // 17 distinct hex ids must share a leading nibble somewhere
+  // (pigeonhole over 16 first characters).
+  std::map<char, std::string> by_first;
+  std::string ambiguous;
+  for (int i = 0; i < 17 && ambiguous.empty(); ++i) {
+    std::string id =
+        store.add_run_json(metrics_doc(100 + i, "FIFO"), "FIFO", "live", {});
+    if (!by_first.emplace(id[0], id).second) ambiguous = std::string(1, id[0]);
+  }
+  ASSERT_FALSE(ambiguous.empty());
+  EXPECT_THROW(store.find(ambiguous), std::invalid_argument);
+}
+
+TEST(RunStore, LoadSkipsCrashTruncatedTailLine) {
+  fs::path dir = fresh_dir("crash");
+  RunStore store(dir);
+  store.add_run_json(metrics_doc(10, "FIFO"), "FIFO", "live", {});
+  store.add_run_json(metrics_doc(11, "MIX"), "MIX", "trace", {});
+
+  // Simulate a crash mid-append: a record cut off halfway through.
+  {
+    std::ofstream index(dir / "index.jsonl", std::ios::app);
+    index << "{\"id\": \"deadbeef\", \"scheduler\": \"MI";
+  }
+
+  RunStore::LoadResult loaded = store.load();
+  EXPECT_EQ(loaded.runs.size(), 2u);
+  EXPECT_EQ(loaded.skipped_lines, 1u);
+  ASSERT_EQ(loaded.warnings.size(), 1u);
+  EXPECT_NE(loaded.warnings[0].find("skipped"), std::string::npos);
+
+  // The store keeps working after the corruption.
+  std::string c = store.add_run_json(metrics_doc(12, "MIOS"), "MIOS", "live",
+                                     {});
+  EXPECT_EQ(store.find(c)->scheduler, "MIOS");
+}
+
+TEST(RunStore, LoadOfEmptyDirectoryIsEmpty) {
+  RunStore store(fresh_dir("empty"));
+  RunStore::LoadResult loaded = store.load();
+  EXPECT_TRUE(loaded.runs.empty());
+  EXPECT_EQ(loaded.skipped_lines, 0u);
+}
+
+TEST(Report, SummarizeReadsEverySection) {
+  obs::JsonValue doc = obs::parse_json(metrics_doc(10, "FIFO"));
+  MetricsSummary s = summarize_metrics(doc);
+  EXPECT_EQ(s.fingerprint.at("scheduler"), "FIFO");
+  EXPECT_DOUBLE_EQ(s.counters.at("sim.tasks.completed"), 10.0);
+  EXPECT_DOUBLE_EQ(s.gauges.at("sim.util.slot_busy_fraction"), 0.5);
+  EXPECT_DOUBLE_EQ(s.histograms.at("sim.task.wait_s").mean(), 2.5);
+}
+
+TEST(Report, SummarizeRejectsShapelessDocument) {
+  obs::JsonValue doc = obs::parse_json("{\"counters\": {}}");
+  EXPECT_THROW(summarize_metrics(doc), std::invalid_argument);
+}
+
+TEST(Report, DiffProducesExpectedSectionsAndDeltas) {
+  MetricsSummary a = summarize_metrics(obs::parse_json(metrics_doc(10,
+                                                                   "FIFO")));
+  MetricsSummary b = summarize_metrics(obs::parse_json(metrics_doc(14,
+                                                                   "MIX")));
+  RunReport report = diff_runs(a, b, "run-a", "run-b");
+
+  ASSERT_EQ(report.sections.size(), 4u);
+  EXPECT_EQ(report.sections[0].title, "counters");
+  ASSERT_EQ(report.sections[0].rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.sections[0].rows[0].delta(), 4.0);
+
+  // Histogram sections: wait under "task latency", rel_error under
+  // "model accuracy".
+  bool saw_wait = false;
+  for (const ReportRow& row : report.sections[2].rows) {
+    if (row.name == "sim.task.wait_s mean") saw_wait = true;
+  }
+  EXPECT_TRUE(saw_wait);
+  ASSERT_EQ(report.sections[3].rows.size(), 1u);
+  EXPECT_EQ(report.sections[3].rows[0].name,
+            "model.nlm.runtime.rel_error_abs");
+  EXPECT_DOUBLE_EQ(report.sections[3].rows[0].a, 0.15);
+}
+
+TEST(Report, TextOutputNamesDifferingFingerprintKeys) {
+  MetricsSummary a = summarize_metrics(obs::parse_json(metrics_doc(10,
+                                                                   "FIFO")));
+  MetricsSummary b = summarize_metrics(obs::parse_json(metrics_doc(14,
+                                                                   "MIX")));
+  std::ostringstream os;
+  write_report_text(os, diff_runs(a, b, "run-a", "run-b"));
+  EXPECT_NE(os.str().find("scheduler: FIFO -> MIX"), std::string::npos);
+  EXPECT_NE(os.str().find("counters:"), std::string::npos);
+  // seed matches on both sides, so it must not be listed as a diff.
+  EXPECT_EQ(os.str().find("seed:"), std::string::npos);
+}
+
+TEST(Report, JsonOutputParsesAndMirrorsSections) {
+  MetricsSummary a = summarize_metrics(obs::parse_json(metrics_doc(10,
+                                                                   "FIFO")));
+  MetricsSummary b = summarize_metrics(obs::parse_json(metrics_doc(14,
+                                                                   "MIX")));
+  std::ostringstream os;
+  write_report_json(os, diff_runs(a, b, "run-a", "run-b"));
+
+  obs::JsonValue doc = obs::parse_json(os.str());
+  const obs::JsonValue* sections = doc.find("sections");
+  ASSERT_NE(sections, nullptr);
+  ASSERT_TRUE(sections->is_array());
+  EXPECT_EQ(sections->as_array().size(), 4u);
+  const obs::JsonValue* a_label = doc.find("a")->find("label");
+  ASSERT_NE(a_label, nullptr);
+  EXPECT_EQ(a_label->as_string(), "run-a");
+}
+
+}  // namespace
+}  // namespace tracon::runstore

@@ -42,6 +42,31 @@ TEST(TraceRecorder, KindNames) {
   EXPECT_EQ(task_event_kind_name(TaskEventKind::kCompleted), "completed");
 }
 
+TEST(TraceRecorder, KindNamesRoundTripThroughParse) {
+  for (auto kind : {TaskEventKind::kArrived, TaskEventKind::kDropped,
+                    TaskEventKind::kPlaced, TaskEventKind::kCompleted}) {
+    auto parsed = parse_task_event_kind(task_event_kind_name(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_task_event_kind("exploded").has_value());
+  EXPECT_FALSE(parse_task_event_kind("").has_value());
+}
+
+TEST(TraceRecorder, JsonlFormat) {
+  TraceRecorder t;
+  t.record(1.5, TaskEventKind::kPlaced, 3, 7);
+  t.record(2.0, TaskEventKind::kDropped, 5);
+  std::ostringstream os;
+  t.write_jsonl(os);
+  EXPECT_EQ(os.str(),
+            "{\"schema\": \"tracon.task_events\", \"version\": 1, "
+            "\"events\": 2}\n"
+            "{\"time_s\": 1.5, \"event\": \"placed\", \"app\": 3, "
+            "\"machine\": 7}\n"
+            "{\"time_s\": 2, \"event\": \"dropped\", \"app\": 5}\n");
+}
+
 class TracedDynamic : public ::testing::Test {
  protected:
   static const PerfTable& table() {

@@ -95,6 +95,27 @@ void check_determinism(const std::string& stripped, const Suppressions& sup,
              out);
 }
 
+// --- unordered-output ------------------------------------------------------
+
+const std::regex& unordered_regex() {
+  static const std::regex re(
+      R"(\bunordered_(map|set|multimap|multiset)\b)");
+  return re;
+}
+
+/// src/replay and src/runstore write files whose bytes are contractually
+/// stable (replayed traces and stored runs hash to the same id across
+/// runs and platforms); iterating a hash container anywhere in that code
+/// risks feeding hash order into the output.
+void check_unordered(const std::string& stripped, const Suppressions& sup,
+                     std::vector<Finding>* out) {
+  scan_lines(stripped, unordered_regex(), sup, "unordered-output",
+             "unordered container in serialization code; use std::map/"
+             "std::set (or sort before writing) so exported bytes are "
+             "stable",
+             out);
+}
+
 // --- float-eq --------------------------------------------------------------
 
 const std::regex& float_eq_regex() {
@@ -429,12 +450,19 @@ std::vector<Finding> lint_content(const std::string& rel_path,
   // scope-timer profiler is the library's single wall-clock site (its
   // output never feeds the metrics/trace exports).
   const bool obs_clock_exempt = starts_with(rel_path, "src/obs/scope_timer");
+  // Serialization code: bytes written must be stable across runs and
+  // platforms (traces replay byte-for-byte; run ids are content hashes).
+  const bool serialization_dir = starts_with(rel_path, "src/replay/") ||
+                                 starts_with(rel_path, "src/runstore/");
   if ((starts_with(rel_path, "src/sim/") ||
        starts_with(rel_path, "src/virt/") ||
        starts_with(rel_path, "src/sched/") ||
-       starts_with(rel_path, "src/obs/")) &&
+       starts_with(rel_path, "src/obs/") || serialization_dir) &&
       !obs_clock_exempt) {
     check_determinism(stripped, sup, &out);
+  }
+  if (serialization_dir) {
+    check_unordered(stripped, sup, &out);
   }
   check_metric_name(content, stripped, sup, &out);
   if (!starts_with(rel_path, "src/stats/")) {

@@ -2,12 +2,18 @@
 //
 // These encode conventions no generic tool knows about:
 //
-//   determinism    src/sim, src/virt, src/sched, and src/obs must not
-//                  call the global RNG or any wall clock — every
-//                  simulated run must replay bit-identically from its
-//                  seed. Sole exemption: src/obs/scope_timer, the
-//                  opt-in wall-clock profiler whose output never feeds
-//                  the deterministic exports.
+//   determinism    src/sim, src/virt, src/sched, src/obs, src/replay,
+//                  and src/runstore must not call the global RNG or any
+//                  wall clock — every simulated run must replay
+//                  bit-identically from its seed, and recorded traces /
+//                  stored runs must hash identically across re-runs.
+//                  Sole exemption: src/obs/scope_timer, the opt-in
+//                  wall-clock profiler whose output never feeds the
+//                  deterministic exports.
+//   unordered-output  src/replay and src/runstore must not use
+//                  std::unordered_* containers: iteration order there
+//                  ends up in serialized bytes, and hash order is not
+//                  part of the format contract.
 //   float-eq       raw ==/!= against floating-point literals outside
 //                  src/stats (numeric kernels own their exact-zero
 //                  checks and test tolerances).

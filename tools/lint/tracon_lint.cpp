@@ -27,7 +27,11 @@ int main(int argc, char** argv) {
           "usage: %s [REPO_ROOT]\n"
           "Checks TRACON source conventions under REPO_ROOT/src:\n"
           "  determinism    no RNG/wall-clock calls in sim, virt, sched,\n"
-          "                 obs (except the scope-timer profiler)\n"
+          "                 obs, replay, runstore (except the scope-timer\n"
+          "                 profiler)\n"
+          "  unordered-output  no std::unordered_* in replay/runstore\n"
+          "                 (serialized bytes must not depend on hash\n"
+          "                 order)\n"
           "  float-eq       no ==/!= against float literals outside stats\n"
           "  iostream       library code logs through util/log\n"
           "  pragma-once    headers open with #pragma once\n"

@@ -3,7 +3,8 @@
 // Usage: telemetry_check --metrics METRICS.json [--trace TRACE.json]
 //
 // Checks (exit 0 when all pass, 1 otherwise):
-//   metrics: parses as JSON; has the scheduler decision counters, at
+//   metrics: parses as JSON; has a run fingerprint (seed / scheduler /
+//     machines / mix at minimum), the scheduler decision counters, at
 //     least one sim.util.* gauge, and at least one prediction-error
 //     histogram whose buckets are structurally sound (le-ascending,
 //     bucket counts summing to `count`).
@@ -70,6 +71,17 @@ bool histogram_sound(const JsonValue& hist) {
 }
 
 void check_metrics(const JsonValue& doc) {
+  const JsonValue* fp = doc.find("fingerprint");
+  check(fp != nullptr && fp->is_object(),
+        "metrics has a fingerprint object");
+  if (fp != nullptr && fp->is_object()) {
+    for (const char* key : {"seed", "scheduler", "machines", "mix"}) {
+      const JsonValue* v = fp->find(key);
+      check(v != nullptr && v->is_string() && !v->as_string().empty(),
+            std::string("fingerprint carries a non-empty ") + key);
+    }
+  }
+
   const JsonValue* counters = doc.find("counters");
   check(counters != nullptr && counters->is_object(),
         "metrics has a counters object");

@@ -6,6 +6,14 @@
 //   tracon predict               model vs measured for one app pair
 //   tracon static                schedule a batch and report Speedup/IOBoost
 //   tracon dynamic               Poisson-arrival cluster simulation
+//   tracon record                dynamic run that also writes an arrival
+//                                trace (--out) and stores the run (--store)
+//   tracon replay                re-run a recorded trace (--trace) under
+//                                any --scheduler; stores the run
+//   tracon runs                  list the runs in a run store
+//   tracon report A B            A/B diff of two stored runs by id prefix
+//                                (counters, latency, model accuracy);
+//                                --json for machine-readable output
 //
 // Common flags:
 //   --host paper|ssd|raid|iscsi  host/storage model   (default paper)
@@ -31,11 +39,18 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <span>
+#include <sstream>
 #include <string>
 
 #include "core/tracon.hpp"
+#include "obs/json.hpp"
+#include "obs/jsonl.hpp"
 #include "obs/scope_timer.hpp"
 #include "obs/telemetry.hpp"
+#include "replay/arrival_trace.hpp"
+#include "runstore/report.hpp"
+#include "runstore/runstore.hpp"
 #include "sched/fifo.hpp"
 #include "sim/dynamic_scenario.hpp"
 #include "sim/hierarchy.hpp"
@@ -46,12 +61,17 @@
 #include "workload/benchmarks.hpp"
 #include "workload/mixes.hpp"
 
+// Injected by tools/CMakeLists.txt from `git describe` at configure
+// time; stamps run fingerprints so stored runs record the build.
+#ifndef TRACON_GIT_DESCRIBE
+#define TRACON_GIT_DESCRIBE "unknown"
+#endif
+
 namespace {
 
 using namespace tracon;
 
-virt::HostConfig host_from(const ArgParser& args) {
-  std::string h = args.get("host", "paper");
+virt::HostConfig host_by_name(const std::string& h) {
   if (h == "paper") return virt::HostConfig::paper_testbed();
   if (h == "ssd") return virt::HostConfig::ssd_testbed();
   if (h == "raid") return virt::HostConfig::raid_testbed();
@@ -60,8 +80,11 @@ virt::HostConfig host_from(const ArgParser& args) {
                               "' (paper|ssd|raid|iscsi)");
 }
 
-model::ModelKind model_from(const ArgParser& args) {
-  std::string m = args.get("model", "nlm");
+virt::HostConfig host_from(const ArgParser& args) {
+  return host_by_name(args.get("host", "paper"));
+}
+
+model::ModelKind model_by_name(const std::string& m) {
   if (m == "wmm") return model::ModelKind::kWmm;
   if (m == "lm") return model::ModelKind::kLinear;
   if (m == "nlm") return model::ModelKind::kNonlinear;
@@ -71,14 +94,37 @@ model::ModelKind model_from(const ArgParser& args) {
                               "' (wmm|lm|nlm|nlm-log|nlm-nodom0)");
 }
 
-workload::MixKind mix_from(const ArgParser& args) {
-  std::string m = args.get("mix", "medium");
+model::ModelKind model_from(const ArgParser& args) {
+  return model_by_name(args.get("model", "nlm"));
+}
+
+workload::MixKind mix_by_name(const std::string& m) {
   if (m == "light") return workload::MixKind::kLight;
   if (m == "medium") return workload::MixKind::kMedium;
   if (m == "heavy") return workload::MixKind::kHeavy;
   if (m == "uniform") return workload::MixKind::kUniform;
   throw std::invalid_argument("unknown --mix '" + m +
                               "' (light|medium|heavy|uniform)");
+}
+
+workload::MixKind mix_from(const ArgParser& args) {
+  return mix_by_name(args.get("mix", "medium"));
+}
+
+/// Stamps the run-identity block every metrics export carries: enough
+/// to tell two stored runs apart and to reproduce either one.
+void stamp_fingerprint(obs::MetricsRegistry& metrics,
+                       const sim::DynamicConfig& cfg, const std::string& host,
+                       const std::string& model, const std::string& scheduler,
+                       const std::string& source) {
+  metrics.set_fingerprint("seed", std::to_string(cfg.seed));
+  metrics.set_fingerprint("scheduler", scheduler);
+  metrics.set_fingerprint("machines", std::to_string(cfg.machines));
+  metrics.set_fingerprint("mix", workload::mix_name(cfg.mix));
+  metrics.set_fingerprint("host", host);
+  metrics.set_fingerprint("model", model);
+  metrics.set_fingerprint("source", source);
+  metrics.set_fingerprint("build", TRACON_GIT_DESCRIBE);
 }
 
 core::Tracon make_system(const ArgParser& args, bool train) {
@@ -165,12 +211,14 @@ int cmd_predict(const ArgParser& args) {
 
 std::unique_ptr<sched::Scheduler> scheduler_from(const ArgParser& args,
                                                  const core::Tracon& sys,
-                                                 bool static_batch) {
+                                                 bool static_batch,
+                                                 std::size_t default_queue = 8) {
   std::string s = args.get("scheduler", "mibs");
   auto objective = args.get("objective", "rt") == "io"
                        ? sched::Objective::kIops
                        : sched::Objective::kRuntime;
-  auto queue = static_cast<std::size_t>(args.get_int("queue", 8));
+  auto queue = static_cast<std::size_t>(
+      args.get_int("queue", static_cast<long>(default_queue)));
   sched::PlacementPolicy policy;
   if (static_batch) policy.beneficial_joins_only = false;
   core::SchedulerKind kind;
@@ -237,6 +285,8 @@ int cmd_dynamic(const ArgParser& args) {
     cfg.accuracy_probe = &sys.predictor();
     cfg.accuracy_family = model::model_kind_name(sys.model_kind());
     sched->set_telemetry(&tel);
+    stamp_fingerprint(tel.metrics, cfg, args.get("host", "paper"),
+                      args.get("model", "nlm"), sched->name(), "live");
   }
 
   auto o = sim::run_dynamic(sys.perf_table(), *sched, cfg);
@@ -293,6 +343,196 @@ int cmd_dynamic(const ArgParser& args) {
   return 0;
 }
 
+std::vector<double> solo_demands(const sim::PerfTable& table) {
+  std::vector<double> demands;
+  demands.reserve(table.num_apps());
+  for (std::size_t a = 0; a < table.num_apps(); ++a)
+    demands.push_back(table.solo_runtime(a));
+  return demands;
+}
+
+/// Shared tail of `record` and `replay`: run the simulation over an
+/// already-materialized arrival list with telemetry on, stamp the
+/// fingerprint, store the run, and print a one-line summary plus the
+/// run id (the id is the last token on stdout, for scripting).
+int run_and_store(const ArgParser& args, core::Tracon& sys,
+                  sim::DynamicConfig& cfg, sched::Scheduler& sched,
+                  std::span<const sim::Arrival> arrivals,
+                  const std::string& host, const std::string& model,
+                  const std::string& source) {
+  obs::Telemetry tel;
+  tel.tracer.set_enabled(false);
+  cfg.telemetry = &tel;
+  cfg.accuracy_probe = &sys.predictor();
+  cfg.accuracy_family = model::model_kind_name(sys.model_kind());
+  sched.set_telemetry(&tel);
+  auto o = sim::run_dynamic(sys.perf_table(), sched, cfg, arrivals);
+  stamp_fingerprint(tel.metrics, cfg, host, model, sched.name(), source);
+
+  if (args.has("metrics-out")) {
+    std::string path = args.get("metrics-out");
+    std::ofstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open metrics file '%s'\n", path.c_str());
+      return 1;
+    }
+    tel.metrics.write_json(f);
+  }
+
+  runstore::RunStore store(args.get("store", "runs"));
+  std::string id = store.add_run(tel.metrics, sched.name(), source);
+  std::printf("%s (%s): %zu arrivals, completed %zu, dropped %zu\n",
+              sched.name().c_str(), source.c_str(), arrivals.size(),
+              o.completed, o.dropped);
+  std::printf("stored run %s\n", id.c_str());
+  return 0;
+}
+
+int cmd_record(const ArgParser& args) {
+  core::Tracon sys = make_system(args, true);
+  sim::DynamicConfig cfg;
+  cfg.machines = static_cast<std::size_t>(args.get_int("machines", 64));
+  cfg.lambda_per_min = args.get_double("lambda", 100.0);
+  cfg.duration_s = args.get_double("hours", 10.0) * 3600.0;
+  cfg.mix = mix_from(args);
+  cfg.queue_capacity = static_cast<std::size_t>(args.get_int("queue", 8));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  replay::ArrivalTraceHeader header;
+  header.version = obs::kJsonlSchemaVersion;
+  header.seed = cfg.seed;
+  header.host = args.get("host", "paper");
+  // CLI token, not the display name: `replay` feeds this back through
+  // --model parsing.
+  header.model = args.get("model", "nlm");
+  header.mix = workload::mix_name(cfg.mix);
+  header.lambda_per_min = cfg.lambda_per_min;
+  header.duration_s = cfg.duration_s;
+  header.machines = cfg.machines;
+  header.queue_capacity = cfg.queue_capacity;
+  header.num_apps = sys.perf_table().num_apps();
+
+  const std::string trace_path = args.get("out", "arrivals.jsonl");
+  std::ofstream trace_file(trace_path, std::ios::binary);
+  if (!trace_file) {
+    std::fprintf(stderr, "cannot open trace file '%s'\n", trace_path.c_str());
+    return 1;
+  }
+  replay::TraceWriter writer(trace_file, header);
+  sim::PoissonArrivalSource poisson(cfg.lambda_per_min, cfg.duration_s,
+                                    cfg.mix, cfg.mix_stddev, cfg.seed);
+  replay::RecordingArrivalSource recording(poisson, writer,
+                                           solo_demands(sys.perf_table()));
+  // Materialize once through the tee; both the trace file and the run
+  // below see the same stream.
+  std::vector<sim::Arrival> arrivals = recording.arrivals(header.num_apps);
+  trace_file.close();
+  std::printf("trace (%zu arrivals) written to %s\n", writer.written(),
+              trace_path.c_str());
+
+  auto sched = scheduler_from(args, sys, false);
+  return run_and_store(args, sys, cfg, *sched, arrivals, header.host,
+                       header.model, "live");
+}
+
+int cmd_replay(const ArgParser& args) {
+  if (!args.has("trace")) {
+    std::fprintf(stderr, "replay requires --trace FILE\n");
+    return 2;
+  }
+  std::ifstream in(args.get("trace"), std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open trace file '%s'\n",
+                 args.get("trace").c_str());
+    return 1;
+  }
+  replay::ArrivalTrace trace = replay::load_arrival_trace(in);
+  const replay::ArrivalTraceHeader header = trace.header;
+
+  // Rebuild the recorded configuration; flags override the header.
+  const std::string host = args.get("host", header.host);
+  core::TraconConfig tcfg;
+  tcfg.host = host_by_name(host);
+  tcfg.seed = header.seed;
+  const std::string model = args.get("model", header.model);
+  core::Tracon sys(tcfg);
+  sys.register_applications(workload::paper_benchmarks());
+  sys.train(model_by_name(model));
+
+  sim::DynamicConfig cfg;
+  cfg.machines = static_cast<std::size_t>(
+      args.get_int("machines", static_cast<long>(header.machines)));
+  cfg.lambda_per_min = header.lambda_per_min;
+  cfg.duration_s = header.duration_s;
+  cfg.mix = mix_by_name(header.mix);
+  cfg.queue_capacity = static_cast<std::size_t>(
+      args.get_int("queue", static_cast<long>(header.queue_capacity)));
+  cfg.seed = header.seed;
+
+  replay::TraceArrivalSource source(std::move(trace));
+  if (!source.validate_demands(solo_demands(sys.perf_table()))) {
+    std::fprintf(stderr,
+                 "warning: recorded service demands do not match this host's "
+                 "perf table; replaying the recorded arrival stream anyway\n");
+  }
+  std::vector<sim::Arrival> arrivals =
+      source.arrivals(sys.perf_table().num_apps());
+
+  auto sched = scheduler_from(args, sys, false, header.queue_capacity);
+  return run_and_store(args, sys, cfg, *sched, arrivals, host, model,
+                       "trace");
+}
+
+int cmd_runs(const ArgParser& args) {
+  runstore::RunStore store(args.get("store", "runs"));
+  runstore::RunStore::LoadResult loaded = store.load();
+  for (const std::string& w : loaded.warnings)
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  TableWriter out({"id", "scheduler", "source", "seed", "machines", "mix"});
+  for (const runstore::RunRecord& r : loaded.runs) {
+    auto fp = [&](const char* key) {
+      auto it = r.fingerprint.find(key);
+      return it != r.fingerprint.end() ? it->second : std::string("-");
+    };
+    out.add_row({r.id, r.scheduler, r.source, fp("seed"), fp("machines"),
+                 fp("mix")});
+  }
+  emit(out, args);
+  return 0;
+}
+
+int cmd_report(const ArgParser& args) {
+  if (args.positional().size() < 3) {
+    std::fprintf(stderr, "usage: tracon report <run-id-a> <run-id-b> "
+                         "[--store DIR] [--json]\n");
+    return 2;
+  }
+  runstore::RunStore store(args.get("store", "runs"));
+  auto resolve = [&](const std::string& prefix) {
+    auto rec = store.find(prefix);
+    if (!rec.has_value()) {
+      throw std::invalid_argument("no run matches id prefix '" + prefix +
+                                  "' in store '" + args.get("store", "runs") +
+                                  "'");
+    }
+    return *rec;
+  };
+  runstore::RunRecord ra = resolve(args.positional()[1]);
+  runstore::RunRecord rb = resolve(args.positional()[2]);
+  obs::JsonValue da = obs::parse_json(store.read_metrics(ra));
+  obs::JsonValue db = obs::parse_json(store.read_metrics(rb));
+  runstore::RunReport report = runstore::diff_runs(
+      runstore::summarize_metrics(da), runstore::summarize_metrics(db),
+      ra.id + " (" + ra.scheduler + ", " + ra.source + ")",
+      rb.id + " (" + rb.scheduler + ", " + rb.source + ")");
+  if (args.has("json")) {
+    runstore::write_report_json(std::cout, report);
+  } else {
+    runstore::write_report_text(std::cout, report);
+  }
+  return 0;
+}
+
 int cmd_profile(const ArgParser& args) {
   core::Tracon sys = make_system(args, false);
   std::string path = args.get("out", "perf_table.csv");
@@ -346,7 +586,8 @@ int cmd_hierarchy(const ArgParser& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: tracon "
-               "<table1|matrix|predict|static|dynamic|hierarchy|profile> "
+               "<table1|matrix|predict|static|dynamic|hierarchy|profile|"
+               "record|replay|runs|report> "
                "[flags]\n(see the header of tools/tracon_cli.cpp)\n");
   return 2;
 }
@@ -367,6 +608,10 @@ int main(int argc, char** argv) {
     else if (cmd == "dynamic") rc = cmd_dynamic(args);
     else if (cmd == "hierarchy") rc = cmd_hierarchy(args);
     else if (cmd == "profile") rc = cmd_profile(args);
+    else if (cmd == "record") rc = cmd_record(args);
+    else if (cmd == "replay") rc = cmd_replay(args);
+    else if (cmd == "runs") rc = cmd_runs(args);
+    else if (cmd == "report") rc = cmd_report(args);
     else return usage();
     if (args.has("prof")) {
       std::cerr << "--- wall-clock kernel profile (--prof) ---\n";
