@@ -52,6 +52,19 @@ void Tracon::train(model::ModelKind kind) {
   predictor_ = sched::TablePredictor::from_models(models_, profiles);
 }
 
+sched::TablePredictor Tracon::train_predictor(model::ModelKind kind) const {
+  TRACON_REQUIRE(!apps_.empty(), "register applications before training");
+  std::vector<model::ModelPair> models;
+  models.reserve(apps_.size());
+  std::vector<monitor::AppProfile> profiles;
+  profiles.reserve(apps_.size());
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    models.push_back(model::train_model_pair(kind, training_sets_[a]));
+    profiles.push_back(perf_table_->profile(a));
+  }
+  return sched::TablePredictor::from_models(models, profiles);
+}
+
 const sim::PerfTable& Tracon::perf_table() const {
   TRACON_REQUIRE(perf_table_.has_value(),
                  "register applications before using the perf table");

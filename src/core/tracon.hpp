@@ -48,6 +48,12 @@ class Tracon {
   /// builds the prediction table the schedulers consult.
   void train(model::ModelKind kind);
 
+  /// Trains a standalone prediction table of the given kind from the
+  /// registered training sets WITHOUT touching the active models — the
+  /// building block for multi-family ensembles (each confidence-weighted
+  /// family is one such table). Requires register_applications().
+  sched::TablePredictor train_predictor(model::ModelKind kind) const;
+
   bool trained() const { return predictor_.has_value(); }
   std::size_t num_apps() const { return apps_.size(); }
   const std::vector<virt::AppBehavior>& applications() const { return apps_; }

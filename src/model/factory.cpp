@@ -3,6 +3,7 @@
 #include "model/linear.hpp"
 #include "model/nonlinear.hpp"
 #include "model/wmm.hpp"
+#include "obs/metrics.hpp"
 #include "obs/scope_timer.hpp"
 #include "util/error.hpp"
 
@@ -23,6 +24,10 @@ std::string model_kind_name(ModelKind kind) {
     case ModelKind::kNonlinearLog: return "NLM-log";
   }
   return "unknown";
+}
+
+std::string model_kind_metric_family(ModelKind kind) {
+  return obs::metric_path_component(model_kind_name(kind));
 }
 
 std::unique_ptr<InterferenceModel> train_model(ModelKind kind,

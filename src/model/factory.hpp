@@ -19,6 +19,11 @@ enum class ModelKind {
 
 std::string model_kind_name(ModelKind kind);
 
+/// The kind's label as a metric path component ("NLM-noDom0" ->
+/// "nlm_nodom0") — the family string under which accuracy metrics,
+/// snapshot-series entries, and confidence weight gauges file.
+std::string model_kind_metric_family(ModelKind kind);
+
 /// Trains a model of the given kind on `data` for `response`.
 /// Throws std::invalid_argument when `data` is too small for the kind.
 std::unique_ptr<InterferenceModel> train_model(ModelKind kind,

@@ -1,5 +1,6 @@
 #include "obs/accuracy.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -18,6 +19,12 @@ std::string metric_prefix(std::string_view family, std::string_view response) {
 }
 
 }  // namespace
+
+double relative_error(double predicted, double actual) {
+  double denom = std::abs(actual);
+  if (denom < 1e-9) denom = 1e-9;
+  return (predicted - actual) / denom;
+}
 
 AccuracyTracker::AccuracyTracker(MetricsRegistry& registry,
                                  std::string_view family,
@@ -38,9 +45,7 @@ AccuracyTracker::AccuracyTracker(MetricsRegistry& registry,
 void AccuracyTracker::record(double predicted, double actual) {
   TRACON_CHECK_FINITE(predicted, "accuracy sample prediction");
   TRACON_CHECK_FINITE(actual, "accuracy sample actual");
-  double denom = std::abs(actual);
-  if (denom < 1e-9) denom = 1e-9;
-  double err = (predicted - actual) / denom;
+  double err = relative_error(predicted, actual);
   signed_->observe(err);
   abs_->observe(std::abs(err));
   samples_->inc();
@@ -52,6 +57,39 @@ std::vector<double> AccuracyTracker::signed_error_bounds() {
 
 std::vector<double> AccuracyTracker::abs_error_bounds() {
   return {0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1.0, 2.0};
+}
+
+WindowedAccuracy::WindowedAccuracy(std::size_t capacity) : ring_(capacity) {
+  TRACON_REQUIRE(capacity > 0, "accuracy window capacity must be >= 1");
+}
+
+void WindowedAccuracy::record(double predicted, double actual) {
+  TRACON_CHECK_FINITE(predicted, "windowed accuracy prediction");
+  TRACON_CHECK_FINITE(actual, "windowed accuracy actual");
+  ring_[next_] = std::abs(relative_error(predicted, actual));
+  next_ = (next_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+  ++total_;
+}
+
+double WindowedAccuracy::mean_abs_error() const {
+  if (size_ == 0) return 0.0;
+  // Summed in fixed ring order so the result is deterministic for a
+  // given sample history.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < size_; ++i) sum += ring_[i];
+  return sum / static_cast<double>(size_);
+}
+
+double WindowedAccuracy::quantile(double q) const {
+  TRACON_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (size_ == 0) return 0.0;
+  std::vector<double> sorted(ring_.begin(),
+                             ring_.begin() + static_cast<long>(size_));
+  std::sort(sorted.begin(), sorted.end());
+  auto rank = static_cast<std::size_t>(q * static_cast<double>(size_));
+  if (rank >= size_) rank = size_ - 1;
+  return sorted[rank];
 }
 
 }  // namespace tracon::obs

@@ -10,12 +10,19 @@
 // `model.nlm_nodom0.*`.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
 #include "obs/metrics.hpp"
 
 namespace tracon::obs {
+
+/// The shared relative-error definition:
+/// (predicted - actual) / max(|actual|, 1e-9). Both the cumulative
+/// AccuracyTracker and the rolling WindowedAccuracy use it, so their
+/// statistics are directly comparable.
+double relative_error(double predicted, double actual);
 
 class AccuracyTracker {
  public:
@@ -35,6 +42,41 @@ class AccuracyTracker {
   Histogram* signed_;
   Histogram* abs_;
   Counter* samples_;
+};
+
+/// Rolling-window companion to AccuracyTracker: a ring buffer over the
+/// absolute relative error of the last `capacity` predictions for one
+/// (model family, response) pair. Where the tracker's histograms answer
+/// "how accurate was this family over the whole run", the window
+/// answers "how accurate is it *now*" — which is what confidence
+/// weighting and the snapshot series consume. Carries no registry
+/// handles so it can be fed on runs with telemetry disabled.
+class WindowedAccuracy {
+ public:
+  explicit WindowedAccuracy(std::size_t capacity);
+
+  /// Records |relative_error(predicted, actual)|, evicting the oldest
+  /// sample once the window is full.
+  void record(double predicted, double actual);
+
+  std::size_t capacity() const { return ring_.size(); }
+  /// Samples currently in the window (== min(total, capacity)).
+  std::size_t size() const { return size_; }
+  /// Lifetime samples recorded, including evicted ones.
+  std::uint64_t total() const { return total_; }
+
+  /// Mean absolute relative error over the window; 0 when empty.
+  double mean_abs_error() const;
+
+  /// Windowed error quantile (nearest-rank over the sorted window:
+  /// index min(floor(q * size), size - 1)); 0 when empty. q in [0, 1].
+  double quantile(double q) const;
+
+ private:
+  std::vector<double> ring_;
+  std::size_t next_ = 0;   ///< ring slot the next sample overwrites
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
 };
 
 }  // namespace tracon::obs

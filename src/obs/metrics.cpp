@@ -87,6 +87,19 @@ std::uint64_t Histogram::bucket_count(std::size_t i) const {
   return counts_[i];
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  TRACON_REQUIRE(bounds_ == other.bounds_,
+                 "histogram merge requires identical bucket bounds");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   TRACON_REQUIRE(valid_metric_name(name), "counter name must be a dotted "
                                           "snake_case path");
@@ -117,6 +130,23 @@ void MetricsRegistry::set_fingerprint(const std::string& key,
   TRACON_REQUIRE(valid_metric_name(key),
                  "fingerprint key must be a snake_case identifier");
   fingerprint_[key] = value;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [key, value] : other.fingerprint_)
+    fingerprint_[key] = value;
+  for (const auto& [name, c] : other.counters_)
+    counters_[name].inc(c.value());
+  for (const auto& [name, g] : other.gauges_)
+    gauges_[name].set(g.value());
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.merge_from(h);
+    }
+  }
 }
 
 bool MetricsRegistry::empty() const {

@@ -83,6 +83,11 @@ class Histogram {
   double min() const { return count_ > 0 ? min_ : 0.0; }
   double max() const { return count_ > 0 ? max_ : 0.0; }
 
+  /// Folds `other` into this histogram: bucket counts and count/sum
+  /// add, min/max widen. Both histograms must share the exact bucket
+  /// bounds.
+  void merge_from(const Histogram& other);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 (overflow)
@@ -119,6 +124,13 @@ class MetricsRegistry {
   const std::map<std::string, Histogram>& histograms() const {
     return histograms_;
   }
+
+  /// Folds `other` into this registry — the reduction step a sharded
+  /// scenario uses to combine per-shard registries. Counters and
+  /// histograms sum (histograms must agree on bucket bounds when
+  /// present on both sides); gauges and fingerprint entries are
+  /// last-writer-wins: `other`'s value replaces an existing one.
+  void merge(const MetricsRegistry& other);
 
   /// One JSON object: {"fingerprint": {...}, "counters": {...},
   /// "gauges": {...}, "histograms": {...}}, keys in name order.

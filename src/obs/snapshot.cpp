@@ -1,0 +1,163 @@
+#include "obs/snapshot.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "obs/jsonl.hpp"
+#include "util/error.hpp"
+
+namespace tracon::obs {
+
+SnapshotSeries::SnapshotSeries(const MetricsRegistry& registry,
+                               double interval_s)
+    : registry_(&registry), interval_s_(interval_s) {
+  TRACON_REQUIRE(interval_s > 0.0, "snapshot interval must be positive");
+}
+
+void SnapshotSeries::track_accuracy(const std::string& name,
+                                    const WindowedAccuracy* window) {
+  TRACON_REQUIRE(valid_metric_name(name),
+                 "accuracy series name must be a dotted snake_case path");
+  TRACON_REQUIRE(window != nullptr, "accuracy window must be non-null");
+  accuracy_[name] = window;
+}
+
+void SnapshotSeries::sample(double now_s) {
+  TRACON_CHECK_FINITE(now_s, "snapshot timestamp");
+  TRACON_REQUIRE(now_s > last_sample_s_ || next_window_ == 0,
+                 "snapshot timestamps must be strictly increasing");
+
+  JsonLineWriter counters;
+  for (const auto& [name, counter] : registry_->counters()) {
+    std::uint64_t last = 0;
+    if (auto it = last_counters_.find(name); it != last_counters_.end())
+      last = it->second;
+    TRACON_ASSERT(counter.value() >= last, "counter moved backwards");
+    counters.field(name, counter.value() - last);
+    last_counters_[name] = counter.value();
+  }
+
+  JsonLineWriter gauges;
+  for (const auto& [name, gauge] : registry_->gauges())
+    gauges.field(name, gauge.value());
+
+  JsonLineWriter accuracy;
+  for (const auto& [name, window] : accuracy_) {
+    JsonLineWriter stats;
+    stats.field("count", static_cast<std::uint64_t>(window->size()));
+    stats.field("total", window->total());
+    stats.field("mean_abs", window->mean_abs_error());
+    stats.field("p50", window->quantile(0.5));
+    stats.field("p90", window->quantile(0.9));
+    accuracy.raw_field(name, stats.str());
+  }
+
+  records_.push_back(JsonLineWriter()
+                         .field("window", next_window_)
+                         .field("t_start", last_sample_s_)
+                         .field("t_end", now_s)
+                         .raw_field("counters", counters.str())
+                         .raw_field("gauges", gauges.str())
+                         .raw_field("accuracy", accuracy.str())
+                         .str());
+  last_sample_s_ = now_s;
+  ++next_window_;
+}
+
+void SnapshotSeries::write(std::ostream& os) const {
+  os << JsonLineWriter()
+            .field("schema", kMetricsSeriesSchema)
+            .field("version", kJsonlSchemaVersion)
+            .field("interval_s", interval_s_)
+            .str()
+     << "\n";
+  for (const std::string& record : records_) os << record << "\n";
+}
+
+std::string SnapshotSeries::str() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+namespace {
+
+double number_field(const JsonValue& obj, const std::string& key,
+                    const char* what) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) {
+    throw std::invalid_argument(std::string("metrics series ") + what +
+                                " lacks numeric \"" + key + "\"");
+  }
+  return v->as_number();
+}
+
+void read_number_map(const JsonValue& record, const std::string& key,
+                     std::map<std::string, double>* out) {
+  const JsonValue* section = record.find(key);
+  if (section == nullptr || !section->is_object()) {
+    throw std::invalid_argument("metrics series record lacks \"" + key +
+                                "\" object");
+  }
+  for (const auto& [name, value] : section->as_object()) {
+    if (!value->is_number()) {
+      throw std::invalid_argument("metrics series " + key + " entry \"" +
+                                  name + "\" is not a number");
+    }
+    (*out)[name] = value->as_number();
+  }
+}
+
+}  // namespace
+
+MetricsSeries parse_metrics_series(std::istream& in) {
+  MetricsSeries series;
+  std::string line;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue obj = parse_json(line);
+    if (!have_header) {
+      series.version = require_schema(obj, kMetricsSeriesSchema);
+      series.interval_s = number_field(obj, "interval_s", "header");
+      have_header = true;
+      continue;
+    }
+    SeriesWindow window;
+    window.index =
+        static_cast<std::uint64_t>(number_field(obj, "window", "record"));
+    window.t_start = number_field(obj, "t_start", "record");
+    window.t_end = number_field(obj, "t_end", "record");
+    read_number_map(obj, "counters", &window.counters);
+    read_number_map(obj, "gauges", &window.gauges);
+    const JsonValue* accuracy = obj.find("accuracy");
+    if (accuracy == nullptr || !accuracy->is_object()) {
+      throw std::invalid_argument(
+          "metrics series record lacks \"accuracy\" object");
+    }
+    for (const auto& [name, value] : accuracy->as_object()) {
+      SeriesWindow::Accuracy stats;
+      stats.count = number_field(*value, "count", "accuracy entry");
+      stats.total = number_field(*value, "total", "accuracy entry");
+      stats.mean_abs = number_field(*value, "mean_abs", "accuracy entry");
+      stats.p50 = number_field(*value, "p50", "accuracy entry");
+      stats.p90 = number_field(*value, "p90", "accuracy entry");
+      window.accuracy[name] = stats;
+    }
+    series.windows.push_back(std::move(window));
+  }
+  if (!have_header) {
+    throw std::invalid_argument("metrics series document has no header line");
+  }
+  return series;
+}
+
+MetricsSeries parse_metrics_series(const std::string& text) {
+  std::istringstream in(text);
+  return parse_metrics_series(in);
+}
+
+}  // namespace tracon::obs

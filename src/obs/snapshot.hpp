@@ -1,0 +1,100 @@
+// Windowed time-series telemetry: SnapshotSeries samples a
+// MetricsRegistry on the simulator's virtual clock and emits one
+// schema-versioned `tracon.metrics_series` JSONL record per window.
+//
+// Each record carries, for the window (t_start, t_end]:
+//   - per-window counter *deltas* (current value minus the value at the
+//     previous snapshot; monotone counters make every delta >= 0),
+//   - gauge values as of t_end,
+//   - rolling accuracy statistics (count/total/mean_abs/p50/p90) from
+//     every registered WindowedAccuracy.
+//
+// Determinism contract (DESIGN.md §6e): sample() is only ever called
+// with virtual-clock timestamps, metric maps iterate in name order, and
+// doubles are formatted by JsonLineWriter's shortest round-trip writer,
+// so two same-seed runs write byte-identical series files.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/accuracy.hpp"
+#include "obs/metrics.hpp"
+
+namespace tracon::obs {
+
+class JsonValue;
+
+inline constexpr std::string_view kMetricsSeriesSchema =
+    "tracon.metrics_series";
+
+class SnapshotSeries {
+ public:
+  /// Samples `registry` (not owned; must outlive the series) every
+  /// `interval_s` sim-seconds — the driver (the dynamic scenario's
+  /// event loop) owns the cadence and calls sample().
+  SnapshotSeries(const MetricsRegistry& registry, double interval_s);
+
+  double interval_s() const { return interval_s_; }
+
+  /// Registers a rolling accuracy window (not owned) whose statistics
+  /// are embedded in every subsequent record under `name` — a dotted
+  /// metric path such as "model.nlm.runtime".
+  void track_accuracy(const std::string& name, const WindowedAccuracy* window);
+
+  /// Closes the window ending at `now_s` (strictly after the previous
+  /// sample) and appends its record. Timestamps must come from the
+  /// virtual clock, never the wall clock.
+  void sample(double now_s);
+
+  std::size_t windows() const { return records_.size(); }
+
+  /// Header line plus one record per window.
+  void write(std::ostream& os) const;
+  std::string str() const;
+
+ private:
+  const MetricsRegistry* registry_;
+  double interval_s_;
+  std::map<std::string, const WindowedAccuracy*> accuracy_;
+  std::map<std::string, std::uint64_t> last_counters_;
+  double last_sample_s_ = 0.0;
+  std::uint64_t next_window_ = 0;
+  std::vector<std::string> records_;
+};
+
+/// Parsed view of one series record, used by `tracon timeline`, the
+/// report diff, and telemetry_check.
+struct SeriesWindow {
+  std::uint64_t index = 0;
+  double t_start = 0.0;
+  double t_end = 0.0;
+  std::map<std::string, double> counters;  ///< per-window deltas
+  std::map<std::string, double> gauges;    ///< values as of t_end
+  struct Accuracy {
+    double count = 0.0;     ///< samples in the window at t_end
+    double total = 0.0;     ///< lifetime samples at t_end
+    double mean_abs = 0.0;  ///< windowed mean |relative error|
+    double p50 = 0.0;
+    double p90 = 0.0;
+  };
+  std::map<std::string, Accuracy> accuracy;
+};
+
+struct MetricsSeries {
+  int version = 0;
+  double interval_s = 0.0;
+  std::vector<SeriesWindow> windows;
+};
+
+/// Parses a series document as written by SnapshotSeries::write.
+/// Throws std::invalid_argument on a foreign schema or malformed
+/// records.
+MetricsSeries parse_metrics_series(std::istream& in);
+MetricsSeries parse_metrics_series(const std::string& text);
+
+}  // namespace tracon::obs

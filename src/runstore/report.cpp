@@ -7,6 +7,8 @@
 #include "obs/json.hpp"
 #include "obs/jsonl.hpp"
 #include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 
 namespace tracon::runstore {
@@ -131,6 +133,51 @@ RunReport diff_runs(const MetricsSummary& a, const MetricsSummary& b,
   return report;
 }
 
+namespace {
+
+double window_value(const obs::SeriesWindow& window, const std::string& name) {
+  if (auto it = window.counters.find(name); it != window.counters.end())
+    return it->second;
+  if (auto it = window.gauges.find(name); it != window.gauges.end())
+    return it->second;
+  return 0.0;
+}
+
+}  // namespace
+
+void diff_series(const obs::MetricsSeries& a, const obs::MetricsSeries& b,
+                 RunReport* report) {
+  TRACON_REQUIRE(report != nullptr, "diff_series needs a report");
+  report->series.clear();
+  report->series_windows = std::min(a.windows.size(), b.windows.size());
+  if (report->series_windows == 0) return;
+
+  std::set<std::string> names;
+  for (std::size_t w = 0; w < report->series_windows; ++w) {
+    for (const auto& [name, v] : a.windows[w].counters) names.insert(name);
+    for (const auto& [name, v] : a.windows[w].gauges) names.insert(name);
+    for (const auto& [name, v] : b.windows[w].counters) names.insert(name);
+    for (const auto& [name, v] : b.windows[w].gauges) names.insert(name);
+  }
+  for (const std::string& name : names) {
+    SeriesRow row;
+    row.name = name;
+    double div_sum = 0.0;
+    for (std::size_t w = 0; w < report->series_windows; ++w) {
+      double va = window_value(a.windows[w], name);
+      double vb = window_value(b.windows[w], name);
+      double div = vb >= va ? vb - va : va - vb;
+      div_sum += div;
+      if (div > row.max_div) {
+        row.max_div = div;
+        row.max_div_t = a.windows[w].t_end;
+      }
+    }
+    row.mean_div = div_sum / static_cast<double>(report->series_windows);
+    report->series.push_back(std::move(row));
+  }
+}
+
 void write_report_text(std::ostream& os, const RunReport& report) {
   os << "A = " << report.label_a << "\nB = " << report.label_b << "\n";
   bool fingerprint_diff = false;
@@ -157,6 +204,18 @@ void write_report_text(std::ostream& os, const RunReport& report) {
       table.add_row({row.name, obs::format_double(row.a),
                      obs::format_double(row.b),
                      obs::format_double(row.delta())});
+    }
+    table.print(os);
+  }
+
+  if (!report.series.empty()) {
+    os << "\nseries (per-window divergence over "
+       << report.series_windows << " aligned windows):\n";
+    TableWriter table({"metric", "mean_div", "max_div", "at_t_end"});
+    for (const SeriesRow& row : report.series) {
+      table.add_row({row.name, obs::format_double(row.mean_div),
+                     obs::format_double(row.max_div),
+                     obs::format_double(row.max_div_t)});
     }
     table.print(os);
   }
@@ -202,7 +261,18 @@ void write_report_json(std::ostream& os, const RunReport& report) {
     }
     os << (first_row ? "" : "\n    ") << "]}";
   }
-  os << (first_section ? "" : "\n  ") << "]\n}\n";
+  os << (first_section ? "" : "\n  ") << "],\n  \"series\": {\"windows\": "
+     << report.series_windows << ", \"rows\": [";
+  bool first_series = true;
+  for (const SeriesRow& row : report.series) {
+    os << (first_series ? "\n" : ",\n") << "    {\"name\": \""
+       << obs::json_escape(row.name) << "\", \"mean_div\": "
+       << obs::format_double(row.mean_div) << ", \"max_div\": "
+       << obs::format_double(row.max_div) << ", \"at_t_end\": "
+       << obs::format_double(row.max_div_t) << "}";
+    first_series = false;
+  }
+  os << (first_series ? "" : "\n  ") << "]}\n}\n";
 }
 
 }  // namespace tracon::runstore

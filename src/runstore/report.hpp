@@ -14,6 +14,7 @@
 
 namespace tracon::obs {
 class JsonValue;
+struct MetricsSeries;
 }
 
 namespace tracon::runstore {
@@ -50,12 +51,24 @@ struct ReportSection {
   std::vector<ReportRow> rows;
 };
 
+/// Per-metric divergence of two runs' snapshot series over their
+/// aligned windows (window i of A against window i of B).
+struct SeriesRow {
+  std::string name;        ///< metric (counter delta or gauge value)
+  double mean_div = 0.0;   ///< mean over windows of |B - A|
+  double max_div = 0.0;    ///< max over windows of |B - A|
+  double max_div_t = 0.0;  ///< t_end of the window with the max
+};
+
 struct RunReport {
   std::string label_a;
   std::string label_b;
   std::map<std::string, std::string> fingerprint_a;
   std::map<std::string, std::string> fingerprint_b;
   std::vector<ReportSection> sections;
+  /// Series diff; empty when either run stored no snapshot series.
+  std::size_t series_windows = 0;  ///< aligned windows compared
+  std::vector<SeriesRow> series;
 };
 
 /// Builds the A/B diff. Sections (rows over the union of names, absent
@@ -67,6 +80,13 @@ struct RunReport {
 ///   model accuracy  mean of each model.*.rel_error_abs histogram
 RunReport diff_runs(const MetricsSummary& a, const MetricsSummary& b,
                     const std::string& label_a, const std::string& label_b);
+
+/// Fills `report->series` with the per-window divergence of two
+/// snapshot series: counter deltas and gauge values are compared over
+/// the union of metric names across min(windows_a, windows_b) aligned
+/// windows (an absent side reads as 0). Rows are name-sorted.
+void diff_series(const obs::MetricsSeries& a, const obs::MetricsSeries& b,
+                 RunReport* report);
 
 /// Aligned text tables, one per non-empty section, preceded by the
 /// fingerprint keys on which the two runs differ.

@@ -106,16 +106,19 @@ std::string RunStore::content_id(std::string_view content) {
 
 std::string RunStore::add_run(const obs::MetricsRegistry& metrics,
                               const std::string& scheduler,
-                              const std::string& source) {
+                              const std::string& source,
+                              const std::string& series_jsonl) {
   std::ostringstream os;
   metrics.write_json(os);
-  return add_run_json(os.str(), scheduler, source, metrics.fingerprint());
+  return add_run_json(os.str(), scheduler, source, metrics.fingerprint(),
+                      series_jsonl);
 }
 
 std::string RunStore::add_run_json(
     const std::string& metrics_json, const std::string& scheduler,
     const std::string& source,
-    const std::map<std::string, std::string>& fingerprint) {
+    const std::map<std::string, std::string>& fingerprint,
+    const std::string& series_jsonl) {
   const std::string id = content_id(metrics_json);
   LoadResult existing = load();
   for (const RunRecord& r : existing.runs) {
@@ -124,6 +127,11 @@ std::string RunStore::add_run_json(
 
   const std::string metrics_rel = "objects/" + id + ".json";
   write_file_atomic(dir_ / metrics_rel, metrics_json);
+  std::string series_rel;
+  if (!series_jsonl.empty()) {
+    series_rel = "objects/" + id + ".series.jsonl";
+    write_file_atomic(dir_ / series_rel, series_jsonl);
+  }
 
   const fs::path index = dir_ / "index.jsonl";
   std::error_code ec;
@@ -133,14 +141,14 @@ std::string RunStore::add_run_json(
                                  .field("version", obs::kJsonlSchemaVersion)
                                  .str());
   }
-  append_line_fsync(index,
-                    obs::JsonLineWriter()
-                        .field("id", id)
-                        .field("scheduler", scheduler)
-                        .field("source", source)
-                        .field("metrics", metrics_rel)
-                        .raw_field("fingerprint", fingerprint_json(fingerprint))
-                        .str());
+  obs::JsonLineWriter record;
+  record.field("id", id)
+      .field("scheduler", scheduler)
+      .field("source", source)
+      .field("metrics", metrics_rel);
+  if (!series_rel.empty()) record.field("series", series_rel);
+  record.raw_field("fingerprint", fingerprint_json(fingerprint));
+  append_line_fsync(index, record.str());
   return id;
 }
 
@@ -177,6 +185,10 @@ RunStore::LoadResult RunStore::load() const {
       rec.scheduler = scheduler->as_string();
       rec.source = source->as_string();
       rec.metrics_rel = metrics->as_string();
+      if (const obs::JsonValue* series = obj.find("series");
+          series != nullptr && series->is_string()) {
+        rec.series_rel = series->as_string();
+      }
       if (const obs::JsonValue* fp = obj.find("fingerprint");
           fp != nullptr && fp->is_object()) {
         for (const auto& [key, value] : fp->as_object()) {
@@ -218,6 +230,20 @@ std::string RunStore::read_metrics(const RunRecord& record) const {
   std::ifstream in(dir_ / record.metrics_rel, std::ios::binary);
   if (!in) {
     throw std::runtime_error("runstore: cannot open metrics object for run " +
+                             record.id);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string RunStore::read_series(const RunRecord& record) const {
+  TRACON_REQUIRE(record.has_series(),
+                 "run stored no snapshot series (record with --snapshot-"
+                 "interval)");
+  std::ifstream in(dir_ / record.series_rel, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("runstore: cannot open series object for run " +
                              record.id);
   }
   std::ostringstream buf;

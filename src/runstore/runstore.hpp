@@ -5,6 +5,7 @@
 //
 //   <dir>/index.jsonl           header line + one record per stored run
 //   <dir>/objects/<id>.json     the run's full metrics export
+//   <dir>/objects/<id>.series.jsonl  optional windowed snapshot series
 //
 // Run ids are content hashes (FNV-1a 64 over the metrics JSON), so a
 // byte-identical re-run stores under the same id and storing is
@@ -38,7 +39,10 @@ struct RunRecord {
   std::string scheduler;  ///< scheduler name at run time
   std::string source;     ///< arrival provenance ("poisson", "trace", ...)
   std::string metrics_rel;  ///< object path relative to the store dir
+  std::string series_rel;   ///< snapshot-series path; empty when none
   std::map<std::string, std::string> fingerprint;  ///< config fingerprint
+
+  bool has_series() const { return !series_rel.empty(); }
 };
 
 class RunStore {
@@ -49,17 +53,22 @@ class RunStore {
   /// Stores one run: serializes the registry with write_json, hashes
   /// the bytes into the run id, persists the object and appends the
   /// index record (both fsync'd). Returns the id. Idempotent: content
-  /// already stored returns the existing id without a second record.
+  /// already stored returns the existing id without a second record
+  /// (the first store's series, if any, wins). A non-empty
+  /// `series_jsonl` (a SnapshotSeries document) is stored alongside
+  /// the metrics under objects/<id>.series.jsonl.
   std::string add_run(const obs::MetricsRegistry& metrics,
                       const std::string& scheduler,
-                      const std::string& source);
+                      const std::string& source,
+                      const std::string& series_jsonl = "");
 
   /// Same, from a pre-serialized metrics JSON document.
   std::string add_run_json(const std::string& metrics_json,
                            const std::string& scheduler,
                            const std::string& source,
                            const std::map<std::string, std::string>&
-                               fingerprint);
+                               fingerprint,
+                           const std::string& series_jsonl = "");
 
   struct LoadResult {
     std::vector<RunRecord> runs;  ///< index order, deduplicated by id
@@ -77,6 +86,10 @@ class RunStore {
 
   /// The stored metrics JSON document for `record`.
   std::string read_metrics(const RunRecord& record) const;
+
+  /// The stored snapshot-series document for `record`; throws
+  /// std::invalid_argument when the run stored none.
+  std::string read_series(const RunRecord& record) const;
 
   const std::filesystem::path& dir() const { return dir_; }
 

@@ -30,6 +30,10 @@ std::vector<Placement> MixScheduler::schedule(
   if (!batch_due(queue, cluster, ctx, queue_limit_, batch_timeout_s_))
     return {};
   TRACON_PROF_SCOPE("sched.mix.schedule");
+  // Adaptive predictors (the confidence-weighted ensemble) re-derive
+  // their blend weights once here, so every rotation in this round is
+  // scored under the same weights.
+  predictor_.begin_round(ctx.now_s);
 
   // Every task in the batch window gets a turn as the head
   // (Algorithm 3); the assignment with the best predicted total wins.

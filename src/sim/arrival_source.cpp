@@ -34,4 +34,41 @@ std::vector<Arrival> PoissonArrivalSource::arrivals(std::size_t num_apps) {
   return out;
 }
 
+MixShiftArrivalSource::MixShiftArrivalSource(double lambda_per_min,
+                                             double duration_s,
+                                             double shift_time_s,
+                                             workload::MixKind before,
+                                             workload::MixKind after,
+                                             double mix_stddev,
+                                             std::uint64_t seed)
+    : lambda_per_min_(lambda_per_min),
+      duration_s_(duration_s),
+      shift_time_s_(shift_time_s),
+      before_(before),
+      after_(after),
+      mix_stddev_(mix_stddev),
+      seed_(seed) {
+  TRACON_REQUIRE(lambda_per_min > 0.0, "lambda must be positive");
+  TRACON_REQUIRE(duration_s > 0.0, "duration must be positive");
+  TRACON_REQUIRE(shift_time_s > 0.0 && shift_time_s < duration_s,
+                 "mix shift must fall inside the run");
+}
+
+std::vector<Arrival> MixShiftArrivalSource::arrivals(std::size_t num_apps) {
+  PoissonArrivalSource head(lambda_per_min_, duration_s_, before_,
+                            mix_stddev_, seed_);
+  PoissonArrivalSource tail(lambda_per_min_, duration_s_, after_, mix_stddev_,
+                            seed_ + 1);
+  std::vector<Arrival> out;
+  for (const Arrival& a : head.arrivals(num_apps)) {
+    if (a.time_s >= shift_time_s_) break;
+    out.push_back(a);
+  }
+  for (const Arrival& a : tail.arrivals(num_apps)) {
+    if (a.time_s < shift_time_s_) continue;
+    out.push_back(a);
+  }
+  return out;
+}
+
 }  // namespace tracon::sim

@@ -56,4 +56,32 @@ class PoissonArrivalSource final : public ArrivalSource {
   std::uint64_t seed_;
 };
 
+/// Drift scenario driver: Poisson arrivals whose workload mix switches
+/// from `before` to `after` at `shift_time_s`. The two segments are
+/// drawn from independent Poisson streams (seed and seed+1) and
+/// concatenated at the shift, so the stream stays deterministic given
+/// the seed and either segment matches a plain PoissonArrivalSource of
+/// its mix. This is the workload that exposes time-varying prediction
+/// error: a model family tuned on the pre-shift mix degrades after the
+/// shift, which windowed accuracy sees and cumulative histograms blur.
+class MixShiftArrivalSource final : public ArrivalSource {
+ public:
+  MixShiftArrivalSource(double lambda_per_min, double duration_s,
+                        double shift_time_s, workload::MixKind before,
+                        workload::MixKind after, double mix_stddev,
+                        std::uint64_t seed);
+
+  std::vector<Arrival> arrivals(std::size_t num_apps) override;
+  std::string name() const override { return "mix_shift"; }
+
+ private:
+  double lambda_per_min_;
+  double duration_s_;
+  double shift_time_s_;
+  workload::MixKind before_;
+  workload::MixKind after_;
+  double mix_stddev_;
+  std::uint64_t seed_;
+};
+
 }  // namespace tracon::sim

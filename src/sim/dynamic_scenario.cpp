@@ -23,6 +23,8 @@ struct RunningTask {
   /// probe was attached).
   double predicted_runtime_s = -1.0;
   double predicted_iops = -1.0;
+  /// Neighbour class at placement time, for completion observers.
+  std::optional<std::size_t> placed_neighbour;
 };
 
 struct Machine {
@@ -34,7 +36,7 @@ struct Machine {
   }
 };
 
-enum class EventType { kArrival, kCompletion, kWakeup, kRound };
+enum class EventType { kArrival, kCompletion, kWakeup, kRound, kSnapshot };
 
 struct Event {
   double time = 0.0;
@@ -149,6 +151,13 @@ DynamicOutcome run_dynamic(const PerfTable& table,
   obs::Telemetry* tel = cfg.telemetry;
   obs::Histogram* wait_hist = nullptr;
   obs::Histogram* runtime_hist = nullptr;
+  // Task counters are incremented live (not tallied at the end) so the
+  // snapshot series sees meaningful per-window deltas; the end-of-run
+  // export carries the same totals either way.
+  obs::Counter* c_arrived = nullptr;
+  obs::Counter* c_dropped = nullptr;
+  obs::Counter* c_placed = nullptr;
+  obs::Counter* c_completed = nullptr;
   std::optional<obs::AccuracyTracker> acc_runtime;
   std::optional<obs::AccuracyTracker> acc_iops;
   if (tel != nullptr) {
@@ -158,6 +167,10 @@ DynamicOutcome run_dynamic(const PerfTable& table,
     runtime_hist = &tel->metrics.histogram(
         "sim.task.runtime_s",
         {10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0});
+    c_arrived = &tel->metrics.counter("sim.tasks.arrived");
+    c_dropped = &tel->metrics.counter("sim.tasks.dropped");
+    c_placed = &tel->metrics.counter("sim.tasks.placed");
+    c_completed = &tel->metrics.counter("sim.tasks.completed");
     if (cfg.accuracy_probe != nullptr) {
       std::string family =
           cfg.accuracy_family.empty() ? "probe" : cfg.accuracy_family;
@@ -243,6 +256,7 @@ DynamicOutcome run_dynamic(const PerfTable& table,
         t.remaining_solo_s = table.solo_runtime(app);
         t.started_s = now;
         t.last_update_s = now;
+        t.placed_neighbour = p.neighbour;
         if (cfg.accuracy_probe != nullptr) {
           t.predicted_runtime_s =
               cfg.accuracy_probe->predict_runtime(app, p.neighbour);
@@ -265,6 +279,7 @@ DynamicOutcome run_dynamic(const PerfTable& table,
                     queue.size(), t.predicted_runtime_s, wait);
         wait_sum += wait;
         ++started;
+        if (c_placed != nullptr) c_placed->inc();
         remove.push_back(p.queue_pos);
       }
       std::sort(remove.begin(), remove.end(), std::greater<>());
@@ -292,6 +307,17 @@ DynamicOutcome run_dynamic(const PerfTable& table,
   // gives MIBS/MIX genuinely concurrent placement choices.
   const bool online = scheduler.online();
   events.push({cfg.schedule_period_s, EventType::kRound, 0, 0, 0});
+  if (cfg.snapshots != nullptr) {
+    TRACON_REQUIRE(tel != nullptr, "snapshot series requires telemetry");
+    events.push({std::min(cfg.snapshots->interval_s(), cfg.duration_s),
+                 EventType::kSnapshot, 0, 0, 0});
+  }
+  TRACON_REQUIRE(
+      cfg.windowed_runtime == nullptr || cfg.accuracy_probe != nullptr,
+      "windowed runtime accuracy requires an accuracy probe");
+  TRACON_REQUIRE(
+      cfg.windowed_iops == nullptr || cfg.accuracy_probe != nullptr,
+      "windowed IOPS accuracy requires an accuracy probe");
 
   while (!events.empty()) {
     Event ev = events.top();
@@ -307,6 +333,7 @@ DynamicOutcome run_dynamic(const PerfTable& table,
     switch (ev.type) {
       case EventType::kArrival: {
         ++out.arrived;
+        if (c_arrived != nullptr) c_arrived->inc();
         std::size_t idx = ev.machine;  // arrival index
         std::size_t app = arrivals[idx].app;
         TRACON_ASSERT(app < n, "arrival app out of range");
@@ -319,6 +346,7 @@ DynamicOutcome run_dynamic(const PerfTable& table,
           run_scheduler(ev.time);
         } else {
           ++out.dropped;  // manager queue full: task rejected
+          if (c_dropped != nullptr) c_dropped->inc();
           if (cfg.trace != nullptr)
             cfg.trace->record(ev.time, TaskEventKind::kDropped, app);
           trace_event(ev.time, obs::TraceEventKind::kTaskDropped, app,
@@ -345,6 +373,7 @@ DynamicOutcome run_dynamic(const PerfTable& table,
         double runtime = ev.time - t->started_s;
         double mean_iops = runtime > 0.0 ? t->iops_integral / runtime : 0.0;
         ++out.completed;
+        if (c_completed != nullptr) c_completed->inc();
         out.total_runtime += runtime;
         out.total_iops += mean_iops;
         std::size_t departed = t->app;
@@ -358,6 +387,14 @@ DynamicOutcome run_dynamic(const PerfTable& table,
           acc_runtime->record(t->predicted_runtime_s, runtime);
         if (acc_iops.has_value() && t->predicted_iops >= 0.0)
           acc_iops->record(t->predicted_iops, mean_iops);
+        if (cfg.windowed_runtime != nullptr && t->predicted_runtime_s >= 0.0)
+          cfg.windowed_runtime->record(t->predicted_runtime_s, runtime);
+        if (cfg.windowed_iops != nullptr && t->predicted_iops >= 0.0)
+          cfg.windowed_iops->record(t->predicted_iops, mean_iops);
+        if (cfg.outcome_observer != nullptr) {
+          cfg.outcome_observer->on_completion(departed, t->placed_neighbour,
+                                              runtime, mean_iops);
+        }
         m.slot[ev.slot].reset();
         --busy_slots;
         if (m.occupancy() == 0) {
@@ -381,6 +418,22 @@ DynamicOutcome run_dynamic(const PerfTable& table,
           events.push({next_round, EventType::kRound, 0, 0, 0});
         break;
       }
+      case EventType::kSnapshot: {
+        // Instantaneous state gauges are refreshed right before the
+        // sample so each window reports the state at its t_end. These
+        // gauges only exist on snapshot-enabled runs.
+        obs::MetricsRegistry& m = tel->metrics;
+        m.gauge("sim.queue.length").set(static_cast<double>(queue.size()));
+        m.gauge("sim.util.busy_machines")
+            .set(static_cast<double>(busy_machines));
+        m.gauge("sim.util.busy_slots").set(static_cast<double>(busy_slots));
+        cfg.snapshots->sample(ev.time);
+        double next = ev.time + cfg.snapshots->interval_s();
+        if (next > cfg.duration_s) next = cfg.duration_s;
+        if (next > ev.time)
+          events.push({next, EventType::kSnapshot, 0, 0, 0});
+        break;
+      }
     }
   }
 
@@ -401,10 +454,6 @@ DynamicOutcome run_dynamic(const PerfTable& table,
     }
     double span_s = cfg.duration_s;
     obs::MetricsRegistry& m = tel->metrics;
-    m.counter("sim.tasks.arrived").inc(out.arrived);
-    m.counter("sim.tasks.dropped").inc(out.dropped);
-    m.counter("sim.tasks.placed").inc(started);
-    m.counter("sim.tasks.completed").inc(out.completed);
     m.gauge("sim.util.host_busy_fraction")
         .set(busy_machine_integral /
              (static_cast<double>(cfg.machines) * span_s));

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/snapshot.hpp"
 #include "obs/telemetry.hpp"
 #include "sched/predictor.hpp"
 #include "sched/scheduler.hpp"
@@ -56,6 +57,24 @@ struct DynamicConfig {
   /// Model-family label for the accuracy metrics (e.g. "NLM"); sanitized
   /// into a metric path component. Empty means "probe".
   std::string accuracy_family;
+  /// Optional windowed snapshot sampler (not owned; requires
+  /// `telemetry`). The event loop closes one window every
+  /// snapshots->interval_s() sim-seconds (plus a final partial window
+  /// at the horizon), sampling live task counters, queue/utilization
+  /// gauges, and whatever accuracy windows the caller registered. All
+  /// timestamps are virtual-clock.
+  obs::SnapshotSeries* snapshots = nullptr;
+  /// Optional completion observer (not owned). Fed every completed
+  /// task's (app, placement-time neighbour, realized runtime, mean
+  /// IOPS) — the seam through which the confidence-weighted predictor
+  /// learns online. Independent of `telemetry`.
+  sched::CompletionObserver* outcome_observer = nullptr;
+  /// Optional rolling accuracy windows (not owned) fed the accuracy
+  /// probe's placement-time predictions against realized outcomes, for
+  /// snapshot-series quantiles on runs without a confidence ensemble.
+  /// Require `accuracy_probe`.
+  obs::WindowedAccuracy* windowed_runtime = nullptr;
+  obs::WindowedAccuracy* windowed_iops = nullptr;
   /// Optional arrival stream override (not owned; may be nullptr). When
   /// set, run_dynamic(table, scheduler, cfg) draws the arrival list from
   /// this source and lambda_per_min / mix / mix_stddev / seed are

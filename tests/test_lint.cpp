@@ -235,6 +235,31 @@ TEST(MetricName, ValidPathsVariablesAndProseAreQuiet) {
   EXPECT_FALSE(has_rule(findings, "metric-name"));
 }
 
+TEST(Determinism, SnapshotCodeMustNotReadWallClocks) {
+  // The snapshot sampler's whole contract is virtual-clock timestamps;
+  // every C time-formatting entry point counts as a violation.
+  auto findings = lint_content(
+      "src/obs/snapshot_bad.cpp",
+      "#include \"obs/snapshot_bad.hpp\"\n\nvoid f() {\n"
+      "  std::time_t t; timespec_get(nullptr, 0);\n"
+      "  char buf[64]; strftime(buf, 64, \"%F\", nullptr);\n"
+      "  const char* s = ctime(&t);\n"
+      "  double d = difftime(t, t);\n}\n");
+  std::vector<std::string> rules = rules_of(findings);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "determinism"), 4);
+}
+
+TEST(MetricName, TrackAccuracyLiteralsAreChecked) {
+  auto findings = lint_content(
+      "src/obs/snapshot_names.cpp",
+      "#include \"obs/snapshot_names.hpp\"\n\nvoid f(S& s, const W* w) {\n"
+      "  s.track_accuracy(\"Model.NLM.Runtime\", w);\n"
+      "  s.track_accuracy(\"model.nlm.runtime\", w);\n"
+      "  s.track_accuracy(family + \".runtime\", w);\n}\n");
+  std::vector<std::string> rules = rules_of(findings);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "metric-name"), 1);
+}
+
 TEST(MetricName, SuppressionTagWorks) {
   EXPECT_FALSE(has_rule(
       lint_content("src/obs/sup_metrics.cpp",

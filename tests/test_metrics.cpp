@@ -173,7 +173,8 @@ TEST(Registry, EmptyFingerprintStillExportsObject) {
   reg.counter("a.c").inc();
   std::ostringstream os;
   reg.write_json(os);
-  const JsonValue* fp = parse_json(os.str()).find("fingerprint");
+  JsonValue doc = parse_json(os.str());
+  const JsonValue* fp = doc.find("fingerprint");
   ASSERT_NE(fp, nullptr);
   EXPECT_TRUE(fp->is_object());
 }
@@ -222,6 +223,54 @@ TEST(Accuracy, RecordsSignedAndAbsoluteRelativeError) {
   EXPECT_NEAR(ait->second.sum(), 0.3, 1e-12);
   EXPECT_EQ(
       reg.counters().at("model.nlm_nodom0.runtime.samples").value(), 2u);
+}
+
+TEST(Merge, CountersAndHistogramsSumGaugesLastWriterWins) {
+  MetricsRegistry a, b;
+  a.counter("c.hits").inc(10);
+  b.counter("c.hits").inc(5);
+  b.counter("c.only_b").inc(2);
+  a.gauge("g.level").set(1.0);
+  b.gauge("g.level").set(7.0);
+  a.histogram("h.lat", {1.0, 2.0}).observe(0.5);
+  b.histogram("h.lat", {1.0, 2.0}).observe(1.5);
+  b.histogram("h.only_b", {4.0}).observe(9.0);
+  a.set_fingerprint("seed", "1");
+  b.set_fingerprint("seed", "2");
+  b.set_fingerprint("shard", "b");
+
+  a.merge(b);
+
+  EXPECT_EQ(a.counter("c.hits").value(), 15u);
+  EXPECT_EQ(a.counter("c.only_b").value(), 2u);
+  EXPECT_DOUBLE_EQ(a.gauge("g.level").value(), 7.0);
+  const Histogram& h = a.histogram("h.lat", {1.0, 2.0});
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1.5);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(a.histogram("h.only_b", {4.0}).count(), 1u);
+  EXPECT_EQ(a.fingerprint().at("seed"), "2");
+  EXPECT_EQ(a.fingerprint().at("shard"), "b");
+}
+
+TEST(Merge, EmptySidesAreNoOps) {
+  MetricsRegistry a, empty;
+  a.counter("c.hits").inc(3);
+  a.merge(empty);
+  EXPECT_EQ(a.counter("c.hits").value(), 3u);
+  MetricsRegistry b;
+  b.merge(a);
+  EXPECT_EQ(b.counter("c.hits").value(), 3u);
+}
+
+TEST(Merge, MismatchedHistogramBoundsThrow) {
+  MetricsRegistry a, b;
+  a.histogram("h.lat", {1.0}).observe(0.5);
+  b.histogram("h.lat", {2.0}).observe(0.5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
 TEST(Json, ParserHandlesEscapesAndRejectsGarbage) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
+
 namespace tracon::sched {
 namespace {
 
@@ -77,6 +79,114 @@ TEST(TablePredictor, FromModelsValidation) {
   std::vector<monitor::AppProfile> profiles;
   EXPECT_THROW(TablePredictor::from_models(none, profiles),
                std::invalid_argument);
+}
+
+// Every table value multiplied by `k` — a family that is wrong by a
+// constant factor (1 - k) on every prediction.
+TablePredictor scaled_table(double k) {
+  stats::Matrix rt = {{100.0 * k, 150.0 * k, 80.0 * k},
+                      {200.0 * k, 300.0 * k, 180.0 * k}};
+  stats::Matrix io = {{50.0 * k, 30.0 * k, 60.0 * k},
+                      {20.0 * k, 10.0 * k, 25.0 * k}};
+  return TablePredictor(rt, io);
+}
+
+ConfidenceConfig test_cfg() {
+  ConfidenceConfig cfg;
+  cfg.window = 16;
+  cfg.min_samples = 4;
+  return cfg;
+}
+
+TEST(ConfidencePredictor, ValidatesConstruction) {
+  TablePredictor good = small_table();
+  EXPECT_THROW(ConfidenceWeightedPredictor({}), std::invalid_argument);
+  EXPECT_THROW(ConfidenceWeightedPredictor({{"", &good}}),
+               std::invalid_argument);
+  EXPECT_THROW(ConfidenceWeightedPredictor({{"a", nullptr}}),
+               std::invalid_argument);
+  ConfidenceConfig zero_window;
+  zero_window.window = 0;
+  EXPECT_THROW(ConfidenceWeightedPredictor({{"a", &good}}, zero_window),
+               std::invalid_argument);
+}
+
+TEST(ConfidencePredictor, EqualWeightsBeforeWarmup) {
+  TablePredictor a = small_table();
+  TablePredictor b = scaled_table(4.0);
+  ConfidenceWeightedPredictor p({{"good", &a}, {"bad", &b}}, test_cfg());
+  // No completions yet: both families sit at the default error, so the
+  // blend is the plain average.
+  EXPECT_DOUBLE_EQ(p.runtime_weight(0), 0.5);
+  EXPECT_DOUBLE_EQ(p.runtime_weight(1), 0.5);
+  EXPECT_NEAR(p.predict_runtime(0, std::optional<std::size_t>(1)),
+              (150.0 + 600.0) / 2.0, 1e-9);
+}
+
+TEST(ConfidencePredictor, DisqualifiesFamilyPastErrorThreshold) {
+  TablePredictor a = small_table();
+  TablePredictor b = scaled_table(4.0);  // 300% off once warmed up
+  ConfidenceWeightedPredictor p({{"good", &a}, {"bad", &b}}, test_cfg());
+  // Realized outcomes exactly match family "good".
+  for (int i = 0; i < 4; ++i) {
+    p.on_completion(0, std::optional<std::size_t>(1), 150.0, 30.0);
+  }
+  EXPECT_DOUBLE_EQ(p.runtime_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.runtime_weight(1), 0.0);
+  EXPECT_DOUBLE_EQ(p.iops_weight(1), 0.0);
+  EXPECT_NEAR(p.predict_runtime(0, std::optional<std::size_t>(1)), 150.0,
+              1e-9);
+  EXPECT_NEAR(p.predict_iops(0, std::optional<std::size_t>(1)), 30.0, 1e-9);
+  EXPECT_EQ(p.runtime_window(0).size(), 4u);
+  EXPECT_EQ(p.runtime_window(1).size(), 4u);
+}
+
+TEST(ConfidencePredictor, AllFamiliesBadFallsBackToBest) {
+  TablePredictor a = small_table();
+  TablePredictor b = scaled_table(4.0);
+  ConfidenceWeightedPredictor p({{"good", &a}, {"bad", &b}}, test_cfg());
+  // Outcomes far from both tables: "bad" (600) is still the closer
+  // forecast to 10000 than "good" (150), so it alone survives.
+  for (int i = 0; i < 4; ++i) {
+    p.on_completion(0, std::optional<std::size_t>(1), 10000.0, 10000.0);
+  }
+  EXPECT_DOUBLE_EQ(p.runtime_weight(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.runtime_weight(1), 1.0);
+  EXPECT_NEAR(p.predict_runtime(0, std::optional<std::size_t>(1)), 600.0,
+              1e-9);
+}
+
+TEST(ConfidencePredictor, AdaptOffFreezesEqualWeights) {
+  TablePredictor a = small_table();
+  TablePredictor b = scaled_table(4.0);
+  ConfidenceConfig cfg = test_cfg();
+  cfg.adapt = false;
+  ConfidenceWeightedPredictor p({{"good", &a}, {"bad", &b}}, cfg);
+  for (int i = 0; i < 8; ++i) {
+    p.on_completion(0, std::optional<std::size_t>(1), 150.0, 30.0);
+  }
+  // The static blend ignores the feedback it keeps receiving.
+  EXPECT_DOUBLE_EQ(p.runtime_weight(0), 0.5);
+  EXPECT_DOUBLE_EQ(p.runtime_weight(1), 0.5);
+  EXPECT_EQ(p.runtime_window(1).size(), 8u);  // windows still fed
+}
+
+TEST(ConfidencePredictor, BeginRoundStampsWeightGauges) {
+  TablePredictor a = small_table();
+  TablePredictor b = scaled_table(4.0);
+  ConfidenceWeightedPredictor p({{"good", &a}, {"bad", &b}}, test_cfg());
+  obs::MetricsRegistry reg;
+  p.set_metrics(&reg);
+  for (int i = 0; i < 4; ++i) {
+    p.on_completion(0, std::optional<std::size_t>(1), 150.0, 30.0);
+  }
+  p.begin_round(60.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("sched.confidence.good.runtime_weight").value(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("sched.confidence.bad.runtime_weight").value(),
+                   0.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("sched.confidence.good.iops_weight").value(),
+                   1.0);
 }
 
 }  // namespace

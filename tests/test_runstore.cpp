@@ -11,6 +11,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "runstore/report.hpp"
 
 namespace tracon::runstore {
@@ -215,6 +216,89 @@ TEST(Report, JsonOutputParsesAndMirrorsSections) {
   const obs::JsonValue* a_label = doc.find("a")->find("label");
   ASSERT_NE(a_label, nullptr);
   EXPECT_EQ(a_label->as_string(), "run-a");
+}
+
+std::string series_doc(double completed_w0, double completed_w1) {
+  std::ostringstream os;
+  os << "{\"schema\": \"tracon.metrics_series\", \"version\": 1, "
+        "\"interval_s\": 600}\n"
+     << "{\"window\": 0, \"t_start\": 0, \"t_end\": 600, \"counters\": "
+        "{\"sim.tasks.completed\": "
+     << completed_w0
+     << "}, \"gauges\": {\"sim.queue.length\": 2}, \"accuracy\": {}}\n"
+     << "{\"window\": 1, \"t_start\": 600, \"t_end\": 1200, \"counters\": "
+        "{\"sim.tasks.completed\": "
+     << completed_w1
+     << "}, \"gauges\": {\"sim.queue.length\": 5}, \"accuracy\": {}}\n";
+  return os.str();
+}
+
+TEST(RunStoreSeries, StoredSeriesRoundTrips) {
+  RunStore store(fresh_dir("series"));
+  std::string id = store.add_run_json(metrics_doc(10, "FIFO"), "FIFO", "live",
+                                      {}, series_doc(10, 20));
+  RunStore::LoadResult loaded = store.load();
+  ASSERT_EQ(loaded.runs.size(), 1u);
+  ASSERT_TRUE(loaded.runs[0].has_series());
+  EXPECT_EQ(store.read_series(loaded.runs[0]), series_doc(10, 20));
+  EXPECT_EQ(store.find(id)->series_rel, loaded.runs[0].series_rel);
+}
+
+TEST(RunStoreSeries, RunsWithoutSeriesHaveNone) {
+  RunStore store(fresh_dir("noseries"));
+  store.add_run_json(metrics_doc(10, "FIFO"), "FIFO", "live", {});
+  RunStore::LoadResult loaded = store.load();
+  ASSERT_EQ(loaded.runs.size(), 1u);
+  EXPECT_FALSE(loaded.runs[0].has_series());
+  EXPECT_THROW(store.read_series(loaded.runs[0]), std::invalid_argument);
+}
+
+TEST(SeriesDiff, PerWindowDivergenceOverAlignedWindows) {
+  obs::MetricsSeries a = obs::parse_metrics_series(series_doc(10, 20));
+  obs::MetricsSeries b = obs::parse_metrics_series(series_doc(10, 26));
+  RunReport report;
+  diff_series(a, b, &report);
+  EXPECT_EQ(report.series_windows, 2u);
+  ASSERT_EQ(report.series.size(), 2u);  // one counter + one gauge
+
+  // Rows come out sorted by metric name.
+  const SeriesRow& queue = report.series[0];
+  EXPECT_EQ(queue.name, "sim.queue.length");
+  EXPECT_DOUBLE_EQ(queue.max_div, 0.0);
+
+  const SeriesRow& completed = report.series[1];
+  EXPECT_EQ(completed.name, "sim.tasks.completed");
+  // |10-10| = 0 in window 0, |26-20| = 6 in window 1.
+  EXPECT_DOUBLE_EQ(completed.mean_div, 3.0);
+  EXPECT_DOUBLE_EQ(completed.max_div, 6.0);
+  EXPECT_DOUBLE_EQ(completed.max_div_t, 1200.0);
+}
+
+TEST(SeriesDiff, TruncatesToShorterRunAndRendersInBothFormats) {
+  obs::MetricsSeries a = obs::parse_metrics_series(series_doc(10, 20));
+  obs::MetricsSeries b = a;
+  b.windows.resize(1);
+  b.windows[0].counters["sim.tasks.completed"] = 17.0;
+  RunReport report = diff_runs(
+      summarize_metrics(obs::parse_json(metrics_doc(10, "FIFO"))),
+      summarize_metrics(obs::parse_json(metrics_doc(14, "MIX"))), "run-a",
+      "run-b");
+  diff_series(a, b, &report);
+  EXPECT_EQ(report.series_windows, 1u);
+
+  std::ostringstream text;
+  write_report_text(text, report);
+  EXPECT_NE(text.str().find("series (per-window divergence over 1 aligned"),
+            std::string::npos);
+  EXPECT_NE(text.str().find("sim.tasks.completed"), std::string::npos);
+
+  std::ostringstream json;
+  write_report_json(json, report);
+  obs::JsonValue doc = obs::parse_json(json.str());
+  const obs::JsonValue* series = doc.find("series");
+  ASSERT_NE(series, nullptr);
+  EXPECT_DOUBLE_EQ(series->find("windows")->as_number(), 1.0);
+  EXPECT_EQ(series->find("rows")->as_array().size(), 2u);
 }
 
 }  // namespace

@@ -83,7 +83,8 @@ const std::regex& determinism_regex() {
       R"(|std\s*::\s*random_device|\brandom_device\b)"
       R"(|\b(time|clock)\s*\()"
       R"(|gettimeofday|clock_gettime|localtime|\bgmtime\b)"
-      R"(|system_clock|steady_clock|high_resolution_clock)");
+      R"(|system_clock|steady_clock|high_resolution_clock)"
+      R"(|timespec_get|\bctime\b|\basctime\b|\bmktime\b|strftime|difftime)");
   return re;
 }
 
@@ -331,15 +332,17 @@ bool valid_metric_path(const std::string& name) {
 }
 
 /// Registration sites (MetricsRegistry::counter/gauge/histogram,
-/// ProfRegistry::scope, TRACON_PROF_SCOPE, KvLine) take the name as a
-/// string literal first argument. The stripper is length-preserving, so
-/// after matching on the stripped line the literal's characters are
-/// read back from the original text at the same offsets.
+/// ProfRegistry::scope, TRACON_PROF_SCOPE, KvLine, and
+/// SnapshotSeries::track_accuracy) take the name as a string literal
+/// first argument. The stripper is length-preserving, so after matching
+/// on the stripped line the literal's characters are read back from the
+/// original text at the same offsets.
 void check_metric_name(const std::string& original,
                        const std::string& stripped, const Suppressions& sup,
                        std::vector<Finding>* out) {
   static const std::regex re(
-      R"(\b(counter|gauge|histogram|scope|TRACON_PROF_SCOPE|KvLine)\s*\(\s*")");
+      R"(\b(counter|gauge|histogram|scope|TRACON_PROF_SCOPE|KvLine)"
+      R"(|track_accuracy)\s*\(\s*")");
   std::vector<std::string> strip_lines = split_lines(stripped);
   std::vector<std::string> orig_lines = split_lines(original);
   for (std::size_t i = 0; i < strip_lines.size(); ++i) {

@@ -1,6 +1,7 @@
 // telemetry_check: validates the files the telemetry subsystem emits.
 //
 // Usage: telemetry_check --metrics METRICS.json [--trace TRACE.json]
+//                        [--series SERIES.jsonl]
 //
 // Checks (exit 0 when all pass, 1 otherwise):
 //   metrics: parses as JSON; has a run fingerprint (seed / scheduler /
@@ -11,6 +12,12 @@
 //   trace: parses as JSON; traceEvents is a non-empty array whose
 //     entries carry name/ph/ts/pid/tid, with at least one complete
 //     "X" duration slice.
+//   series: parses as tracon.metrics_series JSONL (schema + supported
+//     version enforced by the parser); window indices are consecutive
+//     from 0; window timestamps tile monotonically (t_start < t_end,
+//     each t_start equal to the previous t_end, spans bounded by the
+//     declared interval); every counter delta is non-negative; every
+//     accuracy entry's window count never exceeds its lifetime total.
 //
 // Used by CI after an instrumented example/CLI run; kept dependency-free
 // via the in-tree obs JSON reader.
@@ -20,6 +27,7 @@
 #include <string>
 
 #include "obs/json.hpp"
+#include "obs/snapshot.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -134,20 +142,65 @@ void check_trace(const JsonValue& doc) {
   check(has_slice, "trace contains at least one X duration slice");
 }
 
+void check_series(const tracon::obs::MetricsSeries& series) {
+  check(series.interval_s > 0, "series declares a positive interval_s");
+  check(!series.windows.empty(), "series contains at least one window");
+
+  bool indices_ok = true;
+  bool times_ok = true;
+  bool spans_ok = true;
+  bool deltas_ok = true;
+  bool accuracy_ok = true;
+  double prev_end = 0.0;
+  for (std::size_t w = 0; w < series.windows.size(); ++w) {
+    const tracon::obs::SeriesWindow& win = series.windows[w];
+    if (win.index != w) indices_ok = false;
+    if (!(win.t_start < win.t_end) || win.t_start != prev_end) {
+      times_ok = false;
+    }
+    // Every window spans at most one interval; only rounding slack is
+    // tolerated (the final window may be shorter at the horizon).
+    if (win.t_end - win.t_start > series.interval_s * (1.0 + 1e-9)) {
+      spans_ok = false;
+    }
+    prev_end = win.t_end;
+    for (const auto& [name, delta] : win.counters) {
+      (void)name;
+      if (delta < 0) deltas_ok = false;
+    }
+    for (const auto& [name, acc] : win.accuracy) {
+      (void)name;
+      if (acc.count > acc.total) accuracy_ok = false;
+    }
+  }
+  check(indices_ok, "series window indices are consecutive from 0");
+  check(times_ok,
+        "series windows tile monotonically (t_start == previous t_end)");
+  check(spans_ok, "every series window spans at most interval_s");
+  check(deltas_ok, "every series counter delta is non-negative");
+  check(accuracy_ok, "every accuracy window count is <= its lifetime total");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     tracon::ArgParser args(argc, argv);
-    if (!args.has("metrics")) {
+    if (!args.has("metrics") && !args.has("series")) {
       std::fprintf(stderr,
-                   "usage: %s --metrics METRICS.json [--trace TRACE.json]\n",
+                   "usage: %s --metrics METRICS.json [--trace TRACE.json] "
+                   "[--series SERIES.jsonl]\n",
                    argv[0]);
       return 2;
     }
-    check_metrics(tracon::obs::parse_json(slurp(args.get("metrics"))));
+    if (args.has("metrics")) {
+      check_metrics(tracon::obs::parse_json(slurp(args.get("metrics"))));
+    }
     if (args.has("trace")) {
       check_trace(tracon::obs::parse_json(slurp(args.get("trace"))));
+    }
+    if (args.has("series")) {
+      check_series(tracon::obs::parse_metrics_series(slurp(args.get("series"))));
     }
     if (g_failures > 0) {
       std::fprintf(stderr, "telemetry_check: %d failure(s)\n", g_failures);

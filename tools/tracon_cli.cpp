@@ -12,8 +12,15 @@
 //                                any --scheduler; stores the run
 //   tracon runs                  list the runs in a run store
 //   tracon report A B            A/B diff of two stored runs by id prefix
-//                                (counters, latency, model accuracy);
+//                                (counters, latency, model accuracy, and —
+//                                when both runs stored a snapshot series —
+//                                per-window divergence);
 //                                --json for machine-readable output
+//   tracon timeline              render a tracon.metrics_series file
+//                                (--series FILE) or a stored run's series
+//                                (<run-id-prefix> [--store DIR]) as an
+//                                aligned per-window table; --json,
+//                                --metric SUBSTR to filter columns
 //
 // Common flags:
 //   --host paper|ssd|raid|iscsi  host/storage model   (default paper)
@@ -27,8 +34,20 @@
 //   --metrics-csv FILE           metrics registry as CSV
 //   --trace-out FILE             Chrome trace_event JSON (Perfetto-loadable)
 //   --trace-jsonl FILE           one trace event per line
+//
+// Snapshot / confidence flags (dynamic, record, replay):
+//   --snapshot-interval S        sample a tracon.metrics_series window
+//                                every S sim-seconds (record/replay also
+//                                store the series alongside the run)
+//   --series-out FILE            write the series JSONL (implies
+//                                snapshots at the default 600 s interval)
+//   --confidence-weighting       schedule with the confidence-weighted
+//                                WMM/LM/NLM ensemble instead of the
+//                                single --model table (requires
+//                                --scheduler mix)
+//   --accuracy-window N          rolling accuracy window size (default 64)
 // All telemetry timestamps are virtual-clock; same-seed runs produce
-// byte-identical files.
+// byte-identical files (including the snapshot series).
 //
 // Examples:
 //   tracon matrix --host ssd
@@ -39,23 +58,30 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <set>
 #include <span>
 #include <sstream>
 #include <string>
 
 #include "core/tracon.hpp"
+#include "obs/accuracy.hpp"
 #include "obs/json.hpp"
 #include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
 #include "obs/scope_timer.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/telemetry.hpp"
 #include "replay/arrival_trace.hpp"
 #include "runstore/report.hpp"
 #include "runstore/runstore.hpp"
 #include "sched/fifo.hpp"
+#include "sched/mix.hpp"
 #include "sim/dynamic_scenario.hpp"
 #include "sim/hierarchy.hpp"
 #include "sim/static_scenario.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 #include "virt/host_sim.hpp"
 #include "workload/benchmarks.hpp"
@@ -257,6 +283,90 @@ int cmd_static(const ArgParser& args) {
   return 0;
 }
 
+/// Owns the optional per-run instrumentation the snapshot/confidence
+/// flags hang off one dynamic run: the snapshot sampler, the rolling
+/// accuracy windows, and (with --confidence-weighting) the ensemble's
+/// family tables, the ensemble itself, and the MIX scheduler bound to
+/// it. DynamicConfig holds raw pointers into this, so it must outlive
+/// the run — callers keep it on the stack and pass it by reference.
+struct RunInstruments {
+  std::optional<obs::SnapshotSeries> series;
+  std::optional<obs::WindowedAccuracy> win_runtime;
+  std::optional<obs::WindowedAccuracy> win_iops;
+  std::vector<sched::TablePredictor> family_tables;
+  std::vector<std::string> family_names;
+  std::unique_ptr<sched::ConfidenceWeightedPredictor> confidence;
+  std::unique_ptr<sched::Scheduler> scheduler;  ///< set iff confidence on
+};
+
+/// Wires --snapshot-interval / --series-out / --confidence-weighting /
+/// --accuracy-window into `cfg`. Mutates nothing when none of those
+/// flags are present, which is what keeps flag-off runs byte-identical
+/// to the pre-snapshot CLI.
+void instrument_run(const ArgParser& args, const core::Tracon& sys,
+                    sim::DynamicConfig& cfg, obs::Telemetry& tel,
+                    std::size_t default_queue, RunInstruments& inst) {
+  const auto window =
+      static_cast<std::size_t>(args.get_int("accuracy-window", 64));
+  if (args.has("confidence-weighting")) {
+    TRACON_REQUIRE(args.get("scheduler", "mibs") == "mix",
+                   "--confidence-weighting requires --scheduler mix");
+    const model::ModelKind kinds[] = {model::ModelKind::kWmm,
+                                      model::ModelKind::kLinear,
+                                      model::ModelKind::kNonlinear};
+    inst.family_tables.reserve(std::size(kinds));
+    inst.family_names.reserve(std::size(kinds));
+    for (model::ModelKind kind : kinds) {
+      inst.family_tables.push_back(sys.train_predictor(kind));
+      inst.family_names.push_back(model::model_kind_metric_family(kind));
+    }
+    std::vector<sched::ConfidenceWeightedPredictor::Family> families;
+    families.reserve(inst.family_tables.size());
+    for (std::size_t f = 0; f < inst.family_tables.size(); ++f)
+      families.push_back({inst.family_names[f], &inst.family_tables[f]});
+    sched::ConfidenceConfig ccfg;
+    ccfg.window = window;
+    inst.confidence = std::make_unique<sched::ConfidenceWeightedPredictor>(
+        std::move(families), ccfg);
+    inst.confidence->set_metrics(&tel.metrics);
+    cfg.outcome_observer = inst.confidence.get();
+    // The cumulative accuracy tracker scores the blend itself.
+    cfg.accuracy_probe = inst.confidence.get();
+    cfg.accuracy_family = "confidence";
+    auto objective = args.get("objective", "rt") == "io"
+                         ? sched::Objective::kIops
+                         : sched::Objective::kRuntime;
+    auto queue = static_cast<std::size_t>(
+        args.get_int("queue", static_cast<long>(default_queue)));
+    inst.scheduler = std::make_unique<sched::MixScheduler>(
+        *inst.confidence, objective, queue, 60.0, sched::PlacementPolicy{});
+  }
+  if (args.has("snapshot-interval") || args.has("series-out")) {
+    inst.series.emplace(tel.metrics,
+                        args.get_double("snapshot-interval", 600.0));
+    cfg.snapshots = &*inst.series;
+    if (inst.confidence != nullptr) {
+      for (std::size_t f = 0; f < inst.confidence->num_families(); ++f) {
+        const std::string& fam = inst.confidence->family_name(f);
+        inst.series->track_accuracy("model." + fam + ".runtime",
+                                    &inst.confidence->runtime_window(f));
+        inst.series->track_accuracy("model." + fam + ".iops",
+                                    &inst.confidence->iops_window(f));
+      }
+    } else {
+      inst.win_runtime.emplace(window);
+      inst.win_iops.emplace(window);
+      cfg.windowed_runtime = &*inst.win_runtime;
+      cfg.windowed_iops = &*inst.win_iops;
+      const std::string fam = obs::metric_path_component(cfg.accuracy_family);
+      inst.series->track_accuracy("model." + fam + ".runtime",
+                                  &*inst.win_runtime);
+      inst.series->track_accuracy("model." + fam + ".iops",
+                                  &*inst.win_iops);
+    }
+  }
+}
+
 int cmd_dynamic(const ArgParser& args) {
   core::Tracon sys = make_system(args, true);
   sim::DynamicConfig cfg;
@@ -272,21 +382,31 @@ int cmd_dynamic(const ArgParser& args) {
   auto base = sim::run_dynamic(sys.perf_table(), *fifo, cfg);
   sim::TraceRecorder trace;
   if (args.has("trace")) cfg.trace = &trace;
-  auto sched = scheduler_from(args, sys, false);
 
   // Telemetry wraps only the chosen-scheduler run (the FIFO pass above
   // is just the normalization baseline).
   const bool want_metrics = args.has("metrics-out") || args.has("metrics-csv");
   const bool want_trace = args.has("trace-out") || args.has("trace-jsonl");
+  const bool want_series =
+      args.has("snapshot-interval") || args.has("series-out");
+  const bool want_confidence = args.has("confidence-weighting");
   obs::Telemetry tel;
-  if (want_metrics || want_trace) {
+  RunInstruments inst;
+  std::unique_ptr<sched::Scheduler> sched;
+  if (want_metrics || want_trace || want_series || want_confidence) {
     tel.tracer.set_enabled(want_trace);
     cfg.telemetry = &tel;
     cfg.accuracy_probe = &sys.predictor();
     cfg.accuracy_family = model::model_kind_name(sys.model_kind());
+    instrument_run(args, sys, cfg, tel, 8, inst);
+    sched = inst.scheduler != nullptr ? std::move(inst.scheduler)
+                                      : scheduler_from(args, sys, false);
     sched->set_telemetry(&tel);
     stamp_fingerprint(tel.metrics, cfg, args.get("host", "paper"),
                       args.get("model", "nlm"), sched->name(), "live");
+    if (want_confidence) tel.metrics.set_fingerprint("confidence", "on");
+  } else {
+    sched = scheduler_from(args, sys, false);
   }
 
   auto o = sim::run_dynamic(sys.perf_table(), *sched, cfg);
@@ -317,6 +437,10 @@ int cmd_dynamic(const ArgParser& args) {
   if (args.has("trace-jsonl"))
     io_ok &= write_file("trace-jsonl", "JSONL trace", [&](std::ostream& f) {
       tel.tracer.write_jsonl(f);
+    });
+  if (args.has("series-out"))
+    io_ok &= write_file("series-out", "metrics series", [&](std::ostream& f) {
+      inst.series->write(f);
     });
   if (!io_ok) return 1;
 
@@ -351,23 +475,33 @@ std::vector<double> solo_demands(const sim::PerfTable& table) {
   return demands;
 }
 
-/// Shared tail of `record` and `replay`: run the simulation over an
-/// already-materialized arrival list with telemetry on, stamp the
-/// fingerprint, store the run, and print a one-line summary plus the
-/// run id (the id is the last token on stdout, for scripting).
+/// Shared tail of `record` and `replay`: build the scheduler (the
+/// stock one, or the confidence-weighted MIX when the flag is on), run
+/// the simulation over an already-materialized arrival list with
+/// telemetry on, stamp the fingerprint, store the run (plus its
+/// snapshot series when sampled), and print a one-line summary plus
+/// the run id (the id is the last token on stdout, for scripting).
 int run_and_store(const ArgParser& args, core::Tracon& sys,
-                  sim::DynamicConfig& cfg, sched::Scheduler& sched,
+                  sim::DynamicConfig& cfg,
                   std::span<const sim::Arrival> arrivals,
                   const std::string& host, const std::string& model,
-                  const std::string& source) {
+                  const std::string& source, std::size_t default_queue = 8) {
   obs::Telemetry tel;
   tel.tracer.set_enabled(false);
   cfg.telemetry = &tel;
   cfg.accuracy_probe = &sys.predictor();
   cfg.accuracy_family = model::model_kind_name(sys.model_kind());
-  sched.set_telemetry(&tel);
-  auto o = sim::run_dynamic(sys.perf_table(), sched, cfg, arrivals);
-  stamp_fingerprint(tel.metrics, cfg, host, model, sched.name(), source);
+  RunInstruments inst;
+  instrument_run(args, sys, cfg, tel, default_queue, inst);
+  std::unique_ptr<sched::Scheduler> sched =
+      inst.scheduler != nullptr
+          ? std::move(inst.scheduler)
+          : scheduler_from(args, sys, false, default_queue);
+  sched->set_telemetry(&tel);
+  auto o = sim::run_dynamic(sys.perf_table(), *sched, cfg, arrivals);
+  stamp_fingerprint(tel.metrics, cfg, host, model, sched->name(), source);
+  if (inst.confidence != nullptr)
+    tel.metrics.set_fingerprint("confidence", "on");
 
   if (args.has("metrics-out")) {
     std::string path = args.get("metrics-out");
@@ -378,11 +512,23 @@ int run_and_store(const ArgParser& args, core::Tracon& sys,
     }
     tel.metrics.write_json(f);
   }
+  if (args.has("series-out")) {
+    std::string path = args.get("series-out");
+    std::ofstream f(path, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot open series file '%s'\n", path.c_str());
+      return 1;
+    }
+    inst.series->write(f);
+    std::printf("metrics series written to %s\n", path.c_str());
+  }
 
   runstore::RunStore store(args.get("store", "runs"));
-  std::string id = store.add_run(tel.metrics, sched.name(), source);
+  std::string id =
+      store.add_run(tel.metrics, sched->name(), source,
+                    inst.series.has_value() ? inst.series->str() : "");
   std::printf("%s (%s): %zu arrivals, completed %zu, dropped %zu\n",
-              sched.name().c_str(), source.c_str(), arrivals.size(),
+              sched->name().c_str(), source.c_str(), arrivals.size(),
               o.completed, o.dropped);
   std::printf("stored run %s\n", id.c_str());
   return 0;
@@ -430,9 +576,8 @@ int cmd_record(const ArgParser& args) {
   std::printf("trace (%zu arrivals) written to %s\n", writer.written(),
               trace_path.c_str());
 
-  auto sched = scheduler_from(args, sys, false);
-  return run_and_store(args, sys, cfg, *sched, arrivals, header.host,
-                       header.model, "live");
+  return run_and_store(args, sys, cfg, arrivals, header.host, header.model,
+                       "live");
 }
 
 int cmd_replay(const ArgParser& args) {
@@ -478,9 +623,8 @@ int cmd_replay(const ArgParser& args) {
   std::vector<sim::Arrival> arrivals =
       source.arrivals(sys.perf_table().num_apps());
 
-  auto sched = scheduler_from(args, sys, false, header.queue_capacity);
-  return run_and_store(args, sys, cfg, *sched, arrivals, host, model,
-                       "trace");
+  return run_and_store(args, sys, cfg, arrivals, host, model, "trace",
+                       header.queue_capacity);
 }
 
 int cmd_runs(const ArgParser& args) {
@@ -525,11 +669,148 @@ int cmd_report(const ArgParser& args) {
       runstore::summarize_metrics(da), runstore::summarize_metrics(db),
       ra.id + " (" + ra.scheduler + ", " + ra.source + ")",
       rb.id + " (" + rb.scheduler + ", " + rb.source + ")");
+  if (ra.has_series() && rb.has_series()) {
+    obs::MetricsSeries sa = obs::parse_metrics_series(store.read_series(ra));
+    obs::MetricsSeries sb = obs::parse_metrics_series(store.read_series(rb));
+    runstore::diff_series(sa, sb, &report);
+  }
   if (args.has("json")) {
     runstore::write_report_json(std::cout, report);
   } else {
     runstore::write_report_text(std::cout, report);
   }
+  return 0;
+}
+
+/// Renders a tracon.metrics_series document. The series comes either
+/// from a file (--series FILE) or from a stored run's series object
+/// (positional run-id prefix, resolved against --store).
+int cmd_timeline(const ArgParser& args) {
+  std::string content;
+  std::string label;
+  if (args.has("series")) {
+    const std::string path = args.get("series");
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot open series file '%s'\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    content = buf.str();
+    label = path;
+  } else if (args.positional().size() >= 2) {
+    runstore::RunStore store(args.get("store", "runs"));
+    auto rec = store.find(args.positional()[1]);
+    if (!rec.has_value()) {
+      std::fprintf(stderr, "no run matches id prefix '%s' in store '%s'\n",
+                   args.positional()[1].c_str(),
+                   args.get("store", "runs").c_str());
+      return 1;
+    }
+    if (!rec->has_series()) {
+      std::fprintf(stderr,
+                   "run %s has no stored metrics series (record it with "
+                   "--snapshot-interval)\n",
+                   rec->id.c_str());
+      return 1;
+    }
+    content = store.read_series(*rec);
+    label = rec->id;
+  } else {
+    std::fprintf(stderr,
+                 "usage: tracon timeline (--series FILE | <run-id-prefix> "
+                 "[--store DIR]) [--metric SUBSTR] [--json]\n");
+    return 2;
+  }
+
+  obs::MetricsSeries series = obs::parse_metrics_series(content);
+  const std::string filter = args.get("metric", "");
+  auto keep = [&](const std::string& name) {
+    return filter.empty() || name.find(filter) != std::string::npos;
+  };
+  std::set<std::string> counter_names, gauge_names, accuracy_names;
+  for (const obs::SeriesWindow& w : series.windows) {
+    for (const auto& [name, v] : w.counters)
+      if (keep(name)) counter_names.insert(name);
+    for (const auto& [name, v] : w.gauges)
+      if (keep(name)) gauge_names.insert(name);
+    for (const auto& [name, v] : w.accuracy)
+      if (keep(name)) accuracy_names.insert(name);
+  }
+
+  if (args.has("json")) {
+    std::ostream& os = std::cout;
+    os << "{\n  \"schema\": \"" << obs::kMetricsSeriesSchema
+       << "\", \"version\": " << series.version
+       << ", \"interval_s\": " << obs::format_double(series.interval_s)
+       << ",\n  \"windows\": [";
+    bool first_window = true;
+    for (const obs::SeriesWindow& w : series.windows) {
+      os << (first_window ? "\n" : ",\n") << "    {\"window\": " << w.index
+         << ", \"t_start\": " << obs::format_double(w.t_start)
+         << ", \"t_end\": " << obs::format_double(w.t_end);
+      first_window = false;
+      auto scalar_map = [&](const char* key,
+                            const std::map<std::string, double>& m) {
+        os << ", \"" << key << "\": {";
+        bool first = true;
+        for (const auto& [name, value] : m) {
+          if (!keep(name)) continue;
+          os << (first ? "" : ", ") << "\"" << obs::json_escape(name)
+             << "\": " << obs::format_double(value);
+          first = false;
+        }
+        os << "}";
+      };
+      scalar_map("counters", w.counters);
+      scalar_map("gauges", w.gauges);
+      os << ", \"accuracy\": {";
+      bool first_acc = true;
+      for (const auto& [name, acc] : w.accuracy) {
+        if (!keep(name)) continue;
+        os << (first_acc ? "" : ", ") << "\"" << obs::json_escape(name)
+           << "\": {\"count\": " << acc.count << ", \"total\": " << acc.total
+           << ", \"mean_abs\": " << obs::format_double(acc.mean_abs)
+           << ", \"p50\": " << obs::format_double(acc.p50)
+           << ", \"p90\": " << obs::format_double(acc.p90) << "}";
+        first_acc = false;
+      }
+      os << "}}";
+    }
+    os << (first_window ? "" : "\n  ") << "]\n}\n";
+    return 0;
+  }
+
+  std::printf("metrics series %s: %zu windows, interval %s s\n", label.c_str(),
+              series.windows.size(),
+              obs::format_double(series.interval_s).c_str());
+  // Counter columns carry a leading '+': they are per-window deltas,
+  // not running totals.
+  std::vector<std::string> header = {"window", "t_end"};
+  for (const std::string& name : counter_names) header.push_back("+" + name);
+  for (const std::string& name : gauge_names) header.push_back(name);
+  for (const std::string& name : accuracy_names)
+    header.push_back(name + "|err");
+  TableWriter out(header);
+  for (const obs::SeriesWindow& w : series.windows) {
+    std::vector<std::string> row = {std::to_string(w.index), fmt(w.t_end, 1)};
+    for (const std::string& name : counter_names) {
+      auto it = w.counters.find(name);
+      row.push_back(fmt(it != w.counters.end() ? it->second : 0.0, 0));
+    }
+    for (const std::string& name : gauge_names) {
+      auto it = w.gauges.find(name);
+      row.push_back(fmt(it != w.gauges.end() ? it->second : 0.0, 3));
+    }
+    for (const std::string& name : accuracy_names) {
+      auto it = w.accuracy.find(name);
+      row.push_back(fmt(it != w.accuracy.end() ? it->second.mean_abs : 0.0,
+                        3));
+    }
+    out.add_row(std::move(row));
+  }
+  emit(out, args);
   return 0;
 }
 
@@ -587,7 +868,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: tracon "
                "<table1|matrix|predict|static|dynamic|hierarchy|profile|"
-               "record|replay|runs|report> "
+               "record|replay|runs|report|timeline> "
                "[flags]\n(see the header of tools/tracon_cli.cpp)\n");
   return 2;
 }
@@ -612,6 +893,7 @@ int main(int argc, char** argv) {
     else if (cmd == "replay") rc = cmd_replay(args);
     else if (cmd == "runs") rc = cmd_runs(args);
     else if (cmd == "report") rc = cmd_report(args);
+    else if (cmd == "timeline") rc = cmd_timeline(args);
     else return usage();
     if (args.has("prof")) {
       std::cerr << "--- wall-clock kernel profile (--prof) ---\n";
