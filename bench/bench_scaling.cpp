@@ -1,0 +1,208 @@
+// Scaling study for the sharded dynamic scenario (DESIGN.md section 7):
+//
+//   1. cluster sweep — 1024 / 4096 / 10000 machines under MIBS_8 at
+//      1 task/machine/min, run at 1/2/4/8 worker threads. Results are
+//      byte-identical across thread counts (asserted here via completed
+//      counts); only wall-clock changes, so the table reports the
+//      parallel speedup of the shard pool.
+//   2. batched-prediction microbench — a wide MIBS Min-Min batch over
+//      the same cluster, driven once through a predictor that only
+//      implements the scalar virtual calls (the base-class loop
+//      fallback) and once through TablePredictor's vectorized batch
+//      path, isolating what predict_*_batch buys the scheduler's
+//      candidate scan.
+//
+// When TRACON_BENCH_OUT names a directory, a machine-readable summary
+// is written to $TRACON_BENCH_OUT/BENCH_scaling.json (CI consumes it;
+// bench/run_all.sh exports the variable).
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "sim/shard_scenario.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+using namespace tracon;
+
+namespace {
+
+const sim::PerfTable& table() {
+  static sim::PerfTable t = [] {
+    model::Profiler prof(
+        virt::HostSimulator(virt::HostConfig::paper_testbed()), 42);
+    return sim::PerfTable::build(prof, workload::paper_benchmarks());
+  }();
+  return t;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Forwards the scalar predictions of `inner` but deliberately does NOT
+/// override the batch hooks, so every batch call takes the base-class
+/// per-query loop — the cost model of the pre-batching schedulers.
+class ScalarOnlyPredictor final : public sched::Predictor {
+ public:
+  explicit ScalarOnlyPredictor(const sched::Predictor& inner)
+      : inner_(inner) {}
+  std::size_t num_apps() const override { return inner_.num_apps(); }
+  double predict_runtime(
+      std::size_t task,
+      const std::optional<std::size_t>& neighbour) const override {
+    return inner_.predict_runtime(task, neighbour);
+  }
+  double predict_iops(
+      std::size_t task,
+      const std::optional<std::size_t>& neighbour) const override {
+    return inner_.predict_iops(task, neighbour);
+  }
+
+ private:
+  const sched::Predictor& inner_;
+};
+
+struct ScalingRow {
+  std::size_t machines = 0;
+  std::size_t shards = 0;
+  std::size_t threads = 0;
+  double wall_s = 0.0;
+  double speedup = 0.0;
+  std::size_t completed = 0;
+};
+
+/// One full sharded run; wall-clock measured around run_dynamic_sharded
+/// only (table construction is shared and excluded).
+ScalingRow run_once(std::size_t machines, std::size_t threads) {
+  const sched::TablePredictor& oracle = [] {
+    static sched::TablePredictor p = table().oracle_predictor();
+    return p;
+  }();
+  sim::ShardedConfig cfg;
+  cfg.machines = machines;
+  cfg.lambda_per_min = static_cast<double>(machines);  // 1 task/machine/min
+  cfg.duration_s = 1'800.0;
+  cfg.seed = 7;
+  cfg.threads = threads;
+  auto start = std::chrono::steady_clock::now();
+  sim::ShardedOutcome o = sim::run_dynamic_sharded(
+      table(),
+      [&](std::size_t) {
+        return std::make_unique<sched::MibsScheduler>(
+            oracle, sched::Objective::kRuntime, 8, 60.0);
+      },
+      cfg);
+  ScalingRow row;
+  row.machines = machines;
+  row.shards = o.shards;
+  row.threads = o.threads_used;
+  row.wall_s = seconds_since(start);
+  row.completed = o.total.completed;
+  return row;
+}
+
+/// Microbench: repeated MIBS rounds with a 256-task Min-Min window over
+/// a half-occupied cluster; returns microseconds per scheduling round.
+/// The wide window (vs the paper's MIBS_8) stresses the candidate-2
+/// scan, whose cost is quadratic in the window and which the batched
+/// prediction API collapses into one virtual call per selection.
+double mibs_round_us(const sched::Predictor& pred, int rounds) {
+  const std::size_t apps = pred.num_apps();
+  sched::ClusterCounts counts(apps, 1024);
+  for (std::size_t m = 0; m < 512; ++m) counts.place(m % apps, std::nullopt);
+  std::vector<sched::QueuedTask> queue;
+  for (std::size_t i = 0; i < 256; ++i)
+    queue.push_back({i % apps, 0.0});
+  sched::PlacementPolicy policy;
+  policy.beneficial_joins_only = false;
+  // batch_every = 0: every call is a full Min-Min batch round.
+  sched::MibsScheduler mibs(pred, sched::Objective::kRuntime, 256, 0.0,
+                            policy);
+  std::size_t sink = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r)
+    sink += mibs.schedule(queue, counts, {0.0}).size();
+  double elapsed = seconds_since(start);
+  if (sink == 0) std::fprintf(stderr, "warn: microbench placed nothing\n");
+  return elapsed * 1e6 / rounds;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Scaling",
+                      "sharded dynamic scenario and batched prediction");
+  std::printf("host threads: %zu\n\n", hardware_threads());
+
+  std::vector<ScalingRow> rows;
+  TableWriter scaling({"machines", "shards", "threads", "wall_s",
+                       "speedup", "completed"});
+  for (std::size_t machines : {1'024UL, 4'096UL, 10'000UL}) {
+    double base_wall = 0.0;
+    std::size_t base_completed = 0;
+    for (std::size_t threads : {1UL, 2UL, 4UL, 8UL}) {
+      ScalingRow row = run_once(machines, threads);
+      if (threads == 1) {
+        base_wall = row.wall_s;
+        base_completed = row.completed;
+      } else if (row.completed != base_completed) {
+        // The determinism contract just failed; make it loud.
+        std::fprintf(stderr,
+                     "ERROR: thread count changed results (%zu machines: "
+                     "%zu vs %zu completed)\n",
+                     machines, base_completed, row.completed);
+        return 1;
+      }
+      row.speedup = base_wall / row.wall_s;
+      rows.push_back(row);
+      scaling.add_row({std::to_string(row.machines),
+                       std::to_string(row.shards),
+                       std::to_string(row.threads), fmt(row.wall_s, 2),
+                       fmt(row.speedup, 2), std::to_string(row.completed)});
+    }
+  }
+  scaling.print(std::cout);
+
+  std::printf("\nMIBS batched-prediction microbench "
+              "(1024 machines, 256-task Min-Min window):\n");
+  sched::TablePredictor oracle = table().oracle_predictor();
+  ScalarOnlyPredictor scalar(oracle);
+  const int rounds = 200;
+  double scalar_us = mibs_round_us(scalar, rounds);
+  double batched_us = mibs_round_us(oracle, rounds);
+  double micro_speedup = scalar_us / batched_us;
+  TableWriter micro({"path", "us/round", "speedup"});
+  micro.add_row({"scalar loop", fmt(scalar_us, 1), "1.00"});
+  micro.add_row({"batched", fmt(batched_us, 1), fmt(micro_speedup, 2)});
+  micro.print(std::cout);
+
+  const char* out_dir = std::getenv("TRACON_BENCH_OUT");
+  if (out_dir != nullptr && *out_dir != '\0') {
+    std::string path = std::string(out_dir) + "/BENCH_scaling.json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << "{\n  \"schema\": \"tracon.bench_scaling\",\n"
+        << "  \"host_threads\": " << hardware_threads() << ",\n"
+        << "  \"scaling\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const ScalingRow& r = rows[i];
+      out << "    {\"machines\": " << r.machines
+          << ", \"shards\": " << r.shards << ", \"threads\": " << r.threads
+          << ", \"wall_s\": " << fmt(r.wall_s, 4)
+          << ", \"speedup\": " << fmt(r.speedup, 3)
+          << ", \"completed\": " << r.completed << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"mibs_batch_microbench\": {\"scalar_us_per_round\": "
+        << fmt(scalar_us, 2)
+        << ", \"batched_us_per_round\": " << fmt(batched_us, 2)
+        << ", \"speedup\": " << fmt(micro_speedup, 3) << "}\n}\n";
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+  return 0;
+}

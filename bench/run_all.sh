@@ -26,6 +26,11 @@ if [ ! -d "$build_dir/bench" ]; then
 fi
 mkdir -p "$out_dir"
 
+# Benches that emit their own machine-readable summaries (bench_scaling's
+# BENCH_scaling.json) write them next to the wrapper JSONs.
+TRACON_BENCH_OUT="$out_dir"
+export TRACON_BENCH_OUT
+
 names=""
 overall=0
 for bin in "$build_dir"/bench/bench_*; do

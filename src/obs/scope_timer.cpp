@@ -19,6 +19,11 @@ ProfRegistry& ProfRegistry::global() {
 ScopeStats& ProfRegistry::scope(const std::string& name) {
   TRACON_REQUIRE(valid_metric_name(name),
                  "profiling scope name must be a dotted snake_case path");
+  // std::map never invalidates element references, so the returned slot
+  // stays valid after later registrations; only the insertion itself
+  // needs the lock (call sites register concurrently from shard
+  // workers via TRACON_PROF_SCOPE's function-local static).
+  std::lock_guard<std::mutex> lock(register_mutex_);
   return scopes_[name];
 }
 

@@ -10,9 +10,11 @@
 // explicitly wall-clock stream (tracon --prof).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace tracon::obs {
@@ -25,13 +27,16 @@ struct ScopeStats {
 
 /// Process-wide profiling scope table. Scopes register on first use
 /// (cheap, once per call site via a function-local static) and
-/// accumulate only while enabled.
+/// accumulate only while enabled. Registration is mutex-guarded so
+/// first-use from sharded worker threads is safe; ScopeStats
+/// accumulation itself is NOT synchronized, which is why the CLI
+/// rejects --prof combined with --threads > 1.
 class ProfRegistry {
  public:
   static ProfRegistry& global();
 
-  void set_enabled(bool on) { enabled_ = on; }
-  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Get-or-create; the returned reference stays valid for the
   /// registry's lifetime. `name` must be a dotted snake_case path.
@@ -45,7 +50,8 @@ class ProfRegistry {
   void write_text(std::ostream& os) const;
 
  private:
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  std::mutex register_mutex_;
   std::map<std::string, ScopeStats> scopes_;
 };
 

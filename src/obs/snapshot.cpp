@@ -160,4 +160,45 @@ MetricsSeries parse_metrics_series(const std::string& text) {
   return parse_metrics_series(in);
 }
 
+void write_metrics_series(std::ostream& os, const MetricsSeries& series) {
+  os << JsonLineWriter()
+            .field("schema", kMetricsSeriesSchema)
+            .field("version", series.version)
+            .field("interval_s", series.interval_s)
+            .str()
+     << "\n";
+  for (const SeriesWindow& w : series.windows) {
+    JsonLineWriter counters;
+    for (const auto& [name, value] : w.counters)
+      counters.field(name, static_cast<std::uint64_t>(value));
+    JsonLineWriter gauges;
+    for (const auto& [name, value] : w.gauges) gauges.field(name, value);
+    JsonLineWriter accuracy;
+    for (const auto& [name, stats] : w.accuracy) {
+      JsonLineWriter entry;
+      entry.field("count", static_cast<std::uint64_t>(stats.count));
+      entry.field("total", static_cast<std::uint64_t>(stats.total));
+      entry.field("mean_abs", stats.mean_abs);
+      entry.field("p50", stats.p50);
+      entry.field("p90", stats.p90);
+      accuracy.raw_field(name, entry.str());
+    }
+    os << JsonLineWriter()
+              .field("window", w.index)
+              .field("t_start", w.t_start)
+              .field("t_end", w.t_end)
+              .raw_field("counters", counters.str())
+              .raw_field("gauges", gauges.str())
+              .raw_field("accuracy", accuracy.str())
+              .str()
+       << "\n";
+  }
+}
+
+std::string metrics_series_str(const MetricsSeries& series) {
+  std::ostringstream os;
+  write_metrics_series(os, series);
+  return os.str();
+}
+
 }  // namespace tracon::obs

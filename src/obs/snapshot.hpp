@@ -97,4 +97,13 @@ struct MetricsSeries {
 MetricsSeries parse_metrics_series(std::istream& in);
 MetricsSeries parse_metrics_series(const std::string& text);
 
+/// Re-emits a parsed (or programmatically merged) series in the exact
+/// byte format SnapshotSeries::write produces: same header, same field
+/// order, maps in name order, counters/accuracy counts as integers and
+/// everything else through the shortest round-trip double writer. The
+/// sharded runner uses this to publish a merged per-window series that
+/// is byte-comparable across thread counts.
+void write_metrics_series(std::ostream& os, const MetricsSeries& series);
+std::string metrics_series_str(const MetricsSeries& series);
+
 }  // namespace tracon::obs

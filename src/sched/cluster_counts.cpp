@@ -26,6 +26,14 @@ bool ClusterCounts::has_slot(
   return half_busy(*neighbour) > 0;
 }
 
+void ClusterCounts::append_candidates(
+    bool include_empty, std::vector<std::optional<std::size_t>>* out) const {
+  TRACON_REQUIRE(out != nullptr, "candidate output vector must be non-null");
+  if (include_empty && empty_ > 0) out->push_back(std::nullopt);
+  for (std::size_t a = 0; a < half_busy_.size(); ++a)
+    if (half_busy_[a] > 0) out->push_back(a);
+}
+
 void ClusterCounts::place(std::size_t task,
                           const std::optional<std::size_t>& neighbour) {
   TRACON_REQUIRE(task < half_busy_.size(), "task class out of range");

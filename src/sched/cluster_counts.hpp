@@ -42,6 +42,16 @@ class ClusterCounts {
   /// True when a slot of the given class is available.
   bool has_slot(const std::optional<std::size_t>& neighbour) const;
 
+  /// Appends every available slot class in the schedulers' canonical
+  /// scan order — the empty-machine slot first (when `include_empty`
+  /// and one exists), then each app class with a half-busy machine in
+  /// ascending class order. This is the enumeration the batched
+  /// prediction path feeds to Predictor::predict_*_batch; keeping it
+  /// here keeps the candidate order (and thus tie-breaking) in one
+  /// place.
+  void append_candidates(bool include_empty,
+                         std::vector<std::optional<std::size_t>>* out) const;
+
   /// Applies a placement: occupying an empty machine turns it half-busy
   /// (running `task`); occupying a half-busy machine consumes it.
   /// Throws std::invalid_argument when no such slot exists.

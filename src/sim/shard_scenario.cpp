@@ -1,0 +1,283 @@
+#include "sim/shard_scenario.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "obs/snapshot.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace tracon::sim {
+
+std::size_t auto_shard_count(std::size_t machines) {
+  return std::clamp<std::size_t>(machines / 128, 1, 64);
+}
+
+namespace {
+
+/// Everything one shard owns. Sink pointers in `cfg` point into this
+/// struct, so states are wired only after the state vector has reached
+/// its final size and is never reallocated or moved afterwards.
+struct ShardState {
+  std::size_t base = 0;  ///< first global machine index of the shard
+  DynamicConfig cfg;
+  std::unique_ptr<sched::Scheduler> scheduler;
+  TraceRecorder trace;
+  obs::Telemetry telemetry;
+  std::optional<obs::SnapshotSeries> series;
+  std::optional<obs::WindowedAccuracy> win_runtime;
+  std::optional<obs::WindowedAccuracy> win_iops;
+  DynamicOutcome outcome;
+};
+
+/// Machine-weighted average of a per-shard gauge, for utilization
+/// fractions whose merge() default (last writer wins) is meaningless.
+void weighted_gauge(obs::MetricsRegistry& merged,
+                    const std::vector<ShardState>& states,
+                    const std::string& name, std::size_t total_machines) {
+  double acc = 0.0;
+  bool present = false;
+  for (const ShardState& s : states) {
+    auto it = s.telemetry.metrics.gauges().find(name);
+    if (it == s.telemetry.metrics.gauges().end()) continue;
+    present = true;
+    acc += it->second.value() * static_cast<double>(s.cfg.machines);
+  }
+  if (present)
+    merged.gauge(name).set(acc / static_cast<double>(total_machines));
+}
+
+/// Sum of a per-shard gauge (queue lengths, busy counts).
+void summed_gauge(obs::MetricsRegistry& merged,
+                  const std::vector<ShardState>& states,
+                  const std::string& name) {
+  double acc = 0.0;
+  bool present = false;
+  for (const ShardState& s : states) {
+    auto it = s.telemetry.metrics.gauges().find(name);
+    if (it == s.telemetry.metrics.gauges().end()) continue;
+    present = true;
+    acc += it->second.value();
+  }
+  if (present) merged.gauge(name).set(acc);
+}
+
+/// Merges the per-shard snapshot series window by window. All shards
+/// sample the same virtual-clock grid (same interval and horizon), so
+/// records pair up by window index: counter deltas and gauges sum,
+/// accuracy statistics merge weighted by each shard's windowed sample
+/// count.
+std::string merge_series(const std::vector<ShardState>& states) {
+  obs::MetricsSeries merged;
+  bool first = true;
+  for (const ShardState& s : states) {
+    obs::MetricsSeries part = obs::parse_metrics_series(s.series->str());
+    if (first) {
+      merged.version = part.version;
+      merged.interval_s = part.interval_s;
+      merged.windows = std::move(part.windows);
+      // Pre-scale accuracy stats by their weights; divided back out
+      // after every shard is folded in.
+      for (obs::SeriesWindow& w : merged.windows)
+        for (auto& [name, a] : w.accuracy) {
+          a.mean_abs *= a.count;
+          a.p50 *= a.count;
+          a.p90 *= a.count;
+        }
+      first = false;
+      continue;
+    }
+    TRACON_REQUIRE(part.windows.size() == merged.windows.size(),
+                   "shards disagree on snapshot window count");
+    for (std::size_t w = 0; w < part.windows.size(); ++w) {
+      const obs::SeriesWindow& in = part.windows[w];
+      obs::SeriesWindow& out = merged.windows[w];
+      TRACON_REQUIRE(in.index == out.index && in.t_end == out.t_end,
+                     "shards disagree on snapshot window boundaries");
+      for (const auto& [name, v] : in.counters) out.counters[name] += v;
+      for (const auto& [name, v] : in.gauges) out.gauges[name] += v;
+      for (const auto& [name, a] : in.accuracy) {
+        obs::SeriesWindow::Accuracy& acc = out.accuracy[name];
+        acc.count += a.count;
+        acc.total += a.total;
+        acc.mean_abs += a.mean_abs * a.count;
+        acc.p50 += a.p50 * a.count;
+        acc.p90 += a.p90 * a.count;
+      }
+    }
+  }
+  for (obs::SeriesWindow& w : merged.windows)
+    for (auto& [name, a] : w.accuracy) {
+      double denom = a.count > 0.0 ? a.count : 1.0;
+      a.mean_abs /= denom;
+      a.p50 /= denom;
+      a.p90 /= denom;
+    }
+  return obs::metrics_series_str(merged);
+}
+
+}  // namespace
+
+ShardedOutcome run_dynamic_sharded(const PerfTable& table,
+                                   const SchedulerFactory& make_scheduler,
+                                   const ShardedConfig& cfg) {
+  TRACON_REQUIRE(cfg.machines > 0, "need at least one machine");
+  TRACON_REQUIRE(make_scheduler != nullptr, "scheduler factory must be set");
+  const std::size_t shards = std::min(
+      cfg.shards > 0 ? cfg.shards : auto_shard_count(cfg.machines),
+      cfg.machines);
+  const std::size_t threads =
+      cfg.threads > 0 ? cfg.threads : hardware_threads();
+  const bool series_on = cfg.snapshot_interval_s > 0.0;
+  const bool telemetry_on = cfg.telemetry != nullptr || series_on;
+  const bool tracer_on =
+      cfg.telemetry != nullptr && cfg.telemetry->tracer.enabled();
+
+  // --- Decompose: everything here is a function of (seed, machines,
+  // shards); the thread count appears only in the parallel_for below.
+  std::vector<ShardState> states(shards);
+  const std::size_t per_shard = cfg.machines / shards;
+  const std::size_t remainder = cfg.machines % shards;
+  std::size_t base = 0;
+  for (std::size_t i = 0; i < shards; ++i) {
+    ShardState& s = states[i];
+    s.base = base;
+    DynamicConfig& d = s.cfg;
+    d.machines = per_shard + (i < remainder ? 1 : 0);
+    base += d.machines;
+    // Each shard sees its machine share of the aggregate arrival rate,
+    // drawn from its own counter-derived Poisson stream.
+    d.lambda_per_min = cfg.lambda_per_min * static_cast<double>(d.machines) /
+                       static_cast<double>(cfg.machines);
+    d.duration_s = cfg.duration_s;
+    d.mix = cfg.mix;
+    d.mix_stddev = cfg.mix_stddev;
+    d.seed = derive_stream_seed(cfg.seed, i);
+    d.queue_capacity = cfg.queue_capacity;
+    d.schedule_period_s = cfg.schedule_period_s;
+    s.scheduler = make_scheduler(i);
+    TRACON_REQUIRE(s.scheduler != nullptr, "scheduler factory returned null");
+  }
+  TRACON_ASSERT(base == cfg.machines, "shard partition must cover the fleet");
+
+  // Wire the per-shard sinks only now that `states` has its final
+  // addresses (DynamicConfig stores raw pointers into its ShardState).
+  for (ShardState& s : states) {
+    if (cfg.trace != nullptr) s.cfg.trace = &s.trace;
+    if (telemetry_on) {
+      s.cfg.telemetry = &s.telemetry;
+      s.scheduler->set_telemetry(&s.telemetry);
+    }
+    if (tracer_on) s.telemetry.tracer.set_enabled(true);
+    if (cfg.accuracy_probe != nullptr) {
+      s.cfg.accuracy_probe = cfg.accuracy_probe;
+      s.cfg.accuracy_family = cfg.accuracy_family;
+    }
+    if (series_on) {
+      s.series.emplace(s.telemetry.metrics, cfg.snapshot_interval_s);
+      s.cfg.snapshots = &*s.series;
+      if (cfg.accuracy_probe != nullptr) {
+        s.win_runtime.emplace(cfg.accuracy_window);
+        s.win_iops.emplace(cfg.accuracy_window);
+        s.cfg.windowed_runtime = &*s.win_runtime;
+        s.cfg.windowed_iops = &*s.win_iops;
+        const std::string fam = obs::metric_path_component(
+            cfg.accuracy_family.empty() ? "probe" : cfg.accuracy_family);
+        // The composed path is validated by track_accuracy itself.
+        // tracon-lint: allow(metric-name)
+        s.series->track_accuracy("model." + fam + ".runtime",
+                                 &*s.win_runtime);
+        // tracon-lint: allow(metric-name)
+        s.series->track_accuracy("model." + fam + ".iops", &*s.win_iops);
+      }
+    }
+  }
+
+  // --- Run every shard on the worker pool. Shards touch only their own
+  // state (plus shared read-only inputs: the perf table and the probe),
+  // and parallel_for joins all workers before returning, so the merge
+  // below reads fully published results.
+  parallel_for(threads, shards, [&](std::size_t i) {
+    states[i].outcome = run_dynamic(table, *states[i].scheduler,
+                                    states[i].cfg);
+  });
+
+  // --- Merge, serially and in shard order.
+  ShardedOutcome out;
+  out.shards = shards;
+  out.threads_used = threads;
+  out.total.duration_s = cfg.duration_s;
+  double wait_weighted = 0.0;
+  std::size_t wait_count = 0;
+  out.per_shard.reserve(shards);
+  for (const ShardState& s : states) {
+    const DynamicOutcome& o = s.outcome;
+    out.per_shard.push_back(o);
+    out.total.arrived += o.arrived;
+    out.total.dropped += o.dropped;
+    out.total.completed += o.completed;
+    out.total.total_runtime += o.total_runtime;
+    out.total.total_iops += o.total_iops;
+    out.total.mean_queue_length += o.mean_queue_length;
+    // mean_wait is per-started-task; weight by completions as a proxy
+    // (the hierarchical scenario's convention).
+    wait_weighted += o.mean_wait_s * static_cast<double>(o.completed);
+    wait_count += o.completed;
+  }
+  out.total.mean_wait_s =
+      wait_count > 0 ? wait_weighted / static_cast<double>(wait_count) : 0.0;
+
+  if (cfg.telemetry != nullptr) {
+    for (const ShardState& s : states)
+      cfg.telemetry->metrics.merge(s.telemetry.metrics);
+    // merge() leaves gauges last-writer-wins; replace the ones with a
+    // meaningful cluster-level aggregate.
+    obs::MetricsRegistry& m = cfg.telemetry->metrics;
+    weighted_gauge(m, states, "sim.util.host_busy_fraction", cfg.machines);
+    weighted_gauge(m, states, "sim.util.slot_busy_fraction", cfg.machines);
+    summed_gauge(m, states, "sim.queue.mean_length");
+    summed_gauge(m, states, "sim.queue.length");
+    summed_gauge(m, states, "sim.util.busy_machines");
+    summed_gauge(m, states, "sim.util.busy_slots");
+    summed_gauge(m, states, "sched.queue_length");
+  }
+
+  if (cfg.trace != nullptr) {
+    // Canonical event order: concatenate in shard order (records are
+    // already time-ordered within a shard), re-index machines into the
+    // global space, then stable-sort by time — equal timestamps keep
+    // (shard, record) order, independent of the thread count.
+    std::vector<TaskEvent> all;
+    for (const ShardState& s : states)
+      for (TaskEvent ev : s.trace.events()) {
+        if (ev.machine != TaskEvent::kNoMachine) ev.machine += s.base;
+        all.push_back(ev);
+      }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const TaskEvent& a, const TaskEvent& b) {
+                       return a.time_s < b.time_s;
+                     });
+    for (const TaskEvent& ev : all) cfg.trace->record(ev);
+  }
+
+  if (tracer_on) {
+    std::vector<obs::TraceEvent> all;
+    for (const ShardState& s : states)
+      for (obs::TraceEvent ev : s.telemetry.tracer.events()) {
+        if (ev.machine != obs::TraceEvent::kNone) ev.machine += s.base;
+        all.push_back(ev);
+      }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                       return a.time_s < b.time_s;
+                     });
+    for (const obs::TraceEvent& ev : all) cfg.telemetry->tracer.record(ev);
+  }
+
+  if (series_on) out.series = merge_series(states);
+  return out;
+}
+
+}  // namespace tracon::sim

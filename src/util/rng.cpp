@@ -6,6 +6,19 @@
 
 namespace tracon {
 
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  // SplitMix64 finalizer applied twice: once over the root seed, once
+  // over the mix of that and the stream index. The double application
+  // keeps adjacent (seed, stream) pairs far apart in output space.
+  auto mix = [](std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  };
+  return mix(mix(seed) ^ (stream + 0x632be59bd9b4e019ULL));
+}
+
 double Rng::uniform(double lo, double hi) {
   TRACON_REQUIRE(lo <= hi, "uniform bounds out of order");
   return std::uniform_real_distribution<double>(lo, hi)(engine_);

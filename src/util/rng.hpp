@@ -13,6 +13,14 @@
 
 namespace tracon {
 
+/// Derives the seed of an independent counter-based RNG stream from a
+/// root seed and a stream index (SplitMix64 finalization over the
+/// mixed pair). Unlike Rng::fork(), the result depends only on
+/// (seed, stream) — never on how many draws any other stream made — so
+/// a sharded simulation can hand stream `i` to shard `i` and stay
+/// bit-identical no matter how many shards run or in what order.
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t stream);
+
 /// Deterministic random source. Thin facade over std::mt19937_64 with the
 /// distributions the simulator needs.
 class Rng {

@@ -61,6 +61,37 @@ TEST(ClusterCounts, InvalidOperationsThrow) {
   EXPECT_THROW(ClusterCounts(0, 3), std::invalid_argument);
 }
 
+TEST(ClusterCounts, AppendCandidatesCanonicalOrder) {
+  ClusterCounts c(4, 3);
+  c.place(2, std::nullopt);
+  c.place(0, std::nullopt);
+
+  // Empty machines first (nullopt), then half-busy classes ascending —
+  // the scan order the batched schedulers' first-wins argmin relies on.
+  std::vector<std::optional<std::size_t>> got;
+  c.append_candidates(true, &got);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], std::nullopt);
+  EXPECT_EQ(got[1], std::optional<std::size_t>(0));
+  EXPECT_EQ(got[2], std::optional<std::size_t>(2));
+
+  // include_empty=false drops the nullopt entry; appending does not
+  // clear what the caller already has.
+  c.append_candidates(false, &got);
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_EQ(got[3], std::optional<std::size_t>(0));
+  EXPECT_EQ(got[4], std::optional<std::size_t>(2));
+
+  // Consume the last empty machine: nullopt disappears even when asked.
+  c.place(1, std::nullopt);
+  got.clear();
+  c.append_candidates(true, &got);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], std::optional<std::size_t>(0));
+  EXPECT_EQ(got[1], std::optional<std::size_t>(1));
+  EXPECT_EQ(got[2], std::optional<std::size_t>(2));
+}
+
 // Property: any sequence of place/depart keeps slot accounting exact.
 class CountsRoundTrip : public ::testing::TestWithParam<int> {};
 

@@ -270,6 +270,65 @@ TEST(MetricName, SuppressionTagWorks) {
       "metric-name"));
 }
 
+TEST(RawThread, CatchesPrimitivesAndHeadersOutsideSanctionedDirs) {
+  EXPECT_TRUE(has_rule(
+      lint_content("src/sched/bad.cpp",
+                   "#include \"sched/bad.hpp\"\n\nstd::thread t;\n"),
+      "raw-thread"));
+  EXPECT_TRUE(has_rule(
+      lint_content("src/sim/bad.cpp",
+                   "#include \"sim/bad.hpp\"\n\nstd::mutex m;\n"),
+      "raw-thread"));
+  EXPECT_TRUE(has_rule(
+      lint_content("src/obs/bad.cpp",
+                   "#include \"obs/bad.hpp\"\n\n"
+                   "auto f = std::async([] { return 1; });\n"),
+      "raw-thread"));
+  EXPECT_TRUE(has_rule(lint_content("src/virt/bad.cpp",
+                                    "#include \"virt/bad.hpp\"\n\n"
+                                    "#include <atomic>\n"),
+                       "raw-thread"));
+  EXPECT_TRUE(has_rule(
+      lint_content("src/model/bad.cpp",
+                   "#include \"model/bad.hpp\"\n\n"
+                   "void f() { pthread_create(nullptr, nullptr, "
+                   "nullptr, nullptr); }\n"),
+      "raw-thread"));
+}
+
+TEST(RawThread, SanctionedHomesAreExempt) {
+  const std::string body =
+      "#include <mutex>\n#include <thread>\n\nstd::mutex m;\n";
+  EXPECT_FALSE(has_rule(lint_content("src/util/parallel.cpp",
+                                     "#include \"util/parallel.hpp\"\n\n" +
+                                         body),
+                        "raw-thread"));
+  EXPECT_FALSE(has_rule(
+      lint_content("src/sim/shard_scenario.cpp",
+                   "#include \"sim/shard_scenario.hpp\"\n\n" + body),
+      "raw-thread"));
+  // The profiler's registration lock rides the scope_timer exemption.
+  EXPECT_FALSE(has_rule(
+      lint_content("src/obs/scope_timer.cpp",
+                   "#include \"obs/scope_timer.hpp\"\n\nstd::mutex m;\n"),
+      "raw-thread"));
+  // Prose and strings never fire.
+  EXPECT_FALSE(has_rule(
+      lint_content("src/sched/ok.cpp",
+                   "#include \"sched/ok.hpp\"\n\n"
+                   "// std::thread is quarantined to util\n"
+                   "const char* kDoc = \"std::mutex\";\n"),
+      "raw-thread"));
+}
+
+TEST(RawThread, SuppressionTagApplies) {
+  EXPECT_FALSE(has_rule(
+      lint_content("src/sched/sup.cpp",
+                   "#include \"sched/sup.hpp\"\n\n"
+                   "// tracon-lint: allow(raw-thread)\nstd::atomic<int> n;\n"),
+      "raw-thread"));
+}
+
 TEST(Suppression, LineAndFileTagsSilenceFindings) {
   EXPECT_FALSE(has_rule(
       lint_content("src/sim/sup.cpp",

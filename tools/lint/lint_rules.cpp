@@ -324,6 +324,32 @@ void check_require_guard(const std::string& stripped, const Suppressions& sup,
   }
 }
 
+// --- raw-thread ------------------------------------------------------------
+
+const std::regex& raw_thread_regex() {
+  static const std::regex re(
+      R"(std\s*::\s*(thread|jthread|async|mutex|recursive_mutex)"
+      R"(|shared_mutex|timed_mutex|condition_variable(_any)?|atomic)\b)"
+      R"(|\bpthread_\w+)"
+      R"(|#\s*include\s*<(thread|mutex|shared_mutex|condition_variable)"
+      R"(|atomic|future)>)");
+  return re;
+}
+
+/// Raw threading primitives outside the sanctioned homes (src/util/ for
+/// the worker pool and the log level, src/sim/shard_* for the sharded
+/// runner, src/obs/scope_timer for the registration lock) break the
+/// determinism contract: simulation code must stay single-threaded per
+/// shard so same-seed runs export identical bytes at any --threads.
+void check_raw_thread(const std::string& stripped, const Suppressions& sup,
+                      std::vector<Finding>* out) {
+  scan_lines(stripped, raw_thread_regex(), sup, "raw-thread",
+             "raw threading primitive outside src/util/ and src/sim/shard_*; "
+             "run work through tracon::parallel_for so results stay "
+             "independent of the thread count",
+             out);
+}
+
 // --- metric-name -----------------------------------------------------------
 
 bool valid_metric_path(const std::string& name) {
@@ -466,6 +492,13 @@ std::vector<Finding> lint_content(const std::string& rel_path,
   }
   if (serialization_dir) {
     check_unordered(stripped, sup, &out);
+  }
+  // Concurrency is quarantined: only the worker pool (src/util/), the
+  // sharded runner (src/sim/shard_*), and the profiler's registration
+  // lock may touch raw threading primitives.
+  if (!starts_with(rel_path, "src/util/") &&
+      !starts_with(rel_path, "src/sim/shard_") && !obs_clock_exempt) {
+    check_raw_thread(stripped, sup, &out);
   }
   check_metric_name(content, stripped, sup, &out);
   if (!starts_with(rel_path, "src/stats/")) {

@@ -27,6 +27,14 @@
 //                  counter()/gauge()/histogram()/scope()/
 //                  TRACON_PROF_SCOPE/KvLine are dotted snake_case
 //                  paths ("sched.mios.decisions").
+//   raw-thread     raw threading primitives (std::thread, std::async,
+//                  mutexes, condition variables, atomics, pthreads and
+//                  their headers) are quarantined to src/util/ (the
+//                  worker pool, the log level), src/sim/shard_* (the
+//                  sharded runner), and src/obs/scope_timer (the
+//                  profiler's registration lock). Everything else in
+//                  src/ stays single-threaded per shard so same-seed
+//                  runs export identical bytes at any --threads.
 //
 // A finding on line N is suppressed when line N or N-1 of the original
 // source contains `tracon-lint: allow(<rule>)`; a whole file opts out

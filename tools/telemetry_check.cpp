@@ -2,6 +2,7 @@
 //
 // Usage: telemetry_check --metrics METRICS.json [--trace TRACE.json]
 //                        [--series SERIES.jsonl]
+//                        [--metrics-b OTHER.json]
 //
 // Checks (exit 0 when all pass, 1 otherwise):
 //   metrics: parses as JSON; has a run fingerprint (seed / scheduler /
@@ -12,6 +13,11 @@
 //   trace: parses as JSON; traceEvents is a non-empty array whose
 //     entries carry name/ph/ts/pid/tid, with at least one complete
 //     "X" duration slice.
+//   metrics-b: second metrics file compared structurally against
+//     --metrics; the two documents must be identical except for the
+//     fingerprint's "threads" entry. This is how CI enforces DESIGN.md
+//     §7's determinism contract: a --threads 4 run must match the
+//     --threads 1 run everywhere that isn't the thread-count stamp.
 //   series: parses as tracon.metrics_series JSONL (schema + supported
 //     version enforced by the parser); window indices are consecutive
 //     from 0; window timestamps tile monotonically (t_start < t_end,
@@ -119,6 +125,65 @@ void check_metrics(const JsonValue& doc) {
   check(all_sound, "every histogram has ascending buckets summing to count");
 }
 
+/// Structural equality of two JSON documents, reporting the path of the
+/// first mismatch. `ignore` names one exact path ("fingerprint.threads")
+/// whose values may differ.
+bool json_equal(const JsonValue& a, const JsonValue& b,
+                const std::string& path, const std::string& ignore,
+                std::string* mismatch) {
+  if (path == ignore) return true;
+  auto fail = [&]() {
+    if (mismatch->empty()) *mismatch = path.empty() ? "<root>" : path;
+    return false;
+  };
+  if (a.is_object() != b.is_object() || a.is_array() != b.is_array() ||
+      a.is_number() != b.is_number() || a.is_string() != b.is_string() ||
+      a.is_bool() != b.is_bool() || a.is_null() != b.is_null()) {
+    return fail();
+  }
+  if (a.is_object()) {
+    const auto& ao = a.as_object();
+    const auto& bo = b.as_object();
+    if (ao.size() != bo.size()) return fail();
+    auto bi = bo.begin();
+    for (auto ai = ao.begin(); ai != ao.end(); ++ai, ++bi) {
+      if (ai->first != bi->first) return fail();
+      if (!json_equal(*ai->second, *bi->second,
+                      path.empty() ? ai->first : path + "." + ai->first,
+                      ignore, mismatch)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (a.is_array()) {
+    const auto& aa = a.as_array();
+    const auto& ba = b.as_array();
+    if (aa.size() != ba.size()) return fail();
+    for (std::size_t i = 0; i < aa.size(); ++i) {
+      if (!json_equal(*aa[i], *ba[i], path + "[" + std::to_string(i) + "]",
+                      ignore, mismatch)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (a.is_number()) return a.as_number() == b.as_number() ? true : fail();
+  if (a.is_string()) return a.as_string() == b.as_string() ? true : fail();
+  if (a.is_bool()) return a.as_bool() == b.as_bool() ? true : fail();
+  return true;  // both null
+}
+
+void check_metrics_pair(const JsonValue& a, const JsonValue& b) {
+  std::string mismatch;
+  bool equal = json_equal(a, b, "", "fingerprint.threads", &mismatch);
+  check(equal, equal ? "metrics documents identical except fingerprint "
+                       "threads"
+                     : "metrics documents identical except fingerprint "
+                       "threads (first mismatch at " +
+                           mismatch + ")");
+}
+
 void check_trace(const JsonValue& doc) {
   const JsonValue* events = doc.find("traceEvents");
   check(events != nullptr && events->is_array() && !events->as_array().empty(),
@@ -194,7 +259,12 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (args.has("metrics")) {
-      check_metrics(tracon::obs::parse_json(slurp(args.get("metrics"))));
+      JsonValue metrics = tracon::obs::parse_json(slurp(args.get("metrics")));
+      check_metrics(metrics);
+      if (args.has("metrics-b")) {
+        check_metrics_pair(
+            metrics, tracon::obs::parse_json(slurp(args.get("metrics-b"))));
+      }
     }
     if (args.has("trace")) {
       check_trace(tracon::obs::parse_json(slurp(args.get("trace"))));

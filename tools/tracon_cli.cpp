@@ -34,6 +34,18 @@
 //   --metrics-csv FILE           metrics registry as CSV
 //   --trace-out FILE             Chrome trace_event JSON (Perfetto-loadable)
 //   --trace-jsonl FILE           one trace event per line
+//   --events-jsonl FILE          per-task event log (tracon.task_events)
+//
+// Sharded execution flags (dynamic subcommand; DESIGN.md §7):
+//   --threads N                  run shards on N workers (0 = all cores;
+//                                presence routes through the sharded
+//                                engine — results are byte-identical for
+//                                every N at a fixed seed/shard count)
+//   --shards K                   machine shards (default: auto, one per
+//                                128 machines, clamped to [1, 64]);
+//                                part of the simulated system's shape
+//   --prof requires --threads 1; --confidence-weighting is unsupported
+//   with the sharded engine.
 //
 // Snapshot / confidence flags (dynamic, record, replay):
 //   --snapshot-interval S        sample a tracon.metrics_series window
@@ -79,8 +91,10 @@
 #include "sched/mix.hpp"
 #include "sim/dynamic_scenario.hpp"
 #include "sim/hierarchy.hpp"
+#include "sim/shard_scenario.hpp"
 #include "sim/static_scenario.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 #include "virt/host_sim.hpp"
@@ -367,7 +381,147 @@ void instrument_run(const ArgParser& args, const core::Tracon& sys,
   }
 }
 
+/// `tracon dynamic --threads N [--shards K]`: the sharded engine.
+/// Split out of cmd_dynamic so the legacy single-threaded path stays
+/// byte-for-byte what it was; presence of either flag routes here, and
+/// DESIGN.md §7's contract makes every export byte-identical across
+/// thread counts (only the `threads` fingerprint entry differs).
+int cmd_dynamic_sharded(const ArgParser& args) {
+  TRACON_REQUIRE(!args.has("confidence-weighting"),
+                 "--confidence-weighting is not supported with --threads/"
+                 "--shards: the ensemble predictor is stateful and cannot be "
+                 "shared across shard workers");
+  core::Tracon sys = make_system(args, true);
+  sim::ShardedConfig cfg;
+  cfg.machines = static_cast<std::size_t>(args.get_int("machines", 64));
+  cfg.lambda_per_min = args.get_double("lambda", 100.0);
+  cfg.duration_s = args.get_double("hours", 10.0) * 3600.0;
+  cfg.mix = mix_from(args);
+  cfg.queue_capacity = static_cast<std::size_t>(args.get_int("queue", 8));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  cfg.threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  cfg.shards = static_cast<std::size_t>(args.get_int("shards", 0));
+  TRACON_REQUIRE(!args.has("prof") || cfg.threads == 1,
+                 "--prof requires --threads 1: the profiling accumulators "
+                 "are not synchronized across shard workers");
+
+  const bool want_metrics = args.has("metrics-out") || args.has("metrics-csv");
+  const bool want_trace = args.has("trace-out") || args.has("trace-jsonl");
+  const bool want_series =
+      args.has("snapshot-interval") || args.has("series-out");
+  obs::Telemetry tel;
+  sim::TraceRecorder trace;
+  if (args.has("trace") || args.has("events-jsonl")) cfg.trace = &trace;
+  if (want_metrics || want_trace || want_series) {
+    tel.tracer.set_enabled(want_trace);
+    cfg.telemetry = &tel;
+    cfg.accuracy_probe = &sys.predictor();
+    cfg.accuracy_family = model::model_kind_name(sys.model_kind());
+    cfg.accuracy_window =
+        static_cast<std::size_t>(args.get_int("accuracy-window", 64));
+  }
+  if (want_series)
+    cfg.snapshot_interval_s = args.get_double("snapshot-interval", 600.0);
+
+  // FIFO normalization baseline over the same decomposition, with its
+  // own counter-derived per-shard seed stream (and no instrumentation).
+  sim::ShardedConfig base_cfg = cfg;
+  base_cfg.trace = nullptr;
+  base_cfg.telemetry = nullptr;
+  base_cfg.accuracy_probe = nullptr;
+  base_cfg.snapshot_interval_s = 0.0;
+  auto base = sim::run_dynamic_sharded(
+      sys.perf_table(),
+      [&](std::size_t shard) -> std::unique_ptr<sched::Scheduler> {
+        return std::make_unique<sched::FifoScheduler>(
+            derive_stream_seed(cfg.seed + 1, shard));
+      },
+      base_cfg);
+
+  const std::string sched_kind = args.get("scheduler", "mibs");
+  auto factory = [&](std::size_t shard) -> std::unique_ptr<sched::Scheduler> {
+    if (sched_kind == "fifo") {
+      // The core factory seeds FIFO at seed+1; shards split that
+      // stream the same way the arrival streams split cfg.seed.
+      return std::make_unique<sched::FifoScheduler>(
+          derive_stream_seed(cfg.seed + 1, shard));
+    }
+    return scheduler_from(args, sys, false);
+  };
+  std::string sched_name = factory(0)->name();
+  auto o = sim::run_dynamic_sharded(sys.perf_table(), factory, cfg);
+
+  if (cfg.telemetry != nullptr) {
+    sim::DynamicConfig fp;
+    fp.seed = cfg.seed;
+    fp.machines = cfg.machines;
+    fp.mix = cfg.mix;
+    stamp_fingerprint(tel.metrics, fp, args.get("host", "paper"),
+                      args.get("model", "nlm"), sched_name, "live");
+    tel.metrics.set_fingerprint("threads", std::to_string(o.threads_used));
+    tel.metrics.set_fingerprint("shards", std::to_string(o.shards));
+  }
+
+  auto write_file = [&](const char* flag, const char* what,
+                        auto&& writer) -> bool {
+    std::string path = args.get(flag);
+    std::ofstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s file '%s'\n", what, path.c_str());
+      return false;
+    }
+    writer(f);
+    std::printf("%s written to %s\n", what, path.c_str());
+    return true;
+  };
+  bool io_ok = true;
+  if (args.has("metrics-out"))
+    io_ok &= write_file("metrics-out", "metrics JSON",
+                        [&](std::ostream& f) { tel.metrics.write_json(f); });
+  if (args.has("metrics-csv"))
+    io_ok &= write_file("metrics-csv", "metrics CSV",
+                        [&](std::ostream& f) { tel.metrics.write_csv(f); });
+  if (args.has("trace-out"))
+    io_ok &= write_file("trace-out", "Chrome trace", [&](std::ostream& f) {
+      tel.tracer.write_chrome_json(f);
+    });
+  if (args.has("trace-jsonl"))
+    io_ok &= write_file("trace-jsonl", "JSONL trace", [&](std::ostream& f) {
+      tel.tracer.write_jsonl(f);
+    });
+  if (args.has("series-out"))
+    io_ok &= write_file("series-out", "metrics series",
+                        [&](std::ostream& f) { f << o.series; });
+  if (args.has("trace"))
+    io_ok &= write_file("trace", "task-event CSV",
+                        [&](std::ostream& f) { trace.write_csv(f); });
+  if (args.has("events-jsonl"))
+    io_ok &= write_file("events-jsonl", "task-event JSONL",
+                        [&](std::ostream& f) { trace.write_jsonl(f); });
+  if (!io_ok) return 1;
+
+  std::printf("%s: %zu machines, %zu shards, %zu threads, lambda=%.0f/min, "
+              "%.1f h, %s mix\n",
+              sched_name.c_str(), cfg.machines, o.shards, o.threads_used,
+              cfg.lambda_per_min, cfg.duration_s / 3600.0,
+              workload::mix_name(cfg.mix).c_str());
+  std::printf("  completed %zu (FIFO %zu, normalized %.3f)\n",
+              o.total.completed, base.total.completed,
+              static_cast<double>(o.total.completed) /
+                  static_cast<double>(std::max<std::size_t>(
+                      1, base.total.completed)));
+  std::printf("  dropped %zu   mean runtime %.1f s   mean wait %.1f s\n",
+              o.total.dropped,
+              o.total.total_runtime /
+                  static_cast<double>(
+                      std::max<std::size_t>(1, o.total.completed)),
+              o.total.mean_wait_s);
+  return 0;
+}
+
 int cmd_dynamic(const ArgParser& args) {
+  if (args.has("threads") || args.has("shards"))
+    return cmd_dynamic_sharded(args);
   core::Tracon sys = make_system(args, true);
   sim::DynamicConfig cfg;
   cfg.machines = static_cast<std::size_t>(args.get_int("machines", 64));
@@ -381,7 +535,7 @@ int cmd_dynamic(const ArgParser& args) {
                                  sched::Objective::kRuntime);
   auto base = sim::run_dynamic(sys.perf_table(), *fifo, cfg);
   sim::TraceRecorder trace;
-  if (args.has("trace")) cfg.trace = &trace;
+  if (args.has("trace") || args.has("events-jsonl")) cfg.trace = &trace;
 
   // Telemetry wraps only the chosen-scheduler run (the FIFO pass above
   // is just the normalization baseline).
@@ -454,6 +608,17 @@ int cmd_dynamic(const ArgParser& args) {
     trace.write_csv(f);
     std::printf("trace (%zu events) written to %s\n", trace.events().size(),
                 args.get("trace").c_str());
+  }
+  if (args.has("events-jsonl")) {
+    std::ofstream f(args.get("events-jsonl"));
+    if (!f) {
+      std::fprintf(stderr, "cannot open task-event file '%s'\n",
+                   args.get("events-jsonl").c_str());
+      return 1;
+    }
+    trace.write_jsonl(f);
+    std::printf("task events (%zu) written to %s\n", trace.events().size(),
+                args.get("events-jsonl").c_str());
   }
   std::printf("%s: %zu machines, lambda=%.0f/min, %.1f h, %s mix\n",
               sched->name().c_str(), cfg.machines, cfg.lambda_per_min,
