@@ -12,6 +12,9 @@
 namespace tracon::obs {
 
 ProfRegistry& ProfRegistry::global() {
+  // TRACON_ANALYZE_ALLOW(mutable-global): the process-wide profiling
+  // registry is the one sanctioned singleton; it never feeds results,
+  // only the --prof report, and registration is mutex-guarded.
   static ProfRegistry registry;
   return registry;
 }
@@ -58,10 +61,14 @@ void ProfRegistry::write_text(std::ostream& os) const {
 }
 
 std::uint64_t ScopeTimer::now_ns() {
-  // The obs-layer wall-clock exemption: see scope_timer.hpp.
+  // The obs-layer wall-clock exemption: see scope_timer.hpp. Timings
+  // go to the --prof report only, never into simulation results.
+  // TRACON_ANALYZE_ALLOW(determinism-taint): profiling measures real
+  // elapsed time by definition; its output is not replay-checked.
+  const auto now = std::chrono::steady_clock::now();
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
+          now.time_since_epoch())
           .count());
 }
 

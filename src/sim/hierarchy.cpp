@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/summary.hpp"
 
@@ -49,18 +50,30 @@ HierarchyOutcome run_hierarchical(
     shard[m].push_back(all[i]);
   }
 
-  HierarchyOutcome out;
-  out.per_manager.reserve(cfg.managers);
+  // Scheduler construction stays serial — the factory is caller code
+  // with no thread-safety contract. The leaf runs themselves are
+  // independent (that is the point of the hierarchy), so they go
+  // through the shared worker pool; each index writes only its own
+  // slot, and the merge below reads them in manager order, so the
+  // outcome is byte-identical for every cfg.threads.
+  DynamicConfig leaf = root;
+  leaf.machines = cfg.machines_per_manager;
+  leaf.queue_capacity = cfg.queue_capacity;
+  leaf.schedule_period_s = cfg.schedule_period_s;
+
+  std::vector<std::unique_ptr<sched::Scheduler>> schedulers;
+  schedulers.reserve(cfg.managers);
   for (std::size_t m = 0; m < cfg.managers; ++m) {
-    DynamicConfig leaf = root;
-    leaf.machines = cfg.machines_per_manager;
-    leaf.queue_capacity = cfg.queue_capacity;
-    leaf.schedule_period_s = cfg.schedule_period_s;
-    std::unique_ptr<sched::Scheduler> scheduler = make_scheduler(m);
-    TRACON_REQUIRE(scheduler != nullptr, "scheduler factory returned null");
-    out.per_manager.push_back(
-        run_dynamic(table, *scheduler, leaf, shard[m]));
+    schedulers.push_back(make_scheduler(m));
+    TRACON_REQUIRE(schedulers.back() != nullptr,
+                   "scheduler factory returned null");
   }
+
+  HierarchyOutcome out;
+  out.per_manager.resize(cfg.managers);
+  parallel_for(cfg.threads, cfg.managers, [&](std::size_t m) {
+    out.per_manager[m] = run_dynamic(table, *schedulers[m], leaf, shard[m]);
+  });
 
   DynamicOutcome& total = out.total;
   total.duration_s = cfg.duration_s;

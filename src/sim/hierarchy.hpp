@@ -38,6 +38,10 @@ struct HierarchyConfig {
   std::size_t queue_capacity = 8;   ///< per manager
   double schedule_period_s = 5.0;
   std::uint64_t seed = 7;
+  /// Worker threads for the per-manager runs (the leaves are
+  /// independent, so they run through util/parallel's pool). Results
+  /// are byte-identical for any value; 1 = fully serial.
+  std::size_t threads = 1;
 };
 
 struct HierarchyOutcome {

@@ -5,6 +5,9 @@
 
 namespace tracon {
 namespace {
+// TRACON_ANALYZE_ALLOW(mutable-global): the process log level is
+// deliberately global (set once in main from --verbose) and atomic;
+// it gates stderr chatter only and never touches results.
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* prefix(LogLevel level) {

@@ -1,0 +1,462 @@
+// Tests for tracon_analyze (tools/analyze): the tokenizer, the include
+// graph, and all four passes, driven on in-memory fixture trees the
+// same way test_lint.cpp drives the lint rules. Every pass gets a
+// seeded-violation fixture and a known-clean fixture; the suppression
+// syntax, rule filtering, and the JSON report shape are covered here
+// too, so the "analyzer is clean over this repo" ctest entry stays an
+// end-to-end check rather than the only line of defense.
+#include "analyze/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tracon::analyze {
+namespace {
+
+AnalysisResult analyze(std::vector<SourceFile> files,
+                       std::vector<std::string> rules = {}) {
+  Project project(std::move(files));
+  return run_passes(project, rules);
+}
+
+std::size_t count_rule(const AnalysisResult& r, const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(r.findings.begin(), r.findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+// ---------------------------------------------------------------- tokenizer
+
+TEST(Tokenizer, CommentsAndStringsAreNotCode) {
+  TokenStream ts = tokenize(
+      "int a; // trailing rand()\n"
+      "/* block rand() */ int b;\n"
+      "const char* s = \"rand()\";\n");
+  for (const Token& t : ts.tokens) {
+    EXPECT_NE(t.text, "rand") << "source text leaked out of comment/string";
+  }
+  ASSERT_EQ(ts.comments.size(), 2u);
+  EXPECT_EQ(ts.comments[0].line, 1u);
+  EXPECT_EQ(ts.comments[1].line, 2u);
+}
+
+TEST(Tokenizer, RawStringsSwallowTheirContent) {
+  TokenStream ts = tokenize(
+      "auto j = R\"json({\"time\": \"clock()\"})json\";\n"
+      "int after = 1;\n");
+  std::size_t strings = 0;
+  for (const Token& t : ts.tokens) {
+    if (t.kind == TokKind::kString) ++strings;
+    EXPECT_NE(t.text, "clock");
+  }
+  EXPECT_EQ(strings, 1u);
+  // The tokenizer must resync: `after` is real code on line 2.
+  bool saw_after = false;
+  for (const Token& t : ts.tokens) {
+    saw_after = saw_after || (t.text == "after" && t.line == 2);
+  }
+  EXPECT_TRUE(saw_after);
+}
+
+TEST(Tokenizer, DirectiveTokensAreMarked) {
+  TokenStream ts = tokenize(
+      "#define HELPER(x) static int slot_##x = 0\n"
+      "int real_code;\n");
+  for (const Token& t : ts.tokens) {
+    if (t.line == 1) {
+      EXPECT_TRUE(t.directive) << t.text;
+    }
+    if (t.text == "real_code") {
+      EXPECT_FALSE(t.directive);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ layering
+
+TEST(Layering, SeededUpwardIncludeIsCaught) {
+  // util (layer 0) reaching into sim (layer 6) is exactly the kind of
+  // inversion the DAG forbids.
+  AnalysisResult r = analyze({
+      {"src/util/helper.hpp", "#include \"sim/engine.hpp\"\n"},
+      {"src/sim/engine.hpp", "#pragma once\n"},
+  });
+  ASSERT_EQ(count_rule(r, "layering"), 1u);
+  EXPECT_EQ(r.findings[0].file, "src/util/helper.hpp");
+  EXPECT_EQ(r.findings[0].line, 1u);
+  EXPECT_NE(r.findings[0].message.find("upward include"), std::string::npos);
+}
+
+TEST(Layering, DownwardAndSameModuleAreClean) {
+  AnalysisResult r = analyze({
+      {"src/sim/engine.hpp", "#include \"util/helper.hpp\"\n"
+                             "#include \"sim/other.hpp\"\n"},
+      {"src/sim/other.hpp", "#pragma once\n"},
+      {"src/util/helper.hpp", "#pragma once\n"},
+  });
+  EXPECT_EQ(count_rule(r, "layering"), 0u);
+}
+
+TEST(Layering, SameLayerCrossIncludeIsCaught) {
+  // stats and virt both sit at layer 2; neither may include the other.
+  AnalysisResult r = analyze({
+      {"src/stats/fit.hpp", "#include \"virt/host.hpp\"\n"},
+      {"src/virt/host.hpp", "#pragma once\n"},
+  });
+  ASSERT_EQ(count_rule(r, "layering"), 1u);
+  EXPECT_NE(r.findings[0].message.find("same-layer"), std::string::npos);
+}
+
+TEST(Layering, IncludeCycleIsCaught) {
+  AnalysisResult r = analyze({
+      {"src/sim/a.hpp", "#include \"sim/b.hpp\"\n"},
+      {"src/sim/b.hpp", "#include \"sim/a.hpp\"\n"},
+  });
+  ASSERT_EQ(count_rule(r, "layering"), 1u);
+  EXPECT_NE(r.findings[0].message.find("include cycle"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("src/sim/a.hpp"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("src/sim/b.hpp"), std::string::npos);
+}
+
+TEST(Layering, TestsMayIncludeTools) {
+  AnalysisResult r = analyze({
+      {"tests/test_thing.cpp", "#include \"lint/lint_rules.hpp\"\n"},
+      {"tools/lint/lint_rules.hpp", "#pragma once\n"},
+  });
+  EXPECT_EQ(count_rule(r, "layering"), 0u);
+}
+
+// ------------------------------------------------------------ mutable-global
+
+TEST(MutableGlobal, SeededNamespaceScopeVariableIsCaught) {
+  AnalysisResult r = analyze({
+      {"src/sim/state.cpp",
+       "namespace tracon {\n"
+       "int g_counter = 0;\n"
+       "}\n"},
+  });
+  ASSERT_EQ(count_rule(r, "mutable-global"), 1u);
+  EXPECT_EQ(r.findings[0].line, 2u);
+  EXPECT_NE(r.findings[0].message.find("g_counter"), std::string::npos);
+}
+
+TEST(MutableGlobal, ConstAndFunctionsAreClean) {
+  AnalysisResult r = analyze({
+      {"src/sim/state.cpp",
+       "namespace tracon {\n"
+       "const int kLimit = 8;\n"
+       "constexpr double kPi = 3.14;\n"
+       "int compute(int x) { int local = x; return local; }\n"
+       "int declared(int x);\n"
+       "struct Config { int field = 1; };\n"
+       "}\n"},
+  });
+  EXPECT_EQ(count_rule(r, "mutable-global"), 0u);
+}
+
+TEST(MutableGlobal, DefaultArgumentBracesDoNotConfuseTheScan) {
+  // Regression: `= {}` default arguments inside a multi-line function
+  // declaration once pushed a phantom initializer scope and flagged the
+  // trailing parameter.
+  AnalysisResult r = analyze({
+      {"src/sched/api.hpp",
+       "namespace tracon {\n"
+       "struct Policy {};\n"
+       "int best_slot(int task,\n"
+       "              const Policy& policy = {},\n"
+       "              bool exclude_empty = false);\n"
+       "}\n"},
+  });
+  EXPECT_EQ(count_rule(r, "mutable-global"), 0u);
+}
+
+TEST(MutableGlobal, SeededMutableStaticLocalIsCaught) {
+  AnalysisResult r = analyze({
+      {"src/model/cache.cpp",
+       "namespace tracon {\n"
+       "int counter() {\n"
+       "  static int calls = 0;\n"
+       "  return ++calls;\n"
+       "}\n"
+       "const int& limit() {\n"
+       "  static const int kLimit = 42;\n"
+       "  return kLimit;\n"
+       "}\n"
+       "}\n"},
+  });
+  ASSERT_EQ(count_rule(r, "mutable-global"), 1u);
+  EXPECT_EQ(r.findings[0].line, 3u);
+}
+
+TEST(MutableGlobal, OnlySrcIsInScope) {
+  AnalysisResult r = analyze({
+      {"tools/widget/main.cpp", "namespace w {\nint g_flag = 0;\n}\n"},
+      {"tests/test_widget.cpp", "namespace w {\nint g_flag = 0;\n}\n"},
+  });
+  EXPECT_EQ(count_rule(r, "mutable-global"), 0u);
+}
+
+// -------------------------------------------------------- determinism-taint
+
+TEST(DeterminismTaint, SourceReachingEmitterIsCaught) {
+  // model/sample.hpp uses rand(); obs/export.cpp (an emitter TU)
+  // includes it — the include graph proves the taint can reach output.
+  AnalysisResult r = analyze({
+      {"src/model/sample.hpp", "inline int pick() { return rand(); }\n"},
+      {"src/obs/export.cpp", "#include \"model/sample.hpp\"\n"},
+  });
+  ASSERT_EQ(count_rule(r, "determinism-taint"), 1u);
+  EXPECT_EQ(r.findings[0].file, "src/model/sample.hpp");
+  EXPECT_NE(r.findings[0].message.find("rand()"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("src/obs/export.cpp"),
+            std::string::npos);
+}
+
+TEST(DeterminismTaint, SourceWithNoEmitterPathIsClean) {
+  // Same source, but no translation unit joins it with obs/replay/
+  // runstore code — nothing replay-checked can observe it.
+  AnalysisResult r = analyze({
+      {"src/model/sample.hpp", "inline int pick() { return rand(); }\n"},
+      {"src/model/solo.cpp", "#include \"model/sample.hpp\"\n"},
+  });
+  EXPECT_EQ(count_rule(r, "determinism-taint"), 0u);
+}
+
+TEST(DeterminismTaint, UnorderedContainerInEmitterModuleIsCaught) {
+  AnalysisResult r = analyze({
+      {"src/obs/metrics2.cpp",
+       "#include <unordered_map>\n"
+       "std::unordered_map<int, int> m;\n"},
+  });
+  EXPECT_EQ(count_rule(r, "determinism-taint"), 1u);
+}
+
+TEST(DeterminismTaint, MemberNamedTimeIsClean) {
+  // `w.time()` and a field named time must not fire: only call syntax
+  // on the free identifier counts.
+  AnalysisResult r = analyze({
+      {"src/obs/window.cpp",
+       "struct W { double time; double clock() { return 0; } };\n"
+       "double f(W& w) { return w.time + w.clock(); }\n"
+       "double g() { std::time_t t{}; return static_cast<double>(t); }\n"},
+  });
+  EXPECT_EQ(count_rule(r, "determinism-taint"), 0u);
+}
+
+TEST(DeterminismTaint, PointerKeyedMapInEmitterIsCaught) {
+  AnalysisResult r = analyze({
+      {"src/obs/registry.cpp",
+       "#include <map>\n"
+       "std::map<const char*, int> by_addr;\n"
+       "std::map<int, const char*> by_id;\n"},
+  });
+  // Pointer key fires; pointer value does not.
+  EXPECT_EQ(count_rule(r, "determinism-taint"), 1u);
+}
+
+// ------------------------------------------------------ parallel-discipline
+
+TEST(ParallelDiscipline, SeededUnguardedMutationIsCaught) {
+  AnalysisResult r = analyze({
+      {"src/sim/runner.cpp",
+       "void run() {\n"
+       "  int total = 0;\n"
+       "  parallel_for(4, 100, [&](std::size_t i) {\n"
+       "    total += work(i);\n"
+       "  });\n"
+       "}\n"},
+  });
+  ASSERT_EQ(count_rule(r, "parallel-discipline"), 1u);
+  EXPECT_EQ(r.findings[0].line, 4u);
+  EXPECT_NE(r.findings[0].message.find("total"), std::string::npos);
+}
+
+TEST(ParallelDiscipline, ShardIndexedWritesAreClean) {
+  AnalysisResult r = analyze({
+      {"src/sim/runner.cpp",
+       "void run(std::vector<Out>& out) {\n"
+       "  parallel_for(4, out.size(), [&](std::size_t i) {\n"
+       "    out[i].value = work(i);\n"
+       "    out[i].log.push_back(i);\n"
+       "  });\n"
+       "}\n"},
+  });
+  EXPECT_EQ(count_rule(r, "parallel-discipline"), 0u);
+}
+
+TEST(ParallelDiscipline, LocalsAndParamsAreClean) {
+  AnalysisResult r = analyze({
+      {"src/sim/runner.cpp",
+       "void run() {\n"
+       "  parallel_for(4, 100, [&](std::size_t i) {\n"
+       "    int acc = 0;\n"
+       "    acc += static_cast<int>(i);\n"
+       "    i += 0;\n"
+       "  });\n"
+       "}\n"},
+  });
+  EXPECT_EQ(count_rule(r, "parallel-discipline"), 0u);
+}
+
+TEST(ParallelDiscipline, MutatingMethodOnSharedCaptureIsCaught) {
+  AnalysisResult r = analyze({
+      {"src/sim/runner.cpp",
+       "void run(std::vector<int>& log) {\n"
+       "  parallel_for(4, 100, [&log](std::size_t i) {\n"
+       "    log.push_back(static_cast<int>(i));\n"
+       "  });\n"
+       "}\n"},
+  });
+  ASSERT_EQ(count_rule(r, "parallel-discipline"), 1u);
+  EXPECT_NE(r.findings[0].message.find("push_back"), std::string::npos);
+}
+
+TEST(ParallelDiscipline, IncrementOfSharedCaptureIsCaught) {
+  AnalysisResult r = analyze({
+      {"src/sim/runner.cpp",
+       "void run() {\n"
+       "  std::size_t done = 0;\n"
+       "  parallel_for(4, 100, [&](std::size_t i) { ++done; });\n"
+       "}\n"},
+  });
+  EXPECT_EQ(count_rule(r, "parallel-discipline"), 1u);
+}
+
+// --------------------------------------------------------------- suppression
+
+TEST(Suppression, AllowWithReasonSuppresses) {
+  AnalysisResult r = analyze({
+      {"src/sim/state.cpp",
+       "namespace tracon {\n"
+       "// TRACON_ANALYZE_ALLOW(mutable-global): test-only knob.\n"
+       "int g_knob = 0;\n"
+       "}\n"},
+  });
+  EXPECT_EQ(count_rule(r, "mutable-global"), 0u);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(Suppression, AllowWithoutReasonDoesNotSuppress) {
+  AnalysisResult r = analyze({
+      {"src/sim/state.cpp",
+       "namespace tracon {\n"
+       "// TRACON_ANALYZE_ALLOW(mutable-global):\n"
+       "int g_knob = 0;\n"
+       "}\n"},
+  });
+  EXPECT_EQ(count_rule(r, "mutable-global"), 1u);
+  EXPECT_EQ(r.suppressed, 0u);
+}
+
+TEST(Suppression, WrongRuleDoesNotSuppress) {
+  AnalysisResult r = analyze({
+      {"src/sim/state.cpp",
+       "namespace tracon {\n"
+       "// TRACON_ANALYZE_ALLOW(layering): not the right rule.\n"
+       "int g_knob = 0;\n"
+       "}\n"},
+  });
+  EXPECT_EQ(count_rule(r, "mutable-global"), 1u);
+}
+
+TEST(Suppression, MultiLineCommentBlockCoversTheNextLine) {
+  AnalysisResult r = analyze({
+      {"src/sim/state.cpp",
+       "namespace tracon {\n"
+       "// TRACON_ANALYZE_ALLOW(mutable-global): the justification\n"
+       "// continues across several comment lines before the\n"
+       "// declaration itself.\n"
+       "int g_knob = 0;\n"
+       "}\n"},
+  });
+  EXPECT_EQ(count_rule(r, "mutable-global"), 0u);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(Suppression, CommentBlockMustBeContiguous) {
+  AnalysisResult r = analyze({
+      {"src/sim/state.cpp",
+       "namespace tracon {\n"
+       "// TRACON_ANALYZE_ALLOW(mutable-global): too far away.\n"
+       "int unrelated();\n"
+       "int g_knob = 0;\n"
+       "}\n"},
+  });
+  EXPECT_EQ(count_rule(r, "mutable-global"), 1u);
+}
+
+// ------------------------------------------------------- pipeline & reports
+
+TEST(Pipeline, RuleFilterRunsOnlyThatPass) {
+  std::vector<SourceFile> fixture = {
+      {"src/util/helper.hpp", "#include \"sim/engine.hpp\"\n"},
+      {"src/sim/engine.hpp", "#pragma once\nnamespace t {\nint g = 0;\n}\n"},
+  };
+  AnalysisResult only_layering = analyze(fixture, {"layering"});
+  EXPECT_EQ(count_rule(only_layering, "layering"), 1u);
+  EXPECT_EQ(count_rule(only_layering, "mutable-global"), 0u);
+  AnalysisResult all = analyze(fixture);
+  EXPECT_EQ(count_rule(all, "layering"), 1u);
+  EXPECT_EQ(count_rule(all, "mutable-global"), 1u);
+}
+
+TEST(Pipeline, FindingsAreSortedAndDeterministic) {
+  std::vector<SourceFile> fixture = {
+      {"src/util/z.hpp", "#include \"sim/engine.hpp\"\n"},
+      {"src/util/a.hpp", "#include \"sim/engine.hpp\"\n"},
+      {"src/sim/engine.hpp", "#pragma once\n"},
+  };
+  AnalysisResult r1 = analyze(fixture);
+  AnalysisResult r2 = analyze(fixture);
+  ASSERT_EQ(r1.findings.size(), 2u);
+  EXPECT_EQ(r1.findings[0].file, "src/util/a.hpp");
+  EXPECT_EQ(r1.findings[1].file, "src/util/z.hpp");
+  EXPECT_EQ(render_json(r1), render_json(r2));
+  EXPECT_EQ(render_text(r1), render_text(r2));
+}
+
+TEST(Report, JsonShape) {
+  AnalysisResult r = analyze({
+      {"src/util/helper.hpp", "#include \"sim/engine.hpp\"\n"},
+      {"src/sim/engine.hpp", "#pragma once\n"},
+  });
+  std::string json = render_json(r);
+  EXPECT_NE(json.find("\"schema\": \"tracon.analyze_report/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tool\": {\"name\": \"tracon_analyze\""),
+            std::string::npos);
+  for (const RuleInfo& rule : rule_catalog()) {
+    EXPECT_NE(json.find("\"name\": \"" + rule.name + "\""),
+              std::string::npos);
+  }
+  EXPECT_NE(json.find("\"findings\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"summary\": {\"files\": 2, \"findings\": 1, "
+                      "\"suppressed\": 0}"),
+            std::string::npos);
+}
+
+TEST(Report, TextRendersCompilerStyle) {
+  AnalysisResult r = analyze({
+      {"src/util/helper.hpp", "#include \"sim/engine.hpp\"\n"},
+      {"src/sim/engine.hpp", "#pragma once\n"},
+  });
+  std::string text = render_text(r);
+  EXPECT_NE(text.find("src/util/helper.hpp:1: [layering]"),
+            std::string::npos);
+  EXPECT_NE(text.find("tracon_analyze: 1 finding(s), 0 suppressed, 2 "
+                      "files"),
+            std::string::npos);
+}
+
+TEST(Report, RuleCatalogHasAllFourPasses) {
+  const std::vector<RuleInfo>& rules = rule_catalog();
+  ASSERT_EQ(rules.size(), 4u);
+  EXPECT_EQ(rules[0].name, "layering");
+  EXPECT_EQ(rules[1].name, "mutable-global");
+  EXPECT_EQ(rules[2].name, "determinism-taint");
+  EXPECT_EQ(rules[3].name, "parallel-discipline");
+}
+
+}  // namespace
+}  // namespace tracon::analyze

@@ -92,6 +92,31 @@ TEST(Hierarchy, Deterministic) {
   EXPECT_EQ(a.total.total_runtime, b.total.total_runtime);
 }
 
+TEST(Hierarchy, ThreadCountDoesNotChangeResults) {
+  // The leaf runs go through util/parallel's worker pool; any thread
+  // count must reproduce the serial outcome exactly.
+  HierarchyConfig serial = small_config();
+  serial.threads = 1;
+  HierarchyOutcome a = run_hierarchical(table(), fifo_factory(), serial);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    HierarchyConfig cfg = small_config();
+    cfg.threads = threads;
+    HierarchyOutcome b = run_hierarchical(table(), fifo_factory(), cfg);
+    ASSERT_EQ(a.per_manager.size(), b.per_manager.size());
+    for (std::size_t m = 0; m < a.per_manager.size(); ++m) {
+      EXPECT_EQ(a.per_manager[m].arrived, b.per_manager[m].arrived);
+      EXPECT_EQ(a.per_manager[m].completed, b.per_manager[m].completed);
+      EXPECT_EQ(a.per_manager[m].dropped, b.per_manager[m].dropped);
+      EXPECT_EQ(a.per_manager[m].total_runtime,
+                b.per_manager[m].total_runtime);
+      EXPECT_EQ(a.per_manager[m].mean_wait_s, b.per_manager[m].mean_wait_s);
+    }
+    EXPECT_EQ(a.total.completed, b.total.completed);
+    EXPECT_EQ(a.total.total_runtime, b.total.total_runtime);
+    EXPECT_EQ(a.total.mean_wait_s, b.total.mean_wait_s);
+  }
+}
+
 TEST(Hierarchy, PerManagerSchedulersAreIndependent) {
   // Manager 0 gets MIBS, the rest FIFO; the factory index must be used.
   HierarchyConfig cfg = small_config();

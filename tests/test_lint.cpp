@@ -99,6 +99,32 @@ TEST(Determinism, IgnoresCommentsStringsAndSimilarNames) {
   EXPECT_FALSE(has_rule(findings, "determinism"));
 }
 
+TEST(Determinism, RawStringLiteralsNeverFire) {
+  // Regression: the old line-stripper resynced at the first inner
+  // quote of a raw string, leaving its tail parsed as code. The
+  // tokenizer-backed rule must swallow the whole R"(...)" literal —
+  // embedded quotes, RNG names, and all.
+  auto findings = lint_content(
+      "src/sim/doc.cpp",
+      "#include \"sim/doc.hpp\"\n\n"
+      "const char* kDoc = R\"(say \"rand()\" and clock() out loud)\";\n"
+      "const char* kJson = R\"json({\"seed\": \"time(0)\"})json\";\n");
+  EXPECT_FALSE(has_rule(findings, "determinism"));
+}
+
+TEST(ListRules, CatalogCoversEveryRule) {
+  std::vector<std::string> names;
+  for (const tracon::lint::RuleDoc& doc : tracon::lint::rule_docs()) {
+    names.push_back(doc.name);
+    EXPECT_FALSE(doc.summary.empty()) << doc.name;
+  }
+  const std::vector<std::string> expected = {
+      "determinism",   "unordered-output", "float-eq",
+      "iostream",      "pragma-once",      "include-order",
+      "require-guard", "metric-name",      "raw-thread"};
+  EXPECT_EQ(names, expected);
+}
+
 TEST(FloatEq, CatchesLiteralComparisonsBothSides) {
   auto findings = lint_content(
       "src/virt/bad.cpp",

@@ -1,0 +1,65 @@
+// layering: every quoted include must point at the same module or a
+// strictly lower layer of the DAG (see include_graph.hpp for ranks),
+// and the file-level include graph must be acyclic. Catching an
+// upward edge here is what keeps "replay re-runs the simulator" from
+// quietly becoming "the simulator depends on the replay format".
+#include "analyze/passes.hpp"
+
+#include <algorithm>
+
+namespace tracon::analyze {
+
+void pass_layering(const Project& project, Reporter& reporter) {
+  const std::vector<FileIndex>& files = project.files();
+  const IncludeGraph& graph = project.graph();
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const int from_rank = layer_rank(files[i].module);
+    if (from_rank < 0) continue;
+    for (const IncludeEdge& e : graph.edges()[i]) {
+      const FileIndex& to = files[e.to];
+      if (to.module == files[i].module) continue;
+      const int to_rank = layer_rank(to.module);
+      if (to_rank < 0) continue;
+      if (to_rank > from_rank) {
+        reporter.report(
+            i, e.line, "layering",
+            "upward include: module '" + files[i].module + "' (layer " +
+                std::to_string(from_rank) + ") must not include '" +
+                e.spelled + "' from module '" + to.module + "' (layer " +
+                std::to_string(to_rank) + ")");
+      } else if (to_rank == from_rank) {
+        reporter.report(
+            i, e.line, "layering",
+            "same-layer cross include: modules '" + files[i].module +
+                "' and '" + to.module + "' both sit at layer " +
+                std::to_string(from_rank) +
+                "; route the dependency through a lower layer instead");
+      }
+    }
+  }
+
+  for (const std::vector<std::size_t>& cycle : graph.cycles()) {
+    std::string members;
+    for (std::size_t m : cycle) {
+      if (!members.empty()) members += " -> ";
+      members += files[m].path;
+    }
+    // Anchor the finding on the smallest member's first edge that
+    // stays inside the cycle, so the diagnostic points at a real
+    // #include line.
+    std::size_t anchor = cycle.front();
+    std::size_t line = 1;
+    for (const IncludeEdge& e : graph.edges()[anchor]) {
+      if (std::find(cycle.begin(), cycle.end(), e.to) != cycle.end()) {
+        line = e.line;
+        break;
+      }
+    }
+    reporter.report(anchor, line, "layering",
+                    "include cycle: " + members + " -> " +
+                        files[cycle.front()].path);
+  }
+}
+
+}  // namespace tracon::analyze

@@ -1,0 +1,268 @@
+// mutable-global: a non-const namespace-scope variable or non-const
+// static local is shared state every shard and every thread can see —
+// exactly the thing that makes `--threads N` diverge from
+// `--threads 1` without any test noticing until the sweep hits the
+// right interleaving. The pass walks the token stream with a scope
+// stack (namespace / class / function / initializer braces) and flags:
+//
+//   * namespace-scope declarations with no const/constexpr/constinit
+//     (function declarations, usings, typedefs, templates skipped);
+//   * `static` inside a function body not followed by
+//     const/constexpr before the declarator ends.
+//
+// Scope: src/ only. Preprocessor directive tokens are skipped — macro
+// bodies have no scope context (the one sanctioned macro static,
+// TRACON_PROF_SCOPE's per-call-site slot, lives in a #define).
+#include "analyze/passes.hpp"
+
+#include <set>
+
+namespace tracon::analyze {
+
+namespace {
+
+enum class Scope { kNamespace, kClass, kFunction, kInit };
+
+const std::set<std::string>& skip_keywords() {
+  static const std::set<std::string> kSkip = {
+      "using", "typedef", "template", "friend", "static_assert",
+      "extern", "namespace", "class", "struct", "union", "enum",
+      "concept", "requires",
+  };
+  return kSkip;
+}
+
+bool is_const_marker(const std::string& word) {
+  return word == "const" || word == "constexpr" || word == "constinit";
+}
+
+/// Heuristic classification of one namespace-scope statement (tokens
+/// between boundaries, preprocessor excluded). Returns the declared
+/// variable name when the statement looks like a mutable variable
+/// definition, empty otherwise.
+std::string mutable_variable_name(const std::vector<Token>& stmt) {
+  if (stmt.empty()) return {};
+  std::size_t identifiers = 0;
+  for (const Token& t : stmt) {
+    if (t.kind == TokKind::kIdentifier) {
+      if (skip_keywords().count(t.text) || is_const_marker(t.text)) {
+        return {};
+      }
+      ++identifiers;
+    }
+  }
+  // `x;` alone is an expression (or macro soup), not a declaration.
+  if (identifiers < 2) return {};
+
+  // Locate the declarator name: the identifier before the top-level
+  // `=`, else before a trailing array `[...]`, else the last
+  // identifier. A `(` right after the candidate name means a function
+  // declaration — skip (int x(5); at namespace scope is not a pattern
+  // this tree uses).
+  std::size_t depth = 0;
+  std::size_t eq = stmt.size();
+  for (std::size_t i = 0; i < stmt.size(); ++i) {
+    const Token& t = stmt[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(" || t.text == "[" || t.text == "<") ++depth;
+    if (t.text == ")" || t.text == "]" || t.text == ">") {
+      if (depth > 0) --depth;
+    }
+    if (depth == 0 && t.text == "=") {
+      eq = i;
+      break;
+    }
+  }
+  std::size_t end = eq;  // exclusive bound of the declarator part
+  // Strip a trailing array extent: name[...]= or name[...]<end>
+  while (end > 0 && stmt[end - 1].kind == TokKind::kPunct &&
+         stmt[end - 1].text == "]") {
+    std::size_t d = 1;
+    std::size_t j = end - 1;
+    while (j > 0 && d > 0) {
+      --j;
+      if (stmt[j].kind == TokKind::kPunct) {
+        if (stmt[j].text == "]") ++d;
+        if (stmt[j].text == "[") --d;
+      }
+    }
+    end = j;
+  }
+  if (end == 0) return {};
+  const Token& name = stmt[end - 1];
+  if (name.kind != TokKind::kIdentifier) return {};
+  // Function declaration / call-style initializer: name immediately
+  // followed by `(`.
+  if (end < stmt.size() && stmt[end].kind == TokKind::kPunct &&
+      stmt[end].text == "(") {
+    return {};
+  }
+  // Need at least one type token before the name.
+  bool typed = false;
+  for (std::size_t i = 0; i + 1 < end; ++i) {
+    if (stmt[i].kind == TokKind::kIdentifier) typed = true;
+  }
+  if (!typed) return {};
+  return name.text;
+}
+
+}  // namespace
+
+void pass_mutable_global(const Project& project, Reporter& reporter) {
+  for (std::size_t fi = 0; fi < project.files().size(); ++fi) {
+    const FileIndex& file = project.files()[fi];
+    if (file.path.rfind("src/", 0) != 0) continue;
+
+    // Directive tokens dropped up front: scope tracking below sees
+    // only real code.
+    std::vector<Token> toks;
+    toks.reserve(file.ts.tokens.size());
+    for (const Token& t : file.ts.tokens) {
+      if (!t.directive) toks.push_back(t);
+    }
+
+    std::vector<Scope> scopes;
+    auto current = [&]() {
+      return scopes.empty() ? Scope::kNamespace : scopes.back();
+    };
+
+    // What the *next* `{` opens, decided by the tokens seen since the
+    // last statement boundary at this level.
+    bool pending_namespace = false;
+    bool pending_class = false;
+    bool pending_function = false;
+    bool pending_init = false;
+
+    std::vector<Token> stmt;  // namespace-scope statement buffer
+    std::size_t paren_depth = 0;
+
+    auto reset_pendings = [&] {
+      pending_namespace = pending_class = pending_function =
+          pending_init = false;
+    };
+
+    auto classify_statement = [&](bool ends_in_brace) {
+      if (current() != Scope::kNamespace) {
+        stmt.clear();
+        return;
+      }
+      // `Type name{init};` reaches here at the `{` with the declarator
+      // in the buffer; `Type name = init;` at the `;`.
+      std::string name = mutable_variable_name(stmt);
+      if (!name.empty() &&
+          !(ends_in_brace && (pending_namespace || pending_class ||
+                              pending_function))) {
+        reporter.report(
+            fi, stmt.back().line, "mutable-global",
+            "mutable namespace-scope variable '" + name +
+                "'; const-qualify it, scope it to a function argument, "
+                "or justify it with TRACON_ANALYZE_ALLOW");
+      }
+      stmt.clear();
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+
+      // Parenthesized regions (parameter lists, call arguments) get no
+      // scope/statement treatment: a `= {}` default argument or a
+      // lambda body in there must not derail the brace tracking.
+      if (t.kind == TokKind::kPunct && t.text == "(") {
+        ++paren_depth;
+        if (current() == Scope::kNamespace) stmt.push_back(t);
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == ")") {
+        if (paren_depth > 0) --paren_depth;
+        if (paren_depth == 0 && current() == Scope::kNamespace &&
+            !pending_class && !pending_init) {
+          pending_function = true;
+        }
+        if (current() == Scope::kNamespace) stmt.push_back(t);
+        continue;
+      }
+      if (paren_depth > 0) {
+        if (current() == Scope::kNamespace) stmt.push_back(t);
+        continue;
+      }
+
+      if (t.kind == TokKind::kPunct && t.text == "{") {
+        if (current() == Scope::kNamespace) classify_statement(true);
+        if (pending_namespace) {
+          scopes.push_back(Scope::kNamespace);
+        } else if (pending_class) {
+          scopes.push_back(Scope::kClass);
+        } else if (pending_function) {
+          scopes.push_back(Scope::kFunction);
+        } else if (current() == Scope::kFunction) {
+          scopes.push_back(Scope::kFunction);
+        } else {
+          scopes.push_back(Scope::kInit);
+        }
+        reset_pendings();
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == "}") {
+        if (!scopes.empty()) scopes.pop_back();
+        stmt.clear();
+        reset_pendings();
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == ";") {
+        if (current() == Scope::kNamespace) classify_statement(false);
+        stmt.clear();
+        reset_pendings();
+        continue;
+      }
+
+      if (t.kind == TokKind::kIdentifier) {
+        if (t.text == "namespace") pending_namespace = true;
+        if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+            t.text == "enum") {
+          pending_class = true;
+        }
+        // Function-local static without a const marker before the
+        // declarator ends.
+        if (t.text == "static" && current() == Scope::kFunction) {
+          bool is_const = false;
+          std::size_t j = i + 1;
+          std::size_t depth = 0;
+          for (; j < toks.size(); ++j) {
+            const Token& u = toks[j];
+            if (u.kind == TokKind::kPunct) {
+              if (u.text == "(" || u.text == "<" || u.text == "[") ++depth;
+              if (u.text == ")" || u.text == ">" || u.text == "]") {
+                if (depth > 0) --depth;
+              }
+              if (depth == 0 &&
+                  (u.text == ";" || u.text == "{" || u.text == "=")) {
+                break;
+              }
+            }
+            if (u.kind == TokKind::kIdentifier &&
+                is_const_marker(u.text)) {
+              is_const = true;
+              break;
+            }
+          }
+          if (!is_const) {
+            reporter.report(
+                fi, t.line, "mutable-global",
+                "mutable function-local static; make it const, hoist "
+                "it into explicit state, or justify it with "
+                "TRACON_ANALYZE_ALLOW");
+          }
+        }
+      }
+      if (t.kind == TokKind::kPunct && t.text == "=" &&
+          current() == Scope::kNamespace) {
+        pending_init = true;
+        pending_function = false;
+      }
+
+      if (current() == Scope::kNamespace) stmt.push_back(t);
+    }
+  }
+}
+
+}  // namespace tracon::analyze

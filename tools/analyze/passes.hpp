@@ -1,0 +1,26 @@
+// The tracon_analyze pass pipeline. Each pass reads the shared
+// Project snapshot and reports through the suppression-aware Reporter;
+// rule semantics are documented in analysis.hpp and DESIGN.md
+// ("Architecture layers & static analysis").
+#pragma once
+
+#include "analyze/analysis.hpp"
+
+namespace tracon::analyze {
+
+/// Module-DAG enforcement plus include-cycle rejection.
+void pass_layering(const Project& project, Reporter& reporter);
+
+/// Non-const namespace-scope variables and non-const static locals
+/// in src/.
+void pass_mutable_global(const Project& project, Reporter& reporter);
+
+/// Nondeterminism sources that the include graph shows can share a
+/// translation unit with an emitter.
+void pass_determinism_taint(const Project& project, Reporter& reporter);
+
+/// Unguarded mutation of by-reference captures inside parallel_for
+/// bodies.
+void pass_parallel_discipline(const Project& project, Reporter& reporter);
+
+}  // namespace tracon::analyze

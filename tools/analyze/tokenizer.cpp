@@ -1,0 +1,234 @@
+#include "analyze/tokenizer.hpp"
+
+#include <cctype>
+
+namespace tracon::analyze {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators the passes care about, longest first.
+/// `<` and `>` deliberately stay single characters (never `<<`/`>>`)
+/// so template argument lists can be scanned by bracket matching.
+const char* const kMultiPunct[] = {
+    "::", "->", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=", "++", "--", "&&", "||", "...",
+};
+
+}  // namespace
+
+TokenStream tokenize(const std::string& src) {
+  TokenStream out;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  // After `# include` the next <...> is a header-name, not a pile of
+  // comparison operators. Reset at each newline.
+  bool pending_include = false;
+  // A `#` opening a logical line starts a directive; the directive
+  // (and the flag) survives backslash-spliced continuations.
+  bool in_directive = false;
+  bool line_has_token = false;
+
+  auto push = [&](TokKind kind, std::string text, std::size_t at_line) {
+    out.tokens.push_back({kind, std::move(text), at_line, in_directive});
+    line_has_token = true;
+  };
+
+  auto add_comment_text = [&](std::size_t at_line, const std::string& text) {
+    out.comments.push_back({at_line, text});
+  };
+
+  while (i < n) {
+    char c = src[i];
+    char next = i + 1 < n ? src[i + 1] : '\0';
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      pending_include = false;
+      in_directive = false;
+      line_has_token = false;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Line splice: the directive (and any literal) continues.
+    if (c == '\\' && next == '\n') {
+      ++line;
+      i += 2;
+      continue;
+    }
+
+    if (c == '/' && next == '/') {
+      std::size_t start = i + 2;
+      while (i < n && src[i] != '\n') ++i;
+      add_comment_text(line, src.substr(start, i - start));
+      continue;  // newline handled above
+    }
+    if (c == '/' && next == '*') {
+      i += 2;
+      std::size_t seg_start = i;
+      while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) {
+        if (src[i] == '\n') {
+          add_comment_text(line, src.substr(seg_start, i - seg_start));
+          ++line;
+          seg_start = i + 1;
+        }
+        ++i;
+      }
+      add_comment_text(line, src.substr(seg_start, i - seg_start));
+      if (i < n) i += 2;  // consume */
+      continue;
+    }
+
+    // Raw string literal: [prefix]R"delim( ... )delim". The prefix, if
+    // any, was already consumed as part of an identifier ending in R —
+    // handled below in the identifier branch.
+    if (c == 'R' && next == '"') {
+      std::size_t start_line = line;
+      std::size_t d = i + 2;
+      std::string delim;
+      while (d < n && src[d] != '(' && src[d] != '\n') delim += src[d++];
+      if (d < n && src[d] == '(') {
+        const std::string close = ")" + delim + "\"";
+        std::size_t body = d + 1;
+        std::size_t end = src.find(close, body);
+        if (end == std::string::npos) end = n;
+        std::string content = src.substr(body, end - body);
+        for (char b : content)
+          if (b == '\n') ++line;
+        push(TokKind::kString, std::move(content), start_line);
+        i = end == n ? n : end + close.size();
+        continue;
+      }
+      // Not actually a raw string (e.g. `R"` at EOF); fall through and
+      // emit `R` as an identifier below.
+    }
+
+    if (c == '"') {
+      std::size_t start_line = line;
+      std::string content;
+      ++i;
+      while (i < n && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < n) {
+          content += src[i];
+          content += src[i + 1];
+          if (src[i + 1] == '\n') ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') {
+          ++line;  // unterminated; keep line counts right
+          break;
+        }
+        content += src[i++];
+      }
+      if (i < n && src[i] == '"') ++i;
+      push(TokKind::kString, std::move(content), start_line);
+      continue;
+    }
+
+    if (c == '\'') {
+      std::size_t start_line = line;
+      std::string content;
+      ++i;
+      while (i < n && src[i] != '\'') {
+        if (src[i] == '\\' && i + 1 < n) {
+          content += src[i];
+          content += src[i + 1];
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        content += src[i++];
+      }
+      if (i < n && src[i] == '\'') ++i;
+      push(TokKind::kChar, std::move(content), start_line);
+      continue;
+    }
+
+    if (pending_include && c == '<') {
+      std::size_t end = i + 1;
+      while (end < n && src[end] != '>' && src[end] != '\n') ++end;
+      push(TokKind::kHeaderName, src.substr(i + 1, end - i - 1), line);
+      i = end < n && src[end] == '>' ? end + 1 : end;
+      pending_include = false;
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t start = i;
+      while (i < n && ident_char(src[i])) ++i;
+      std::string word = src.substr(start, i - start);
+      // Raw-string prefix (R, LR, uR, u8R, UR) glued to a quote:
+      // rewind to the trailing R so the raw-string branch consumes the
+      // literal; the encoding prefix itself is not worth a token.
+      if (i < n && src[i] == '"' &&
+          (word == "R" || word == "LR" || word == "uR" || word == "u8R" ||
+           word == "UR")) {
+        i = start + word.size() - 1;
+        continue;
+      }
+      if (word == "include" && !out.tokens.empty() &&
+          out.tokens.back().kind == TokKind::kPunct &&
+          out.tokens.back().text == "#") {
+        pending_include = true;
+      }
+      push(TokKind::kIdentifier, std::move(word), line);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(next)))) {
+      std::size_t start = i;
+      ++i;
+      while (i < n) {
+        char d = src[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++i;
+          continue;
+        }
+        // Exponent sign: 1e-3, 0x1p+4
+        if ((d == '+' || d == '-') && i > start) {
+          char prev = src[i - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            ++i;
+            continue;
+          }
+        }
+        break;
+      }
+      push(TokKind::kNumber, src.substr(start, i - start), line);
+      continue;
+    }
+
+    // Punctuation: longest multi-char match first.
+    bool matched = false;
+    for (const char* op : kMultiPunct) {
+      std::size_t len = std::string::traits_type::length(op);
+      if (src.compare(i, len, op) == 0) {
+        push(TokKind::kPunct, op, line);
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    if (c == '#' && !line_has_token) in_directive = true;
+    push(TokKind::kPunct, std::string(1, c), line);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace tracon::analyze

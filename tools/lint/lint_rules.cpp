@@ -4,7 +4,10 @@
 #include <cctype>
 #include <fstream>
 #include <regex>
+#include <set>
 #include <sstream>
+
+#include "analyze/tokenizer.hpp"
 
 namespace tracon::lint {
 
@@ -76,24 +79,73 @@ void scan_lines(const std::string& stripped, const std::regex& re,
 }
 
 // --- determinism -----------------------------------------------------------
+//
+// Token-based (tools/analyze's tokenizer) rather than regex-based: the
+// tokenizer already knows comments, strings (raw strings included),
+// and preprocessor context, so `rand` in prose or inside an R"(...)"
+// literal can never fire, and a struct field named `time` stays quiet
+// because only call syntax on the free identifier counts.
 
-const std::regex& determinism_regex() {
-  static const std::regex re(
-      R"(\b(rand|srand|drand48|lrand48|random)\s*\()"
-      R"(|std\s*::\s*random_device|\brandom_device\b)"
-      R"(|\b(time|clock)\s*\()"
-      R"(|gettimeofday|clock_gettime|localtime|\bgmtime\b)"
-      R"(|system_clock|steady_clock|high_resolution_clock)"
-      R"(|timespec_get|\bctime\b|\basctime\b|\bmktime\b|strftime|difftime)");
-  return re;
+/// Entry points that only count with call syntax — the bare words are
+/// everyday identifiers.
+const std::set<std::string>& determinism_call_sources() {
+  static const std::set<std::string> kCalls = {
+      "rand", "srand", "drand48", "lrand48", "random", "time", "clock",
+  };
+  return kCalls;
 }
 
-void check_determinism(const std::string& stripped, const Suppressions& sup,
-                       std::vector<Finding>* out) {
-  scan_lines(stripped, determinism_regex(), sup, "determinism",
-             "global RNG / wall-clock call in simulation code; thread a "
-             "seeded tracon::Rng or simulated time through instead",
-             out);
+/// Entry points where the bare identifier is already damning.
+const std::set<std::string>& determinism_bare_sources() {
+  static const std::set<std::string> kBare = {
+      "random_device", "system_clock", "steady_clock",
+      "high_resolution_clock", "gettimeofday", "clock_gettime",
+      "localtime", "gmtime", "timespec_get", "ctime", "asctime",
+      "mktime", "strftime", "difftime",
+  };
+  return kBare;
+}
+
+/// Lines (1-based, sorted, unique) holding an RNG/wall-clock use.
+std::vector<std::size_t> determinism_hit_lines(
+    const analyze::TokenStream& ts) {
+  using analyze::TokKind;
+  using analyze::Token;
+  std::set<std::size_t> lines;
+  const std::vector<Token>& toks = ts.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    const Token* prev = i > 0 ? &toks[i - 1] : nullptr;
+    const Token* next = i + 1 < toks.size() ? &toks[i + 1] : nullptr;
+    const bool member_access = prev && prev->kind == TokKind::kPunct &&
+                               (prev->text == "." || prev->text == "->");
+    if (member_access) continue;
+    if (determinism_bare_sources().count(t.text)) {
+      lines.insert(t.line);
+      continue;
+    }
+    // `double clock();` declares a method; an identifier directly
+    // before (other than `return`) makes this a declarator, not a call.
+    const bool declarator =
+        prev && prev->kind == TokKind::kIdentifier && prev->text != "return";
+    if (determinism_call_sources().count(t.text) && !declarator && next &&
+        next->kind == TokKind::kPunct && next->text == "(") {
+      lines.insert(t.line);
+    }
+  }
+  return {lines.begin(), lines.end()};
+}
+
+void check_determinism(const analyze::TokenStream& ts,
+                       const Suppressions& sup, std::vector<Finding>* out) {
+  for (std::size_t line : determinism_hit_lines(ts)) {
+    if (sup.allows("determinism", line)) continue;
+    out->push_back({sup.rel_path(), line, "determinism",
+                    "global RNG / wall-clock call in simulation code; "
+                    "thread a seeded tracon::Rng or simulated time through "
+                    "instead"});
+  }
 }
 
 // --- unordered-output ------------------------------------------------------
@@ -119,22 +171,45 @@ void check_unordered(const std::string& stripped, const Suppressions& sup,
 
 // --- float-eq --------------------------------------------------------------
 
-const std::regex& float_eq_regex() {
-  // A floating-point literal on either side of ==/!=. Integer literals
-  // (slot counts, iteration indices) are fine; anything with a decimal
-  // point or exponent is not.
-  static const std::regex re(
-      R"((==|!=)\s*[-+]?(\d+\.\d*|\.\d+|\d+[eE][-+]?\d+)([eE][-+]?\d+)?f?)"
-      R"(|[-+]?(\d+\.\d*|\.\d+|\d+[eE][-+]?\d+)([eE][-+]?\d+)?f?\s*(==|!=))");
-  return re;
+/// A floating-point literal: decimal point or decimal exponent. Hex
+/// literals (0x1E) are integers no matter what letters they contain;
+/// plain integers (slot counts, iteration indices) are fine.
+bool is_float_literal(const analyze::Token& t) {
+  if (t.kind != analyze::TokKind::kNumber) return false;
+  const std::string& s = t.text;
+  if (s.size() > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    return false;
+  }
+  if (s.find('.') != std::string::npos) return true;
+  return s.find('e') != std::string::npos ||
+         s.find('E') != std::string::npos;
 }
 
-void check_float_eq(const std::string& stripped, const Suppressions& sup,
+void check_float_eq(const analyze::TokenStream& ts, const Suppressions& sup,
                     std::vector<Finding>* out) {
-  scan_lines(stripped, float_eq_regex(), sup, "float-eq",
-             "raw ==/!= against a floating-point literal; compare against "
-             "a tolerance or restructure the branch",
-             out);
+  using analyze::TokKind;
+  using analyze::Token;
+  const std::vector<Token>& toks = ts.tokens;
+  std::set<std::size_t> lines;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct || (t.text != "==" && t.text != "!=")) {
+      continue;
+    }
+    if (i > 0 && is_float_literal(toks[i - 1])) lines.insert(t.line);
+    std::size_t r = i + 1;
+    if (r < toks.size() && toks[r].kind == TokKind::kPunct &&
+        (toks[r].text == "-" || toks[r].text == "+")) {
+      ++r;
+    }
+    if (r < toks.size() && is_float_literal(toks[r])) lines.insert(t.line);
+  }
+  for (std::size_t line : lines) {
+    if (sup.allows("float-eq", line)) continue;
+    out->push_back({sup.rel_path(), line, "float-eq",
+                    "raw ==/!= against a floating-point literal; compare "
+                    "against a tolerance or restructure the branch"});
+  }
 }
 
 // --- iostream --------------------------------------------------------------
@@ -473,6 +548,9 @@ std::vector<Finding> lint_content(const std::string& rel_path,
   if (!is_header && !is_source) return out;
 
   const std::string stripped = strip_comments_and_strings(content);
+  // determinism and float-eq run on the semantic token stream shared
+  // with tracon_analyze; the line-regex rules still use the stripper.
+  const analyze::TokenStream ts = analyze::tokenize(content);
   const Suppressions sup(content, rel_path);
 
   // src/obs is deterministic too, with one sanctioned exception: the
@@ -488,7 +566,7 @@ std::vector<Finding> lint_content(const std::string& rel_path,
        starts_with(rel_path, "src/sched/") ||
        starts_with(rel_path, "src/obs/") || serialization_dir) &&
       !obs_clock_exempt) {
-    check_determinism(stripped, sup, &out);
+    check_determinism(ts, sup, &out);
   }
   if (serialization_dir) {
     check_unordered(stripped, sup, &out);
@@ -502,7 +580,7 @@ std::vector<Finding> lint_content(const std::string& rel_path,
   }
   check_metric_name(content, stripped, sup, &out);
   if (!starts_with(rel_path, "src/stats/")) {
-    check_float_eq(stripped, sup, &out);
+    check_float_eq(ts, sup, &out);
   }
   if (rel_path != "src/util/log.cpp" && rel_path != "src/util/log.hpp") {
     check_iostream(stripped, sup, &out);
@@ -547,6 +625,31 @@ std::vector<Finding> lint_tree(const std::filesystem::path& root) {
 std::string format(const Finding& f) {
   return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
          f.message;
+}
+
+const std::vector<RuleDoc>& rule_docs() {
+  static const std::vector<RuleDoc> kDocs = {
+      {"determinism",
+       "no RNG/wall-clock calls in sim, virt, sched, obs, replay, "
+       "runstore (except the scope-timer profiler)"},
+      {"unordered-output",
+       "no std::unordered_* in replay/runstore (serialized bytes must "
+       "not depend on hash order)"},
+      {"float-eq",
+       "no ==/!= against floating-point literals outside src/stats"},
+      {"iostream", "library code logs through util/log, not iostream"},
+      {"pragma-once", "headers open with #pragma once"},
+      {"include-order",
+       "own header first, then <system>, then \"project\", each sorted"},
+      {"require-guard",
+       "argument-taking constructors validate with TRACON_REQUIRE"},
+      {"metric-name",
+       "metric/scope/event name literals are dotted snake_case paths"},
+      {"raw-thread",
+       "raw threading primitives quarantined to src/util/, "
+       "src/sim/shard_*, and src/obs/scope_timer"},
+  };
+  return kDocs;
 }
 
 }  // namespace tracon::lint

@@ -54,6 +54,15 @@ struct Finding {
   std::string message;
 };
 
+struct RuleDoc {
+  std::string name;
+  std::string summary;
+};
+
+/// Every rule this linter knows, in the order they are documented
+/// above. Drives `tracon_lint --list-rules`.
+const std::vector<RuleDoc>& rule_docs();
+
 /// Replaces comment bodies and string/char literal contents with
 /// spaces, preserving line structure, so rules never fire on prose.
 std::string strip_comments_and_strings(const std::string& src);

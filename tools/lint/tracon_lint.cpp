@@ -1,6 +1,6 @@
 // tracon_lint: project-specific convention checker.
 //
-// Usage: tracon_lint [REPO_ROOT]
+// Usage: tracon_lint [REPO_ROOT | --list-rules]
 //
 // Scans REPO_ROOT/src (default: the current directory) with the rules
 // in lint_rules.hpp and prints one compiler-style diagnostic per
@@ -22,6 +22,12 @@ int main(int argc, char** argv) {
   }
   if (argc == 2) {
     const std::string arg = argv[1];
+    if (arg == "--list-rules") {
+      for (const tracon::lint::RuleDoc& doc : tracon::lint::rule_docs()) {
+        std::printf("%s  %s\n", doc.name.c_str(), doc.summary.c_str());
+      }
+      return 0;
+    }
     if (arg == "-h" || arg == "--help") {
       std::printf(
           "usage: %s [REPO_ROOT]\n"
@@ -39,8 +45,12 @@ int main(int argc, char** argv) {
           "  require-guard  argument-taking constructors use TRACON_REQUIRE\n"
           "  metric-name    metric/scope/event literals are dotted\n"
           "                 snake_case paths\n"
+          "  raw-thread     threading primitives quarantined to util,\n"
+          "                 sim/shard_*, obs/scope_timer\n"
           "Suppress one line with `tracon-lint: allow(<rule>)`, a file\n"
-          "with `tracon-lint: allow-file(<rule>)`.\n",
+          "with `tracon-lint: allow-file(<rule>)`.\n"
+          "`%s --list-rules` prints the machine-readable catalog.\n",
+          argv[0],
           argv[0]);
       return 0;
     }

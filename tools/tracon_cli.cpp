@@ -1008,6 +1008,7 @@ int cmd_hierarchy(const ArgParser& args) {
   cfg.routing = args.get("routing", "rr") == "random"
                     ? sim::Routing::kRandom
                     : sim::Routing::kRoundRobin;
+  cfg.threads = static_cast<std::size_t>(args.get_int("threads", 1));
 
   auto outcome = sim::run_hierarchical(
       sys.perf_table(),
