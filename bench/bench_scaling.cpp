@@ -11,6 +11,10 @@
 //      fallback) and once through TablePredictor's vectorized batch
 //      path, isolating what predict_*_batch buys the scheduler's
 //      candidate scan.
+//   3. decision-log overhead — the 4096-machine run repeated with
+//      telemetry attached and decision recording off vs on, measuring
+//      what the provenance stream (DESIGN.md section 6g) costs when
+//      enabled (it is a no-op when off).
 //
 // When TRACON_BENCH_OUT names a directory, a machine-readable summary
 // is written to $TRACON_BENCH_OUT/BENCH_scaling.json (CI consumes it;
@@ -18,6 +22,7 @@
 #include <chrono>
 
 #include "bench_common.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/shard_scenario.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -103,6 +108,43 @@ ScalingRow run_once(std::size_t machines, std::size_t threads) {
   return row;
 }
 
+struct DecisionRow {
+  double wall_s = 0.0;
+  std::size_t events = 0;  ///< decision + outcome records produced
+};
+
+/// Decision-log overhead probe: the 4096-machine sweep configuration
+/// re-run with telemetry attached, once with decision recording off
+/// (the gate makes every record call a no-op) and once on.
+DecisionRow run_decisions(std::size_t machines, std::size_t threads,
+                          bool decisions) {
+  const sched::TablePredictor& oracle = [] {
+    static sched::TablePredictor p = table().oracle_predictor();
+    return p;
+  }();
+  sim::ShardedConfig cfg;
+  cfg.machines = machines;
+  cfg.lambda_per_min = static_cast<double>(machines);
+  cfg.duration_s = 1'800.0;
+  cfg.seed = 7;
+  cfg.threads = threads;
+  obs::Telemetry tel;
+  tel.decisions.set_enabled(decisions);
+  cfg.telemetry = &tel;
+  auto start = std::chrono::steady_clock::now();
+  sim::run_dynamic_sharded(
+      table(),
+      [&](std::size_t) {
+        return std::make_unique<sched::MibsScheduler>(
+            oracle, sched::Objective::kRuntime, 8, 60.0);
+      },
+      cfg);
+  DecisionRow row;
+  row.wall_s = seconds_since(start);
+  row.events = tel.decisions.size();
+  return row;
+}
+
 /// Microbench: repeated MIBS rounds with a 256-task Min-Min window over
 /// a half-occupied cluster; returns microseconds per scheduling round.
 /// The wide window (vs the paper's MIBS_8) stresses the candidate-2
@@ -178,6 +220,22 @@ int main() {
   micro.add_row({"batched", fmt(batched_us, 1), fmt(micro_speedup, 2)});
   micro.print(std::cout);
 
+  const std::size_t dec_machines = 4'096;
+  const std::size_t dec_threads = 4;
+  std::printf("\ndecision-log overhead (%zu machines, %zu threads):\n",
+              dec_machines, dec_threads);
+  DecisionRow dec_off = run_decisions(dec_machines, dec_threads, false);
+  DecisionRow dec_on = run_decisions(dec_machines, dec_threads, true);
+  double dec_overhead_pct =
+      dec_off.wall_s > 0.0 ? (dec_on.wall_s / dec_off.wall_s - 1.0) * 100.0
+                           : 0.0;
+  TableWriter decisions({"recording", "wall_s", "overhead_%", "events"});
+  decisions.add_row({"off", fmt(dec_off.wall_s, 2), "0.00",
+                     std::to_string(dec_off.events)});
+  decisions.add_row({"on", fmt(dec_on.wall_s, 2), fmt(dec_overhead_pct, 2),
+                     std::to_string(dec_on.events)});
+  decisions.print(std::cout);
+
   const char* out_dir = std::getenv("TRACON_BENCH_OUT");
   if (out_dir != nullptr && *out_dir != '\0') {
     std::string path = std::string(out_dir) + "/BENCH_scaling.json";
@@ -201,7 +259,13 @@ int main() {
     out << "  ],\n  \"mibs_batch_microbench\": {\"scalar_us_per_round\": "
         << fmt(scalar_us, 2)
         << ", \"batched_us_per_round\": " << fmt(batched_us, 2)
-        << ", \"speedup\": " << fmt(micro_speedup, 3) << "}\n}\n";
+        << ", \"speedup\": " << fmt(micro_speedup, 3) << "},\n"
+        << "  \"decision_log\": {\"machines\": " << dec_machines
+        << ", \"threads\": " << dec_threads
+        << ", \"disabled_wall_s\": " << fmt(dec_off.wall_s, 4)
+        << ", \"enabled_wall_s\": " << fmt(dec_on.wall_s, 4)
+        << ", \"overhead_pct\": " << fmt(dec_overhead_pct, 2)
+        << ", \"events\": " << dec_on.events << "}\n}\n";
     std::printf("\nwrote %s\n", path.c_str());
   }
   return 0;

@@ -1,0 +1,312 @@
+#include "obs/decision_log.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/jsonl.hpp"
+#include "util/error.hpp"
+
+namespace tracon::obs {
+
+namespace {
+
+// An empty machine is spelled as the string "empty" so a candidate's
+// co-runner column is never confused with app class 0.
+std::string neighbour_json(const std::optional<std::size_t>& neighbour) {
+  if (!neighbour.has_value()) return "\"empty\"";
+  return std::to_string(*neighbour);
+}
+
+std::string number_array(const std::vector<double>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += json_number(values[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string string_array(const std::vector<std::string>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += '"';
+    out += json_escape(values[i]);
+    out += '"';
+  }
+  out += "]";
+  return out;
+}
+
+std::string header_line(int version,
+                        const std::map<std::string, std::string>& fingerprint) {
+  JsonLineWriter stamp;
+  for (const auto& [key, value] : fingerprint) stamp.field(key, value);
+  return JsonLineWriter()
+      .field("schema", kDecisionLogSchema)
+      .field("version", version)
+      .raw_field("fingerprint", stamp.str())
+      .str();
+}
+
+// Shared by DecisionLog::write and write_decision_log so the recorded
+// stream and a re-emitted merged stream are byte-compatible.
+std::string event_line(const DecisionEvent& e) {
+  JsonLineWriter w;
+  if (e.kind == DecisionEvent::Kind::kDecision) {
+    w.field("kind", "decision");
+    w.field("task", e.task);
+    w.field("t", e.time_s);
+    w.field("app", static_cast<std::uint64_t>(e.app));
+    w.field("scheduler", e.scheduler);
+    w.field("objective", e.objective);
+    w.raw_field("families", string_array(e.families));
+    w.raw_field("weights", number_array(e.weights));
+    std::string candidates = "[";
+    for (std::size_t i = 0; i < e.candidates.size(); ++i) {
+      const DecisionCandidate& c = e.candidates[i];
+      if (i != 0) candidates += ", ";
+      candidates += JsonLineWriter()
+                        .raw_field("neighbour", neighbour_json(c.neighbour))
+                        .field("score", c.score)
+                        .raw_field("by_family", number_array(c.by_family))
+                        .str();
+    }
+    candidates += "]";
+    w.raw_field("candidates", candidates);
+    w.field("chosen", static_cast<std::uint64_t>(e.chosen));
+    w.field("margin", e.margin);
+    w.field("predicted_runtime_s", e.predicted_runtime_s);
+    w.field("predicted_iops", e.predicted_iops);
+    if (e.machine != DecisionEvent::kNoMachine) {
+      w.field("machine", static_cast<std::uint64_t>(e.machine));
+    }
+  } else {
+    w.field("kind", "outcome");
+    w.field("task", e.task);
+    w.field("t", e.time_s);
+    w.field("app", static_cast<std::uint64_t>(e.app));
+    w.raw_field("neighbour", neighbour_json(e.neighbour));
+    w.field("runtime_s", e.runtime_s);
+    w.field("iops", e.iops);
+    w.field("solo_runtime_s", e.solo_runtime_s);
+    if (e.machine != DecisionEvent::kNoMachine) {
+      w.field("machine", static_cast<std::uint64_t>(e.machine));
+    }
+  }
+  return w.str();
+}
+
+double number_field(const JsonValue& obj, const std::string& key,
+                    const char* what) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) {
+    throw std::invalid_argument(std::string("decision log ") + what +
+                                " lacks numeric \"" + key + "\"");
+  }
+  return v->as_number();
+}
+
+std::string string_field(const JsonValue& obj, const std::string& key,
+                         const char* what) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_string()) {
+    throw std::invalid_argument(std::string("decision log ") + what +
+                                " lacks string \"" + key + "\"");
+  }
+  return v->as_string();
+}
+
+std::optional<std::size_t> neighbour_field(const JsonValue& obj,
+                                           const char* what) {
+  const JsonValue* v = obj.find("neighbour");
+  if (v != nullptr && v->is_string() && v->as_string() == "empty") {
+    return std::nullopt;
+  }
+  if (v != nullptr && v->is_number()) {
+    return static_cast<std::size_t>(v->as_number());
+  }
+  throw std::invalid_argument(std::string("decision log ") + what +
+                              " \"neighbour\" must be \"empty\" or a number");
+}
+
+std::vector<double> number_array_field(const JsonValue& obj,
+                                       const std::string& key,
+                                       const char* what) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_array()) {
+    throw std::invalid_argument(std::string("decision log ") + what +
+                                " lacks array \"" + key + "\"");
+  }
+  std::vector<double> out;
+  out.reserve(v->as_array().size());
+  for (const auto& entry : v->as_array()) {
+    if (!entry->is_number()) {
+      throw std::invalid_argument("decision log " + key +
+                                  " entry is not a number");
+    }
+    out.push_back(entry->as_number());
+  }
+  return out;
+}
+
+DecisionEvent parse_event(const JsonValue& obj) {
+  DecisionEvent e;
+  const std::string kind = string_field(obj, "kind", "record");
+  e.task = static_cast<std::uint64_t>(number_field(obj, "task", "record"));
+  e.time_s = number_field(obj, "t", "record");
+  e.app = static_cast<std::size_t>(number_field(obj, "app", "record"));
+  if (const JsonValue* m = obj.find("machine"); m != nullptr) {
+    if (!m->is_number()) {
+      throw std::invalid_argument("decision log \"machine\" is not a number");
+    }
+    e.machine = static_cast<std::size_t>(m->as_number());
+  }
+  if (kind == "decision") {
+    e.kind = DecisionEvent::Kind::kDecision;
+    e.scheduler = string_field(obj, "scheduler", "decision");
+    e.objective = string_field(obj, "objective", "decision");
+    const JsonValue* families = obj.find("families");
+    if (families == nullptr || !families->is_array()) {
+      throw std::invalid_argument("decision record lacks \"families\" array");
+    }
+    for (const auto& name : families->as_array()) {
+      if (!name->is_string()) {
+        throw std::invalid_argument("decision family name is not a string");
+      }
+      e.families.push_back(name->as_string());
+    }
+    e.weights = number_array_field(obj, "weights", "decision");
+    const JsonValue* candidates = obj.find("candidates");
+    if (candidates == nullptr || !candidates->is_array()) {
+      throw std::invalid_argument(
+          "decision record lacks \"candidates\" array");
+    }
+    for (const auto& entry : candidates->as_array()) {
+      DecisionCandidate c;
+      c.neighbour = neighbour_field(*entry, "candidate");
+      c.score = number_field(*entry, "score", "candidate");
+      c.by_family = number_array_field(*entry, "by_family", "candidate");
+      e.candidates.push_back(std::move(c));
+    }
+    e.chosen =
+        static_cast<std::size_t>(number_field(obj, "chosen", "decision"));
+    if (e.chosen >= e.candidates.size()) {
+      throw std::invalid_argument(
+          "decision record \"chosen\" is out of candidate range");
+    }
+    e.margin = number_field(obj, "margin", "decision");
+    e.predicted_runtime_s =
+        number_field(obj, "predicted_runtime_s", "decision");
+    e.predicted_iops = number_field(obj, "predicted_iops", "decision");
+  } else if (kind == "outcome") {
+    e.kind = DecisionEvent::Kind::kOutcome;
+    e.neighbour = neighbour_field(obj, "outcome");
+    e.runtime_s = number_field(obj, "runtime_s", "outcome");
+    e.iops = number_field(obj, "iops", "outcome");
+    e.solo_runtime_s = number_field(obj, "solo_runtime_s", "outcome");
+  } else {
+    throw std::invalid_argument("decision log record has unknown kind \"" +
+                                kind + "\"");
+  }
+  return e;
+}
+
+}  // namespace
+
+void DecisionLog::record_decision(DecisionEvent event) {
+  if (!enabled_) return;
+  TRACON_REQUIRE(event.chosen < event.candidates.size(),
+                 "decision's chosen index must address a scanned candidate");
+  event.kind = DecisionEvent::Kind::kDecision;
+  decision_index_[event.task] = events_.size();
+  events_.push_back(std::move(event));
+}
+
+void DecisionLog::bind_machine(std::uint64_t task, std::size_t machine) {
+  if (!enabled_) return;
+  auto it = decision_index_.find(task);
+  if (it == decision_index_.end()) return;
+  events_[it->second].machine = machine;
+}
+
+void DecisionLog::record_outcome(DecisionEvent event) {
+  if (!enabled_) return;
+  event.kind = DecisionEvent::Kind::kOutcome;
+  events_.push_back(std::move(event));
+}
+
+void DecisionLog::append(DecisionEvent event) {
+  events_.push_back(std::move(event));
+}
+
+void DecisionLog::set_fingerprint(const std::string& key,
+                                  const std::string& value) {
+  fingerprint_[key] = value;
+}
+
+void DecisionLog::write(std::ostream& os) const {
+  os << header_line(kJsonlSchemaVersion, fingerprint_) << "\n";
+  for (const DecisionEvent& e : events_) os << event_line(e) << "\n";
+}
+
+std::string DecisionLog::str() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+DecisionDoc parse_decision_log(std::istream& in) {
+  DecisionDoc doc;
+  std::string line;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue obj = parse_json(line);
+    if (!have_header) {
+      doc.version = require_schema(obj, kDecisionLogSchema);
+      const JsonValue* fingerprint = obj.find("fingerprint");
+      if (fingerprint == nullptr || !fingerprint->is_object()) {
+        throw std::invalid_argument(
+            "decision log header lacks \"fingerprint\" object");
+      }
+      for (const auto& [key, value] : fingerprint->as_object()) {
+        if (!value->is_string()) {
+          throw std::invalid_argument("decision log fingerprint entry \"" +
+                                      key + "\" is not a string");
+        }
+        doc.fingerprint[key] = value->as_string();
+      }
+      have_header = true;
+      continue;
+    }
+    doc.events.push_back(parse_event(obj));
+  }
+  if (!have_header) {
+    throw std::invalid_argument("decision log document has no header line");
+  }
+  return doc;
+}
+
+DecisionDoc parse_decision_log(const std::string& text) {
+  std::istringstream in(text);
+  return parse_decision_log(in);
+}
+
+void write_decision_log(std::ostream& os, const DecisionDoc& doc) {
+  os << header_line(doc.version, doc.fingerprint) << "\n";
+  for (const DecisionEvent& e : doc.events) os << event_line(e) << "\n";
+}
+
+std::string decision_log_str(const DecisionDoc& doc) {
+  std::ostringstream os;
+  write_decision_log(os, doc);
+  return os.str();
+}
+
+}  // namespace tracon::obs

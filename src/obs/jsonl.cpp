@@ -34,6 +34,12 @@ std::string json_escape(std::string_view raw) {
   return out;
 }
 
+std::string json_number(double value) {
+  char buf[32];
+  auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, result.ptr);
+}
+
 void JsonLineWriter::key(std::string_view k) {
   if (!first_) body_ += ", ";
   first_ = false;

@@ -29,6 +29,11 @@ inline constexpr int kJsonlSchemaVersion = 1;
 /// backslashes, control characters).
 std::string json_escape(std::string_view raw);
 
+/// Formats `value` exactly as JsonLineWriter::field(key, double) does:
+/// shortest round-trip std::to_chars. For building nested JSON arrays
+/// that must stay byte-compatible with the scalar field writer.
+std::string json_number(double value);
+
 /// Builds one JSON object on a single line, fields in call order.
 class JsonLineWriter {
  public:

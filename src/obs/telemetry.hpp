@@ -2,11 +2,15 @@
 //
 // Components take a nullable `obs::Telemetry*`; nullptr means telemetry
 // is disabled and every recording site reduces to a pointer test. The
-// bundle owns both sinks so one flag at the CLI wires everything:
+// bundle owns the sinks so one flag at the CLI wires everything:
 //   - metrics: aggregated counters/gauges/histograms (JSON/CSV export);
-//   - tracer: the per-event timeline (Chrome trace / JSONL export).
+//   - tracer: the per-event timeline (Chrome trace / JSONL export);
+//   - decisions: the placement-provenance log (opt-in via
+//     set_enabled; inert otherwise so pre-existing exports keep
+//     their exact bytes).
 #pragma once
 
+#include "obs/decision_log.hpp"
 #include "obs/event_tracer.hpp"
 #include "obs/metrics.hpp"
 
@@ -15,6 +19,7 @@ namespace tracon::obs {
 struct Telemetry {
   MetricsRegistry metrics;
   EventTracer tracer;
+  DecisionLog decisions;
 };
 
 }  // namespace tracon::obs

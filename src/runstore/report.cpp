@@ -4,6 +4,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/attribution.hpp"
 #include "obs/json.hpp"
 #include "obs/jsonl.hpp"
 #include "obs/metrics.hpp"
@@ -176,6 +177,24 @@ void diff_series(const obs::MetricsSeries& a, const obs::MetricsSeries& b,
     row.mean_div = div_sum / static_cast<double>(report->series_windows);
     report->series.push_back(std::move(row));
   }
+}
+
+void diff_decisions(const obs::AttributionReport& a,
+                    const obs::AttributionReport& b, RunReport* report) {
+  TRACON_REQUIRE(report != nullptr, "diff_decisions needs a report");
+  ReportSection section{"decisions", {}};
+  section.rows.push_back({"decisions", static_cast<double>(a.decisions),
+                          static_cast<double>(b.decisions)});
+  section.rows.push_back({"joined to outcome", static_cast<double>(a.joined),
+                          static_cast<double>(b.joined)});
+  section.rows.push_back(
+      {"mean candidate-set size", a.mean_candidates, b.mean_candidates});
+  section.rows.push_back({"mean |runtime rel error|",
+                          a.mean_abs_runtime_error,
+                          b.mean_abs_runtime_error});
+  section.rows.push_back(
+      {"mean |iops rel error|", a.mean_abs_iops_error, b.mean_abs_iops_error});
+  report->sections.push_back(std::move(section));
 }
 
 void write_report_text(std::ostream& os, const RunReport& report) {

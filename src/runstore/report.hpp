@@ -15,6 +15,7 @@
 namespace tracon::obs {
 class JsonValue;
 struct MetricsSeries;
+struct AttributionReport;
 }
 
 namespace tracon::runstore {
@@ -87,6 +88,13 @@ RunReport diff_runs(const MetricsSummary& a, const MetricsSummary& b,
 /// windows (an absent side reads as 0). Rows are name-sorted.
 void diff_series(const obs::MetricsSeries& a, const obs::MetricsSeries& b,
                  RunReport* report);
+
+/// Appends a "decisions" section comparing two runs' attribution
+/// summaries: decision/joined counts, mean candidate-set size, and
+/// mean absolute runtime/IOPS prediction error — decision quality, not
+/// just outcomes. Renders through the same generic section machinery.
+void diff_decisions(const obs::AttributionReport& a,
+                    const obs::AttributionReport& b, RunReport* report);
 
 /// Aligned text tables, one per non-empty section, preceded by the
 /// fingerprint keys on which the two runs differ.

@@ -107,18 +107,19 @@ std::string RunStore::content_id(std::string_view content) {
 std::string RunStore::add_run(const obs::MetricsRegistry& metrics,
                               const std::string& scheduler,
                               const std::string& source,
-                              const std::string& series_jsonl) {
+                              const std::string& series_jsonl,
+                              const std::string& decisions_jsonl) {
   std::ostringstream os;
   metrics.write_json(os);
   return add_run_json(os.str(), scheduler, source, metrics.fingerprint(),
-                      series_jsonl);
+                      series_jsonl, decisions_jsonl);
 }
 
 std::string RunStore::add_run_json(
     const std::string& metrics_json, const std::string& scheduler,
     const std::string& source,
     const std::map<std::string, std::string>& fingerprint,
-    const std::string& series_jsonl) {
+    const std::string& series_jsonl, const std::string& decisions_jsonl) {
   const std::string id = content_id(metrics_json);
   LoadResult existing = load();
   for (const RunRecord& r : existing.runs) {
@@ -131,6 +132,11 @@ std::string RunStore::add_run_json(
   if (!series_jsonl.empty()) {
     series_rel = "objects/" + id + ".series.jsonl";
     write_file_atomic(dir_ / series_rel, series_jsonl);
+  }
+  std::string decisions_rel;
+  if (!decisions_jsonl.empty()) {
+    decisions_rel = "objects/" + id + ".decisions.jsonl";
+    write_file_atomic(dir_ / decisions_rel, decisions_jsonl);
   }
 
   const fs::path index = dir_ / "index.jsonl";
@@ -147,6 +153,7 @@ std::string RunStore::add_run_json(
       .field("source", source)
       .field("metrics", metrics_rel);
   if (!series_rel.empty()) record.field("series", series_rel);
+  if (!decisions_rel.empty()) record.field("decisions", decisions_rel);
   record.raw_field("fingerprint", fingerprint_json(fingerprint));
   append_line_fsync(index, record.str());
   return id;
@@ -188,6 +195,10 @@ RunStore::LoadResult RunStore::load() const {
       if (const obs::JsonValue* series = obj.find("series");
           series != nullptr && series->is_string()) {
         rec.series_rel = series->as_string();
+      }
+      if (const obs::JsonValue* decisions = obj.find("decisions");
+          decisions != nullptr && decisions->is_string()) {
+        rec.decisions_rel = decisions->as_string();
       }
       if (const obs::JsonValue* fp = obj.find("fingerprint");
           fp != nullptr && fp->is_object()) {
@@ -245,6 +256,19 @@ std::string RunStore::read_series(const RunRecord& record) const {
   if (!in) {
     throw std::runtime_error("runstore: cannot open series object for run " +
                              record.id);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string RunStore::read_decisions(const RunRecord& record) const {
+  TRACON_REQUIRE(record.has_decisions(),
+                 "run stored no decision log (record with --decisions)");
+  std::ifstream in(dir_ / record.decisions_rel, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error(
+        "runstore: cannot open decisions object for run " + record.id);
   }
   std::ostringstream buf;
   buf << in.rdbuf();

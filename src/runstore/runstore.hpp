@@ -6,6 +6,7 @@
 //   <dir>/index.jsonl           header line + one record per stored run
 //   <dir>/objects/<id>.json     the run's full metrics export
 //   <dir>/objects/<id>.series.jsonl  optional windowed snapshot series
+//   <dir>/objects/<id>.decisions.jsonl  optional decision-provenance log
 //
 // Run ids are content hashes (FNV-1a 64 over the metrics JSON), so a
 // byte-identical re-run stores under the same id and storing is
@@ -40,9 +41,11 @@ struct RunRecord {
   std::string source;     ///< arrival provenance ("poisson", "trace", ...)
   std::string metrics_rel;  ///< object path relative to the store dir
   std::string series_rel;   ///< snapshot-series path; empty when none
+  std::string decisions_rel;  ///< decision-log path; empty when none
   std::map<std::string, std::string> fingerprint;  ///< config fingerprint
 
   bool has_series() const { return !series_rel.empty(); }
+  bool has_decisions() const { return !decisions_rel.empty(); }
 };
 
 class RunStore {
@@ -56,11 +59,14 @@ class RunStore {
   /// already stored returns the existing id without a second record
   /// (the first store's series, if any, wins). A non-empty
   /// `series_jsonl` (a SnapshotSeries document) is stored alongside
-  /// the metrics under objects/<id>.series.jsonl.
+  /// the metrics under objects/<id>.series.jsonl; a non-empty
+  /// `decisions_jsonl` (a DecisionLog document) under
+  /// objects/<id>.decisions.jsonl.
   std::string add_run(const obs::MetricsRegistry& metrics,
                       const std::string& scheduler,
                       const std::string& source,
-                      const std::string& series_jsonl = "");
+                      const std::string& series_jsonl = "",
+                      const std::string& decisions_jsonl = "");
 
   /// Same, from a pre-serialized metrics JSON document.
   std::string add_run_json(const std::string& metrics_json,
@@ -68,7 +74,8 @@ class RunStore {
                            const std::string& source,
                            const std::map<std::string, std::string>&
                                fingerprint,
-                           const std::string& series_jsonl = "");
+                           const std::string& series_jsonl = "",
+                           const std::string& decisions_jsonl = "");
 
   struct LoadResult {
     std::vector<RunRecord> runs;  ///< index order, deduplicated by id
@@ -90,6 +97,10 @@ class RunStore {
   /// The stored snapshot-series document for `record`; throws
   /// std::invalid_argument when the run stored none.
   std::string read_series(const RunRecord& record) const;
+
+  /// The stored decision-log document for `record`; throws
+  /// std::invalid_argument when the run stored none.
+  std::string read_decisions(const RunRecord& record) const;
 
   const std::filesystem::path& dir() const { return dir_; }
 

@@ -1,0 +1,129 @@
+#include "sched/decision_probe.hpp"
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tracon::sched {
+
+namespace {
+
+// Distance of the chosen score from the best alternative, signed so
+// that a policy override (beneficial-join filter rejecting the raw
+// argmin) shows up as a negative margin. Zero with a single candidate.
+double winning_margin(const std::vector<double>& scores, std::size_t chosen,
+                      Objective objective) {
+  bool have_other = false;
+  double best_other = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (i == chosen) continue;
+    const bool better =
+        !have_other || (objective == Objective::kRuntime
+                            ? scores[i] < best_other
+                            : scores[i] > best_other);
+    if (better) best_other = scores[i];
+    have_other = true;
+  }
+  if (!have_other) return 0.0;
+  return objective == Objective::kRuntime ? best_other - scores[chosen]
+                                          : scores[chosen] - best_other;
+}
+
+}  // namespace
+
+void record_decisions(obs::Telemetry* telemetry,
+                      std::string_view scheduler_name, double now_s,
+                      std::span<const QueuedTask> queue,
+                      const ClusterCounts& cluster,
+                      std::span<const Placement> placements,
+                      const Predictor& predictor, Objective objective) {
+  if (telemetry == nullptr || !telemetry->decisions.enabled()) return;
+  if (placements.empty()) return;
+
+  const auto* ensemble =
+      dynamic_cast<const ConfidenceWeightedPredictor*>(&predictor);
+
+  std::vector<std::string> families;
+  std::vector<double> weights;
+  if (ensemble != nullptr) {
+    for (std::size_t f = 0; f < ensemble->num_families(); ++f) {
+      families.push_back(ensemble->family_name(f));
+      weights.push_back(objective == Objective::kRuntime
+                            ? ensemble->runtime_weight(f)
+                            : ensemble->iops_weight(f));
+    }
+  } else {
+    families.emplace_back("model");
+    weights.push_back(1.0);
+  }
+
+  // Replay the round: each placement's candidate set is enumerated
+  // against the cluster state *after* the placements before it, which
+  // is exactly what the scheduler scanned when committing it.
+  ClusterCounts state = cluster;
+  std::vector<std::optional<std::size_t>> slots;
+  std::vector<PredictQuery> queries;
+  std::vector<double> scores;
+  for (const Placement& p : placements) {
+    TRACON_REQUIRE(p.queue_pos < queue.size(),
+                   "placement addresses a task outside the queue snapshot");
+    const QueuedTask& task = queue[p.queue_pos];
+
+    slots.clear();
+    state.append_candidates(true, &slots);
+    queries.clear();
+    for (const std::optional<std::size_t>& slot : slots) {
+      queries.push_back({task.app, slot});
+    }
+    scores.assign(slots.size(), 0.0);
+    if (objective == Objective::kRuntime) {
+      predictor.predict_runtime_batch(queries, scores);
+    } else {
+      predictor.predict_iops_batch(queries, scores);
+    }
+
+    obs::DecisionEvent event;
+    event.task = task.id;
+    event.time_s = now_s;
+    event.app = task.app;
+    event.scheduler = std::string(scheduler_name);
+    event.objective = objective == Objective::kRuntime ? "runtime" : "iops";
+    event.families = families;
+    event.weights = weights;
+
+    std::size_t chosen = slots.size();
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      obs::DecisionCandidate candidate;
+      candidate.neighbour = slots[i];
+      candidate.score = scores[i];
+      if (ensemble != nullptr) {
+        for (std::size_t f = 0; f < ensemble->num_families(); ++f) {
+          const Predictor& member = ensemble->family_predictor(f);
+          candidate.by_family.push_back(
+              objective == Objective::kRuntime
+                  ? member.predict_runtime(task.app, slots[i])
+                  : member.predict_iops(task.app, slots[i]));
+        }
+      } else {
+        candidate.by_family.push_back(scores[i]);
+      }
+      if (slots[i] == p.neighbour) chosen = i;
+      event.candidates.push_back(std::move(candidate));
+    }
+    TRACON_REQUIRE(chosen < slots.size(),
+                   "committed placement's slot missing from candidate scan");
+    event.chosen = chosen;
+    event.margin = winning_margin(scores, chosen, objective);
+    event.predicted_runtime_s =
+        predictor.predict_runtime(task.app, p.neighbour);
+    event.predicted_iops = predictor.predict_iops(task.app, p.neighbour);
+
+    telemetry->decisions.record_decision(std::move(event));
+    state.place(task.app, p.neighbour);
+  }
+}
+
+}  // namespace tracon::sched

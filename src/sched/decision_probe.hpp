@@ -1,0 +1,35 @@
+// Decision-log probe shared by MIOS/MIBS/MIX: replays a round's
+// committed placements against the pre-round cluster view and records,
+// for every placement, the full candidate set the scheduler scanned —
+// ensemble score and per-family prediction per candidate, the active
+// confidence weights, the chosen slot, and its winning margin.
+//
+// The probe only issues const Predictor calls (the same table lookups
+// the scheduler itself made, under stable in-round weights), so
+// recording perturbs nothing: with the log disabled it returns before
+// touching the predictor, and with it enabled the replayed predictions
+// are bit-identical to the values the scheduler acted on.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "sched/predictor.hpp"
+#include "sched/scheduler.hpp"
+
+namespace tracon::sched {
+
+/// Records one decision event per placement into
+/// `telemetry->decisions`. `cluster` must be the pre-round view the
+/// scheduler was invoked with; placements are re-applied in order so
+/// each event's candidate set matches what the scheduler saw when it
+/// committed that placement. No-op when telemetry is detached, the
+/// decision log is disabled, or no placement was made.
+void record_decisions(obs::Telemetry* telemetry,
+                      std::string_view scheduler_name, double now_s,
+                      std::span<const QueuedTask> queue,
+                      const ClusterCounts& cluster,
+                      std::span<const Placement> placements,
+                      const Predictor& predictor, Objective objective);
+
+}  // namespace tracon::sched

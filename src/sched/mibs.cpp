@@ -5,6 +5,7 @@
 
 #include "obs/kvlog.hpp"
 #include "obs/scope_timer.hpp"
+#include "sched/decision_probe.hpp"
 #include "sched/mios.hpp"
 #include "util/error.hpp"
 
@@ -133,6 +134,8 @@ std::vector<Placement> MibsScheduler::schedule(
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   BatchOutcome outcome = mibs_batch(queue.first(window), order, cluster,
                                     predictor_, objective_, policy_);
+  record_decisions(telemetry(), name(), ctx.now_s, queue, cluster,
+                   outcome.placements, predictor_, objective_);
   note_round(queue.size(), outcome.placements.size(),
              objective_ == Objective::kRuntime ? outcome.predicted_runtime
                                                : outcome.predicted_iops,

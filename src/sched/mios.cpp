@@ -3,6 +3,7 @@
 #include <limits>
 #include <vector>
 
+#include "sched/decision_probe.hpp"
 #include "util/error.hpp"
 
 namespace tracon::sched {
@@ -147,6 +148,8 @@ std::vector<Placement> MiosScheduler::schedule(
     state.place(queue[pos].app, *slot);
     out.push_back({pos, *slot});
   }
+  record_decisions(telemetry(), name(), ctx.now_s, queue, cluster, out,
+                   predictor_, objective_);
   note_round(queue.size(), out.size(), predicted_cost, ctx.now_s);
   return out;
 }

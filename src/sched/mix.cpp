@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "obs/scope_timer.hpp"
+#include "sched/decision_probe.hpp"
 #include "util/error.hpp"
 
 namespace tracon::sched {
@@ -76,6 +77,8 @@ std::vector<Placement> MixScheduler::schedule(
       best_placements = std::move(outcome.placements);
     }
   }
+  record_decisions(telemetry(), name(), ctx.now_s, queue, cluster,
+                   best_placements, predictor_, objective_);
   note_round(queue.size(), best_placements.size(), best_cost, ctx.now_s);
   return best_placements;
 }

@@ -247,6 +247,12 @@ const std::string& ConfidenceWeightedPredictor::family_name(
   return families_[family].name;
 }
 
+const Predictor& ConfidenceWeightedPredictor::family_predictor(
+    std::size_t family) const {
+  TRACON_REQUIRE(family < families_.size(), "family index out of range");
+  return *families_[family].predictor;
+}
+
 const obs::WindowedAccuracy& ConfidenceWeightedPredictor::runtime_window(
     std::size_t family) const {
   TRACON_REQUIRE(family < runtime_windows_.size(),

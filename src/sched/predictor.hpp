@@ -179,6 +179,10 @@ class ConfidenceWeightedPredictor final : public Predictor,
 
   std::size_t num_families() const { return families_.size(); }
   const std::string& family_name(std::size_t family) const;
+  /// The underlying per-family predictor — the decision-log probe
+  /// replays each candidate through it to record what every family
+  /// would have predicted alongside the blended score.
+  const Predictor& family_predictor(std::size_t family) const;
   const obs::WindowedAccuracy& runtime_window(std::size_t family) const;
   const obs::WindowedAccuracy& iops_window(std::size_t family) const;
   /// Current blend weights (normalized; refreshed if stale).

@@ -6,6 +6,7 @@
 // completions, and requested wake-ups (batch timeouts).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
@@ -25,6 +26,11 @@ std::string objective_name(Objective o);
 struct QueuedTask {
   std::size_t app = 0;      ///< application class
   double arrival_s = 0.0;   ///< arrival time (for batch timeouts)
+  /// Stable task identity (the dynamic scenario uses the arrival
+  /// index): joins the decision log's placement records to the task's
+  /// eventual completion. Purely observational — no scheduler keys a
+  /// decision off it.
+  std::uint64_t id = 0;
 };
 
 struct ScheduleContext {

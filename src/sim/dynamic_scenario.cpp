@@ -1,8 +1,10 @@
 #include "sim/dynamic_scenario.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "obs/accuracy.hpp"
@@ -25,6 +27,8 @@ struct RunningTask {
   double predicted_iops = -1.0;
   /// Neighbour class at placement time, for completion observers.
   std::optional<std::size_t> placed_neighbour;
+  /// Arrival index, joining this task's decision-log records.
+  std::uint64_t task_id = 0;
 };
 
 struct Machine {
@@ -257,6 +261,8 @@ DynamicOutcome run_dynamic(const PerfTable& table,
         t.started_s = now;
         t.last_update_s = now;
         t.placed_neighbour = p.neighbour;
+        t.task_id = queue[p.queue_pos].id;
+        if (tel != nullptr) tel->decisions.bind_machine(t.task_id, mi);
         if (cfg.accuracy_probe != nullptr) {
           t.predicted_runtime_s =
               cfg.accuracy_probe->predict_runtime(app, p.neighbour);
@@ -342,7 +348,7 @@ DynamicOutcome run_dynamic(const PerfTable& table,
         trace_event(ev.time, obs::TraceEventKind::kTaskArrival, app,
                     obs::TraceEvent::kNone, queue.size(), 0.0, 0.0);
         if (queue.size() < cfg.queue_capacity) {
-          queue.push_back({app, ev.time});
+          queue.push_back({app, ev.time, static_cast<std::uint64_t>(idx)});
           run_scheduler(ev.time);
         } else {
           ++out.dropped;  // manager queue full: task rejected
@@ -394,6 +400,18 @@ DynamicOutcome run_dynamic(const PerfTable& table,
         if (cfg.outcome_observer != nullptr) {
           cfg.outcome_observer->on_completion(departed, t->placed_neighbour,
                                               runtime, mean_iops);
+        }
+        if (tel != nullptr && tel->decisions.enabled()) {
+          obs::DecisionEvent de;
+          de.task = t->task_id;
+          de.time_s = ev.time;
+          de.app = departed;
+          de.machine = ev.machine;
+          de.neighbour = t->placed_neighbour;
+          de.runtime_s = runtime;
+          de.iops = mean_iops;
+          de.solo_runtime_s = table.solo_runtime(departed);
+          tel->decisions.record_outcome(std::move(de));
         }
         m.slot[ev.slot].reset();
         --busy_slots;

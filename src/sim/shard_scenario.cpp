@@ -1,8 +1,11 @@
 #include "sim/shard_scenario.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "obs/snapshot.hpp"
 #include "util/error.hpp"
@@ -134,6 +137,8 @@ ShardedOutcome run_dynamic_sharded(const PerfTable& table,
   const bool telemetry_on = cfg.telemetry != nullptr || series_on;
   const bool tracer_on =
       cfg.telemetry != nullptr && cfg.telemetry->tracer.enabled();
+  const bool decisions_on =
+      cfg.telemetry != nullptr && cfg.telemetry->decisions.enabled();
 
   // --- Decompose: everything here is a function of (seed, machines,
   // shards); the thread count appears only in the parallel_for below.
@@ -171,6 +176,7 @@ ShardedOutcome run_dynamic_sharded(const PerfTable& table,
       s.scheduler->set_telemetry(&s.telemetry);
     }
     if (tracer_on) s.telemetry.tracer.set_enabled(true);
+    if (decisions_on) s.telemetry.decisions.set_enabled(true);
     if (cfg.accuracy_probe != nullptr) {
       s.cfg.accuracy_probe = cfg.accuracy_probe;
       s.cfg.accuracy_family = cfg.accuracy_family;
@@ -274,6 +280,31 @@ ShardedOutcome run_dynamic_sharded(const PerfTable& table,
                        return a.time_s < b.time_s;
                      });
     for (const obs::TraceEvent& ev : all) cfg.telemetry->tracer.record(ev);
+  }
+
+  if (decisions_on) {
+    // Task ids are per-shard arrival indices. Shift each shard's ids
+    // by the arrivals of the shards before it so ids stay unique in
+    // the merged log; `arrived` is a function of the shard seed alone,
+    // so the offsets (and the merged bytes) are thread-independent.
+    // Machines re-index into the global space exactly like the traces.
+    std::vector<obs::DecisionEvent> all;
+    std::uint64_t task_base = 0;
+    for (const ShardState& s : states) {
+      for (obs::DecisionEvent ev : s.telemetry.decisions.events()) {
+        if (ev.machine != obs::DecisionEvent::kNoMachine) ev.machine += s.base;
+        ev.task += task_base;
+        all.push_back(std::move(ev));
+      }
+      task_base += s.outcome.arrived;
+    }
+    std::stable_sort(
+        all.begin(), all.end(),
+        [](const obs::DecisionEvent& a, const obs::DecisionEvent& b) {
+          return a.time_s < b.time_s;
+        });
+    for (obs::DecisionEvent& ev : all)
+      cfg.telemetry->decisions.append(std::move(ev));
   }
 
   if (series_on) out.series = merge_series(states);

@@ -1,8 +1,8 @@
 // determinism-taint: the repo's headline contract is that every run
 // replays bit-identically from its seed, so the bytes the system emits
-// (metrics/trace/series exports in src/obs, traces in src/replay,
-// stored runs in src/runstore) must never be downstream of a
-// nondeterminism source. tracon_lint catches the obvious line hits in
+// (metrics/trace/series/decision-log exports in src/obs, traces in
+// src/replay, stored runs in src/runstore) must never be downstream of
+// a nondeterminism source. tracon_lint catches the obvious line hits in
 // a fixed directory list; this pass instead catalogs sources anywhere
 // in src/ and uses the include graph to decide whether each one can
 // share a translation unit with an emitter — if it can, the tainted

@@ -558,9 +558,13 @@ std::vector<Finding> lint_content(const std::string& rel_path,
   // output never feeds the metrics/trace exports).
   const bool obs_clock_exempt = starts_with(rel_path, "src/obs/scope_timer");
   // Serialization code: bytes written must be stable across runs and
-  // platforms (traces replay byte-for-byte; run ids are content hashes).
-  const bool serialization_dir = starts_with(rel_path, "src/replay/") ||
-                                 starts_with(rel_path, "src/runstore/");
+  // platforms (traces replay byte-for-byte; run ids are content hashes;
+  // decision logs byte-compare across --threads in CI).
+  const bool serialization_dir =
+      starts_with(rel_path, "src/replay/") ||
+      starts_with(rel_path, "src/runstore/") ||
+      starts_with(rel_path, "src/obs/decision_log") ||
+      starts_with(rel_path, "src/obs/attribution");
   if ((starts_with(rel_path, "src/sim/") ||
        starts_with(rel_path, "src/virt/") ||
        starts_with(rel_path, "src/sched/") ||
@@ -633,8 +637,9 @@ const std::vector<RuleDoc>& rule_docs() {
        "no RNG/wall-clock calls in sim, virt, sched, obs, replay, "
        "runstore (except the scope-timer profiler)"},
       {"unordered-output",
-       "no std::unordered_* in replay/runstore (serialized bytes must "
-       "not depend on hash order)"},
+       "no std::unordered_* in replay/runstore or the decision-log/"
+       "attribution writers (serialized bytes must not depend on hash "
+       "order)"},
       {"float-eq",
        "no ==/!= against floating-point literals outside src/stats"},
       {"iostream", "library code logs through util/log, not iostream"},

@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
           "  determinism    no RNG/wall-clock calls in sim, virt, sched,\n"
           "                 obs, replay, runstore (except the scope-timer\n"
           "                 profiler)\n"
-          "  unordered-output  no std::unordered_* in replay/runstore\n"
+          "  unordered-output  no std::unordered_* in replay/runstore or\n"
+          "                 the decision-log/attribution writers\n"
           "                 (serialized bytes must not depend on hash\n"
           "                 order)\n"
           "  float-eq       no ==/!= against float literals outside stats\n"

@@ -2,6 +2,7 @@
 //
 // Usage: telemetry_check --metrics METRICS.json [--trace TRACE.json]
 //                        [--series SERIES.jsonl]
+//                        [--decisions DECISIONS.jsonl]
 //                        [--metrics-b OTHER.json]
 //
 // Checks (exit 0 when all pass, 1 otherwise):
@@ -24,14 +25,24 @@
 //     each t_start equal to the previous t_end, spans bounded by the
 //     declared interval); every counter delta is non-negative; every
 //     accuracy entry's window count never exceeds its lifetime total.
+//   decisions: parses as tracon.decision_log JSONL (schema + chosen
+//     index in range enforced by the parser); the header carries a
+//     fingerprint block with the core identity keys but no thread
+//     count (the log must stay byte-comparable across --threads);
+//     record times are monotonically non-decreasing; every decision
+//     has a non-empty candidate set with matching family/weight
+//     arrays; every outcome's task id was first seen as a decision or
+//     belongs to a FIFO-style run with no decisions at all.
 //
 // Used by CI after an instrumented example/CLI run; kept dependency-free
 // via the in-tree obs JSON reader.
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
+#include "obs/decision_log.hpp"
 #include "obs/json.hpp"
 #include "obs/snapshot.hpp"
 #include "util/cli.hpp"
@@ -246,15 +257,67 @@ void check_series(const tracon::obs::MetricsSeries& series) {
   check(accuracy_ok, "every accuracy window count is <= its lifetime total");
 }
 
+void check_decisions(const tracon::obs::DecisionDoc& doc) {
+  using tracon::obs::DecisionEvent;
+  check(!doc.fingerprint.empty(), "decision log carries a fingerprint block");
+  for (const char* key : {"seed", "scheduler", "machines", "mix"}) {
+    auto it = doc.fingerprint.find(key);
+    check(it != doc.fingerprint.end() && !it->second.empty(),
+          std::string("decision fingerprint carries a non-empty ") + key);
+  }
+  // DESIGN.md §6g: the log is byte-identical across --threads, so its
+  // fingerprint must not record the execution shape.
+  check(doc.fingerprint.count("threads") == 0 &&
+            doc.fingerprint.count("shards") == 0,
+        "decision fingerprint excludes threads/shards");
+
+  bool times_ok = true;
+  bool candidates_ok = true;
+  bool families_ok = true;
+  bool joins_ok = true;
+  std::size_t decisions = 0;
+  std::size_t outcomes = 0;
+  double prev_t = 0.0;
+  std::set<std::uint64_t> decided;
+  for (const DecisionEvent& e : doc.events) {
+    if (e.time_s < prev_t) times_ok = false;
+    prev_t = e.time_s;
+    if (e.kind == DecisionEvent::Kind::kDecision) {
+      ++decisions;
+      decided.insert(e.task);
+      // chosen < candidates.size() is enforced by the parser; the
+      // structural invariants left to check are non-emptiness and the
+      // per-candidate family arrays lining up with the declared
+      // families (and weights with them).
+      if (e.candidates.empty()) candidates_ok = false;
+      if (e.families.empty() || e.weights.size() != e.families.size())
+        families_ok = false;
+      for (const auto& c : e.candidates)
+        if (c.by_family.size() != e.families.size()) families_ok = false;
+    } else {
+      ++outcomes;
+      if (!decided.empty() && decided.count(e.task) == 0) joins_ok = false;
+    }
+  }
+  check(decisions + outcomes > 0, "decision log contains at least one record");
+  check(times_ok, "decision-log times are monotonically non-decreasing");
+  check(candidates_ok, "every decision has a non-empty candidate set");
+  check(families_ok,
+        "family/weight/by_family arrays agree on every decision");
+  check(joins_ok,
+        "every outcome joins to a decision (or the run recorded none)");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     tracon::ArgParser args(argc, argv);
-    if (!args.has("metrics") && !args.has("series")) {
+    if (!args.has("metrics") && !args.has("series") &&
+        !args.has("decisions")) {
       std::fprintf(stderr,
                    "usage: %s --metrics METRICS.json [--trace TRACE.json] "
-                   "[--series SERIES.jsonl]\n",
+                   "[--series SERIES.jsonl] [--decisions DECISIONS.jsonl]\n",
                    argv[0]);
       return 2;
     }
@@ -271,6 +334,10 @@ int main(int argc, char** argv) {
     }
     if (args.has("series")) {
       check_series(tracon::obs::parse_metrics_series(slurp(args.get("series"))));
+    }
+    if (args.has("decisions")) {
+      check_decisions(
+          tracon::obs::parse_decision_log(slurp(args.get("decisions"))));
     }
     if (g_failures > 0) {
       std::fprintf(stderr, "telemetry_check: %d failure(s)\n", g_failures);

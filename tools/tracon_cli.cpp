@@ -21,6 +21,17 @@
 //                                (<run-id-prefix> [--store DIR]) as an
 //                                aligned per-window table; --json,
 //                                --metric SUBSTR to filter columns
+//   tracon explain TASK          why one placement happened: the
+//                                candidate slots scanned, per-family
+//                                predictions, confidence weights, and
+//                                margin for task TASK, plus the joined
+//                                outcome; reads --decisions FILE or a
+//                                stored run (<run-id-prefix> [--store])
+//   tracon attribution           decision quality for a whole run:
+//                                per-co-location-pair realized-slowdown
+//                                heatmap and worst-mispredicts table
+//                                (--top N, default 10); --json for
+//                                machine-readable output
 //
 // Common flags:
 //   --host paper|ssd|raid|iscsi  host/storage model   (default paper)
@@ -58,8 +69,18 @@
 //                                single --model table (requires
 //                                --scheduler mix)
 //   --accuracy-window N          rolling accuracy window size (default 64)
+//
+// Decision provenance flags (DESIGN.md §6g):
+//   --decisions-out FILE         write the tracon.decision_log JSONL
+//                                (dynamic, record, replay; works with
+//                                --threads — the merged log is
+//                                byte-identical across thread counts)
+//   --decisions                  record the decision log and store it
+//                                with the run (record/replay), readable
+//                                later via `explain` / `attribution`
 // All telemetry timestamps are virtual-clock; same-seed runs produce
-// byte-identical files (including the snapshot series).
+// byte-identical files (including the snapshot series and decision
+// log).
 //
 // Examples:
 //   tracon matrix --host ssd
@@ -78,6 +99,8 @@
 
 #include "core/tracon.hpp"
 #include "obs/accuracy.hpp"
+#include "obs/attribution.hpp"
+#include "obs/decision_log.hpp"
 #include "obs/json.hpp"
 #include "obs/jsonl.hpp"
 #include "obs/metrics.hpp"
@@ -165,6 +188,29 @@ void stamp_fingerprint(obs::MetricsRegistry& metrics,
   metrics.set_fingerprint("model", model);
   metrics.set_fingerprint("source", source);
   metrics.set_fingerprint("build", TRACON_GIT_DESCRIBE);
+}
+
+/// Copies the finished metrics fingerprint onto the decision log,
+/// minus the execution-shape keys (threads/shards): DESIGN.md §6g
+/// keeps the log byte-identical across `--threads N`, so its header
+/// must not record how many workers produced it.
+void stamp_decision_fingerprint(obs::Telemetry& tel) {
+  for (const auto& [key, value] : tel.metrics.fingerprint()) {
+    if (key == "threads" || key == "shards") continue;
+    tel.decisions.set_fingerprint(key, value);
+  }
+}
+
+/// App-class id -> benchmark name, for human-readable decision output.
+std::string app_class_name(std::size_t app) {
+  const auto& apps = workload::paper_benchmarks();
+  if (app < apps.size()) return apps[app].name;
+  return "app" + std::to_string(app);
+}
+
+std::string neighbour_name(const std::optional<std::size_t>& neighbour) {
+  return neighbour.has_value() ? app_class_name(*neighbour)
+                               : std::string("empty");
 }
 
 core::Tracon make_system(const ArgParser& args, bool train) {
@@ -409,11 +455,13 @@ int cmd_dynamic_sharded(const ArgParser& args) {
   const bool want_trace = args.has("trace-out") || args.has("trace-jsonl");
   const bool want_series =
       args.has("snapshot-interval") || args.has("series-out");
+  const bool want_decisions = args.has("decisions-out");
   obs::Telemetry tel;
   sim::TraceRecorder trace;
   if (args.has("trace") || args.has("events-jsonl")) cfg.trace = &trace;
-  if (want_metrics || want_trace || want_series) {
+  if (want_metrics || want_trace || want_series || want_decisions) {
     tel.tracer.set_enabled(want_trace);
+    tel.decisions.set_enabled(want_decisions);
     cfg.telemetry = &tel;
     cfg.accuracy_probe = &sys.predictor();
     cfg.accuracy_family = model::model_kind_name(sys.model_kind());
@@ -460,6 +508,7 @@ int cmd_dynamic_sharded(const ArgParser& args) {
                       args.get("model", "nlm"), sched_name, "live");
     tel.metrics.set_fingerprint("threads", std::to_string(o.threads_used));
     tel.metrics.set_fingerprint("shards", std::to_string(o.shards));
+    if (want_decisions) stamp_decision_fingerprint(tel);
   }
 
   auto write_file = [&](const char* flag, const char* what,
@@ -492,6 +541,9 @@ int cmd_dynamic_sharded(const ArgParser& args) {
   if (args.has("series-out"))
     io_ok &= write_file("series-out", "metrics series",
                         [&](std::ostream& f) { f << o.series; });
+  if (args.has("decisions-out"))
+    io_ok &= write_file("decisions-out", "decision log",
+                        [&](std::ostream& f) { tel.decisions.write(f); });
   if (args.has("trace"))
     io_ok &= write_file("trace", "task-event CSV",
                         [&](std::ostream& f) { trace.write_csv(f); });
@@ -544,11 +596,14 @@ int cmd_dynamic(const ArgParser& args) {
   const bool want_series =
       args.has("snapshot-interval") || args.has("series-out");
   const bool want_confidence = args.has("confidence-weighting");
+  const bool want_decisions = args.has("decisions-out");
   obs::Telemetry tel;
   RunInstruments inst;
   std::unique_ptr<sched::Scheduler> sched;
-  if (want_metrics || want_trace || want_series || want_confidence) {
+  if (want_metrics || want_trace || want_series || want_confidence ||
+      want_decisions) {
     tel.tracer.set_enabled(want_trace);
+    tel.decisions.set_enabled(want_decisions);
     cfg.telemetry = &tel;
     cfg.accuracy_probe = &sys.predictor();
     cfg.accuracy_family = model::model_kind_name(sys.model_kind());
@@ -559,6 +614,7 @@ int cmd_dynamic(const ArgParser& args) {
     stamp_fingerprint(tel.metrics, cfg, args.get("host", "paper"),
                       args.get("model", "nlm"), sched->name(), "live");
     if (want_confidence) tel.metrics.set_fingerprint("confidence", "on");
+    if (want_decisions) stamp_decision_fingerprint(tel);
   } else {
     sched = scheduler_from(args, sys, false);
   }
@@ -596,6 +652,9 @@ int cmd_dynamic(const ArgParser& args) {
     io_ok &= write_file("series-out", "metrics series", [&](std::ostream& f) {
       inst.series->write(f);
     });
+  if (args.has("decisions-out"))
+    io_ok &= write_file("decisions-out", "decision log",
+                        [&](std::ostream& f) { tel.decisions.write(f); });
   if (!io_ok) return 1;
 
   if (args.has("trace")) {
@@ -651,8 +710,11 @@ int run_and_store(const ArgParser& args, core::Tracon& sys,
                   std::span<const sim::Arrival> arrivals,
                   const std::string& host, const std::string& model,
                   const std::string& source, std::size_t default_queue = 8) {
+  const bool want_decisions =
+      args.has("decisions") || args.has("decisions-out");
   obs::Telemetry tel;
   tel.tracer.set_enabled(false);
+  tel.decisions.set_enabled(want_decisions);
   cfg.telemetry = &tel;
   cfg.accuracy_probe = &sys.predictor();
   cfg.accuracy_family = model::model_kind_name(sys.model_kind());
@@ -667,6 +729,7 @@ int run_and_store(const ArgParser& args, core::Tracon& sys,
   stamp_fingerprint(tel.metrics, cfg, host, model, sched->name(), source);
   if (inst.confidence != nullptr)
     tel.metrics.set_fingerprint("confidence", "on");
+  if (want_decisions) stamp_decision_fingerprint(tel);
 
   if (args.has("metrics-out")) {
     std::string path = args.get("metrics-out");
@@ -687,11 +750,23 @@ int run_and_store(const ArgParser& args, core::Tracon& sys,
     inst.series->write(f);
     std::printf("metrics series written to %s\n", path.c_str());
   }
+  if (args.has("decisions-out")) {
+    std::string path = args.get("decisions-out");
+    std::ofstream f(path, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot open decision-log file '%s'\n",
+                   path.c_str());
+      return 1;
+    }
+    tel.decisions.write(f);
+    std::printf("decision log written to %s\n", path.c_str());
+  }
 
   runstore::RunStore store(args.get("store", "runs"));
   std::string id =
       store.add_run(tel.metrics, sched->name(), source,
-                    inst.series.has_value() ? inst.series->str() : "");
+                    inst.series.has_value() ? inst.series->str() : "",
+                    want_decisions ? tel.decisions.str() : "");
   std::printf("%s (%s): %zu arrivals, completed %zu, dropped %zu\n",
               sched->name().c_str(), source.c_str(), arrivals.size(),
               o.completed, o.dropped);
@@ -839,6 +914,13 @@ int cmd_report(const ArgParser& args) {
     obs::MetricsSeries sb = obs::parse_metrics_series(store.read_series(rb));
     runstore::diff_series(sa, sb, &report);
   }
+  if (ra.has_decisions() && rb.has_decisions()) {
+    obs::AttributionReport aa =
+        obs::attribute(obs::parse_decision_log(store.read_decisions(ra)));
+    obs::AttributionReport ab =
+        obs::attribute(obs::parse_decision_log(store.read_decisions(rb)));
+    runstore::diff_decisions(aa, ab, &report);
+  }
   if (args.has("json")) {
     runstore::write_report_json(std::cout, report);
   } else {
@@ -979,6 +1061,273 @@ int cmd_timeline(const ArgParser& args) {
   return 0;
 }
 
+/// Shared source resolution for `explain` and `attribution`: the
+/// decision log comes either from a file (--decisions FILE) or from a
+/// stored run's decisions object (run-id prefix at positional `idx`,
+/// resolved against --store). Returns 0 and fills doc/label, 1 after
+/// printing an error, or 2 when neither source was given (the caller
+/// prints its usage line).
+int load_decision_doc(const ArgParser& args, std::size_t idx,
+                      obs::DecisionDoc* doc, std::string* label) {
+  std::string content;
+  if (args.has("decisions")) {
+    const std::string path = args.get("decisions");
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot open decision log '%s'\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    content = buf.str();
+    *label = path;
+  } else if (args.positional().size() > idx) {
+    runstore::RunStore store(args.get("store", "runs"));
+    auto rec = store.find(args.positional()[idx]);
+    if (!rec.has_value()) {
+      std::fprintf(stderr, "no run matches id prefix '%s' in store '%s'\n",
+                   args.positional()[idx].c_str(),
+                   args.get("store", "runs").c_str());
+      return 1;
+    }
+    if (!rec->has_decisions()) {
+      std::fprintf(stderr,
+                   "run %s has no stored decision log (record it with "
+                   "--decisions)\n",
+                   rec->id.c_str());
+      return 1;
+    }
+    content = store.read_decisions(*rec);
+    *label = rec->id;
+  } else {
+    return 2;
+  }
+  *doc = obs::parse_decision_log(content);
+  return 0;
+}
+
+/// `tracon explain <task-id>`: renders one task's decision record —
+/// every candidate slot the scheduler scanned, what each model family
+/// predicted for it, the confidence weights in force, and the margin —
+/// joined to the realized outcome when the task completed.
+int cmd_explain(const ArgParser& args) {
+  const char* kUsage =
+      "usage: tracon explain <task-id> (--decisions FILE | <run-id-prefix> "
+      "[--store DIR])\n";
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  std::uint64_t task = 0;
+  try {
+    std::size_t pos = 0;
+    task = std::stoull(args.positional()[1], &pos);
+    TRACON_REQUIRE(pos == args.positional()[1].size(),
+                   "trailing junk in task id");
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "task id '%s' is not a number\n",
+                 args.positional()[1].c_str());
+    return 2;
+  }
+  obs::DecisionDoc doc;
+  std::string label;
+  if (int rc = load_decision_doc(args, 2, &doc, &label); rc != 0) {
+    if (rc == 2) std::fprintf(stderr, "%s", kUsage);
+    return rc;
+  }
+
+  // Last record wins, matching the attribution engine's join: a task
+  // id appears once per run, but a merged or hand-edited log should
+  // explain the same record attribute() would use.
+  const obs::DecisionEvent* decision = nullptr;
+  const obs::DecisionEvent* outcome = nullptr;
+  for (const obs::DecisionEvent& e : doc.events) {
+    if (e.task != task) continue;
+    if (e.kind == obs::DecisionEvent::Kind::kDecision) decision = &e;
+    else outcome = &e;
+  }
+  if (decision == nullptr) {
+    std::fprintf(stderr, "no decision recorded for task %llu in %s\n",
+                 static_cast<unsigned long long>(task), label.c_str());
+    return 1;
+  }
+
+  std::printf("task %llu (%s) placed by %s at t=%s s  [%s]\n",
+              static_cast<unsigned long long>(task),
+              app_class_name(decision->app).c_str(),
+              decision->scheduler.c_str(),
+              fmt(decision->time_s, 1).c_str(), label.c_str());
+  std::printf("  objective %s, %zu candidate slots, winning margin %s\n",
+              decision->objective.c_str(), decision->candidates.size(),
+              fmt(decision->margin, 2).c_str());
+  if (decision->machine != obs::DecisionEvent::kNoMachine)
+    std::printf("  bound to machine %zu\n", decision->machine);
+  std::printf("  model families:");
+  for (std::size_t f = 0; f < decision->families.size(); ++f) {
+    double w = f < decision->weights.size() ? decision->weights[f] : 0.0;
+    std::printf(" %s (weight %s)", decision->families[f].c_str(),
+                fmt(w, 3).c_str());
+  }
+  std::printf("\n  candidate slots (* = chosen; score is the predicted %s "
+              "if placed there):\n",
+              decision->objective.c_str());
+  std::vector<std::string> header = {"slot", "next-to", "score"};
+  for (const std::string& fam : decision->families) header.push_back(fam);
+  TableWriter table(header);
+  for (std::size_t i = 0; i < decision->candidates.size(); ++i) {
+    const obs::DecisionCandidate& c = decision->candidates[i];
+    std::vector<std::string> row;
+    row.push_back((i == decision->chosen ? "* " : "  ") + std::to_string(i));
+    row.push_back(neighbour_name(c.neighbour));
+    row.push_back(fmt(c.score, 2));
+    for (std::size_t f = 0; f < decision->families.size(); ++f)
+      row.push_back(f < c.by_family.size() ? fmt(c.by_family[f], 2) : "-");
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("  predicted: runtime %s s, IOPS %s\n",
+              fmt(decision->predicted_runtime_s, 1).c_str(),
+              fmt(decision->predicted_iops, 1).c_str());
+  if (outcome != nullptr) {
+    double slowdown = outcome->solo_runtime_s > 0.0
+                          ? outcome->runtime_s / outcome->solo_runtime_s
+                          : 0.0;
+    std::printf("  outcome:   runtime %s s (rel error %s), IOPS %s (rel "
+                "error %s)\n",
+                fmt(outcome->runtime_s, 1).c_str(),
+                fmt(obs::relative_error(decision->predicted_runtime_s,
+                                        outcome->runtime_s), 3).c_str(),
+                fmt(outcome->iops, 1).c_str(),
+                fmt(obs::relative_error(decision->predicted_iops,
+                                        outcome->iops), 3).c_str());
+    std::printf("  realized:  slowdown %sx next to %s, completed at t=%s s\n",
+                fmt(slowdown, 2).c_str(),
+                neighbour_name(outcome->neighbour).c_str(),
+                fmt(outcome->time_s, 1).c_str());
+  } else {
+    std::printf("  outcome:   task did not complete within the run\n");
+  }
+  return 0;
+}
+
+/// `tracon attribution`: reduces a whole run's decision log to the
+/// joined summary, the per-co-location-pair realized-slowdown heatmap,
+/// and the worst-mispredicts table.
+int cmd_attribution(const ArgParser& args) {
+  const char* kUsage =
+      "usage: tracon attribution (--decisions FILE | <run-id-prefix> "
+      "[--store DIR]) [--top N] [--json]\n";
+  obs::DecisionDoc doc;
+  std::string label;
+  if (int rc = load_decision_doc(args, 1, &doc, &label); rc != 0) {
+    if (rc == 2) std::fprintf(stderr, "%s", kUsage);
+    return rc;
+  }
+  obs::AttributionReport report = obs::attribute(doc);
+  const auto top = static_cast<std::size_t>(args.get_int("top", 10));
+  const std::size_t shown = std::min(top, report.mispredict_order.size());
+
+  if (args.has("json")) {
+    std::ostream& os = std::cout;
+    os << "{\n  \"schema\": \"tracon.attribution\", \"version\": 1,\n"
+       << "  \"decisions\": " << report.decisions
+       << ", \"outcomes\": " << report.outcomes
+       << ", \"joined\": " << report.joined
+       << ",\n  \"mean_candidates\": "
+       << obs::json_number(report.mean_candidates)
+       << ", \"mean_abs_runtime_error\": "
+       << obs::json_number(report.mean_abs_runtime_error)
+       << ", \"mean_abs_iops_error\": "
+       << obs::json_number(report.mean_abs_iops_error)
+       << ",\n  \"pairs\": [";
+    bool first = true;
+    for (const auto& [key, cell] : report.pairs) {
+      os << (first ? "\n" : ",\n") << "    {\"app\": \""
+         << obs::json_escape(app_class_name(key.first))
+         << "\", \"neighbour\": \""
+         << obs::json_escape(neighbour_name(key.second))
+         << "\", \"count\": " << cell.count
+         << ", \"mean_slowdown\": " << obs::json_number(cell.mean_slowdown())
+         << ", \"mean_abs_runtime_error\": "
+         << obs::json_number(cell.mean_abs_runtime_error()) << "}";
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "],\n  \"mispredicts\": [";
+    first = true;
+    for (std::size_t i = 0; i < shown; ++i) {
+      const obs::AttributionRow& row =
+          report.rows[report.mispredict_order[i]];
+      os << (first ? "\n" : ",\n") << "    {\"task\": " << row.task
+         << ", \"app\": \"" << obs::json_escape(app_class_name(row.app))
+         << "\", \"neighbour\": \""
+         << obs::json_escape(neighbour_name(row.neighbour))
+         << "\", \"predicted_runtime_s\": "
+         << obs::json_number(row.predicted_runtime_s)
+         << ", \"runtime_s\": " << obs::json_number(row.runtime_s)
+         << ", \"runtime_error\": " << obs::json_number(row.runtime_error)
+         << ", \"margin\": " << obs::json_number(row.margin)
+         << ", \"candidates\": " << row.candidates << "}";
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "]\n}\n";
+    return 0;
+  }
+
+  std::printf("decision log %s: %llu decisions, %llu outcomes, %llu joined\n",
+              label.c_str(),
+              static_cast<unsigned long long>(report.decisions),
+              static_cast<unsigned long long>(report.outcomes),
+              static_cast<unsigned long long>(report.joined));
+  std::printf("  mean candidate-set size %s   mean |runtime rel error| %s   "
+              "mean |iops rel error| %s\n",
+              fmt(report.mean_candidates, 2).c_str(),
+              fmt(report.mean_abs_runtime_error, 3).c_str(),
+              fmt(report.mean_abs_iops_error, 3).c_str());
+
+  if (!report.pairs.empty()) {
+    // Heatmap rows are the placed task's app class, columns the
+    // co-runner it landed next to ("empty" first, the map's order).
+    std::set<std::size_t> apps;
+    std::set<std::optional<std::size_t>> neighbours;
+    for (const auto& [key, cell] : report.pairs) {
+      apps.insert(key.first);
+      neighbours.insert(key.second);
+    }
+    std::printf("\nmean realized slowdown by (app, co-runner):\n");
+    std::vector<std::string> header = {"app\\next-to"};
+    for (const auto& n : neighbours) header.push_back(neighbour_name(n));
+    TableWriter heat(header);
+    for (std::size_t app : apps) {
+      std::vector<std::string> row = {app_class_name(app)};
+      for (const auto& n : neighbours) {
+        auto it = report.pairs.find({app, n});
+        row.push_back(it != report.pairs.end()
+                          ? fmt(it->second.mean_slowdown(), 2)
+                          : "-");
+      }
+      heat.add_row(std::move(row));
+    }
+    heat.print(std::cout);
+  }
+
+  if (shown > 0) {
+    std::printf("\nworst mispredicts (by |runtime rel error|):\n");
+    TableWriter worst({"task", "app", "next-to", "pred_s", "actual_s",
+                       "rel_err", "margin", "cands"});
+    for (std::size_t i = 0; i < shown; ++i) {
+      const obs::AttributionRow& row =
+          report.rows[report.mispredict_order[i]];
+      worst.add_row({std::to_string(row.task), app_class_name(row.app),
+                     neighbour_name(row.neighbour),
+                     fmt(row.predicted_runtime_s, 1), fmt(row.runtime_s, 1),
+                     fmt(row.runtime_error, 3), fmt(row.margin, 2),
+                     std::to_string(row.candidates)});
+    }
+    worst.print(std::cout);
+  }
+  return 0;
+}
+
 int cmd_profile(const ArgParser& args) {
   core::Tracon sys = make_system(args, false);
   std::string path = args.get("out", "perf_table.csv");
@@ -1034,7 +1383,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: tracon "
                "<table1|matrix|predict|static|dynamic|hierarchy|profile|"
-               "record|replay|runs|report|timeline> "
+               "record|replay|runs|report|timeline|explain|attribution> "
                "[flags]\n(see the header of tools/tracon_cli.cpp)\n");
   return 2;
 }
@@ -1060,6 +1409,8 @@ int main(int argc, char** argv) {
     else if (cmd == "runs") rc = cmd_runs(args);
     else if (cmd == "report") rc = cmd_report(args);
     else if (cmd == "timeline") rc = cmd_timeline(args);
+    else if (cmd == "explain") rc = cmd_explain(args);
+    else if (cmd == "attribution") rc = cmd_attribution(args);
     else return usage();
     if (args.has("prof")) {
       std::cerr << "--- wall-clock kernel profile (--prof) ---\n";
