@@ -56,6 +56,36 @@ for bin in "$build_dir"/bench/bench_*; do
   [ "$status" -eq 0 ] || overall=1
 done
 
+# Rebalancing A/B (examples/rebalance_ab): same wrapper JSON shape plus
+# the headline ratio — post-shift mean realized slowdown of the
+# rebalancing run over the static run (< 1.0 means rebalancing wins).
+ab="$build_dir/examples/example_rebalance_ab"
+if [ -f "$ab" ] && [ -x "$ab" ]; then
+  name="rebalance"
+  skipped=0
+  for s in $skip; do
+    [ "$s" = "$name" ] && skipped=1
+  done
+  if [ "$skipped" -eq 1 ]; then
+    echo "$name: skipped (TRACON_BENCH_SKIP)"
+  else
+    start=$(date +%s)
+    status=0
+    "$ab" --store "$out_dir/runs-rebalance-ab" \
+      >"$out_dir/${name}.log" 2>&1 || status=$?
+    end=$(date +%s)
+    wall=$((end - start))
+    ratio=$(sed -n 's/^rebalance\/static post-shift slowdown: //p' \
+      "$out_dir/${name}.log" | head -n 1)
+    [ -n "$ratio" ] || ratio="null"
+    printf '{"bench": "%s", "exit_status": %d, "wall_seconds": %d, "post_shift_slowdown_ratio": %s}\n' \
+      "$name" "$status" "$wall" "$ratio" >"$out_dir/BENCH_${name}.json"
+    echo "$name: exit=$status wall=${wall}s ratio=$ratio"
+    names="$names $name"
+    [ "$status" -eq 0 ] || overall=1
+  fi
+fi
+
 {
   printf '{"benches": [\n'
   first=1

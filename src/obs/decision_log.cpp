@@ -86,6 +86,21 @@ std::string event_line(const DecisionEvent& e) {
     if (e.machine != DecisionEvent::kNoMachine) {
       w.field("machine", static_cast<std::uint64_t>(e.machine));
     }
+  } else if (e.kind == DecisionEvent::Kind::kMigration) {
+    w.field("kind", "migration");
+    w.field("task", e.task);
+    w.field("t", e.time_s);
+    w.field("app", static_cast<std::uint64_t>(e.app));
+    w.field("from_machine", static_cast<std::uint64_t>(e.from_machine));
+    w.raw_field("from_neighbour", neighbour_json(e.from_neighbour));
+    w.field("machine", static_cast<std::uint64_t>(e.machine));
+    w.raw_field("neighbour", neighbour_json(e.neighbour));
+    w.field("predicted_stay_s", e.predicted_stay_s);
+    w.field("predicted_move_s", e.predicted_move_s);
+    w.field("downtime_s", e.downtime_s);
+    w.field("copy_s", e.copy_s);
+    w.field("cost_s", e.cost_s);
+    w.field("margin", e.margin);
   } else {
     w.field("kind", "outcome");
     w.field("task", e.task);
@@ -204,6 +219,28 @@ DecisionEvent parse_event(const JsonValue& obj) {
     e.predicted_runtime_s =
         number_field(obj, "predicted_runtime_s", "decision");
     e.predicted_iops = number_field(obj, "predicted_iops", "decision");
+  } else if (kind == "migration") {
+    e.kind = DecisionEvent::Kind::kMigration;
+    e.from_machine =
+        static_cast<std::size_t>(number_field(obj, "from_machine", "migration"));
+    const JsonValue* from_nb = obj.find("from_neighbour");
+    if (from_nb != nullptr && from_nb->is_string() &&
+        from_nb->as_string() == "empty") {
+      e.from_neighbour = std::nullopt;
+    } else if (from_nb != nullptr && from_nb->is_number()) {
+      e.from_neighbour = static_cast<std::size_t>(from_nb->as_number());
+    } else {
+      throw std::invalid_argument(
+          "decision log migration \"from_neighbour\" must be \"empty\" or a "
+          "number");
+    }
+    e.neighbour = neighbour_field(obj, "migration");
+    e.predicted_stay_s = number_field(obj, "predicted_stay_s", "migration");
+    e.predicted_move_s = number_field(obj, "predicted_move_s", "migration");
+    e.downtime_s = number_field(obj, "downtime_s", "migration");
+    e.copy_s = number_field(obj, "copy_s", "migration");
+    e.cost_s = number_field(obj, "cost_s", "migration");
+    e.margin = number_field(obj, "margin", "migration");
   } else if (kind == "outcome") {
     e.kind = DecisionEvent::Kind::kOutcome;
     e.neighbour = neighbour_field(obj, "outcome");
@@ -233,6 +270,17 @@ void DecisionLog::bind_machine(std::uint64_t task, std::size_t machine) {
   auto it = decision_index_.find(task);
   if (it == decision_index_.end()) return;
   events_[it->second].machine = machine;
+}
+
+void DecisionLog::record_migration(DecisionEvent event) {
+  if (!enabled_) return;
+  TRACON_REQUIRE(event.machine != DecisionEvent::kNoMachine &&
+                     event.from_machine != DecisionEvent::kNoMachine,
+                 "migration record must carry both host ids");
+  TRACON_REQUIRE(event.machine != event.from_machine,
+                 "migration source and destination must differ");
+  event.kind = DecisionEvent::Kind::kMigration;
+  events_.push_back(std::move(event));
 }
 
 void DecisionLog::record_outcome(DecisionEvent event) {

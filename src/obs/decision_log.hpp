@@ -7,11 +7,16 @@
 //
 // The stream is schema-versioned `tracon.decision_log` JSONL: one
 // header line carrying the fingerprint block, then one record per
-// event in virtual-time order. Two record kinds share the stream:
+// event in virtual-time order. Three record kinds share the stream:
 //   {"kind": "decision", ...}  emitted when a scheduler commits a
 //       placement (task, candidates, per-family predictions, weights,
 //       chosen index, margin, both-objective predicted values), plus
 //       the machine id once the simulator binds the slot;
+//   {"kind": "migration", ...} emitted when the rebalancer re-places a
+//       running task (source/destination hosts and co-runners, the
+//       predicted stay/move remaining times, the migration cost
+//       breakdown, and the margin by which moving won) — added in
+//       schema version 2 so `tracon explain` covers moves;
 //   {"kind": "outcome", ...}   emitted when the task completes
 //       (realized runtime, mean IOPS, co-runner at placement, solo
 //       runtime for slowdown attribution).
@@ -54,10 +59,11 @@ struct DecisionCandidate {
   std::vector<double> by_family;
 };
 
-/// One record in the decision log: a placement decision or the
-/// completion outcome it is later joined to (by task id).
+/// One record in the decision log: a placement decision, a rebalancer
+/// re-placement, or the completion outcome they are later joined to
+/// (by task id).
 struct DecisionEvent {
-  enum class Kind { kDecision, kOutcome };
+  enum class Kind { kDecision, kMigration, kOutcome };
 
   /// Sentinel for "machine not bound" on a decision record.
   static constexpr std::size_t kNoMachine = static_cast<std::size_t>(-1);
@@ -84,10 +90,24 @@ struct DecisionEvent {
   double predicted_iops = 0.0;
 
   // -- outcome fields --
-  std::optional<std::size_t> neighbour;  ///< co-runner at placement
+  std::optional<std::size_t> neighbour;  ///< co-runner at placement; on a
+                                         ///< migration record, the
+                                         ///< destination co-runner
   double runtime_s = 0.0;
   double iops = 0.0;
   double solo_runtime_s = 0.0;  ///< reference runtime for slowdown
+
+  // -- migration fields (kind == kMigration; `machine` carries the
+  // destination host, `neighbour` the destination co-runner, `margin`
+  // the predicted benefit predicted_stay_s - predicted_move_s) --
+  std::size_t from_machine = kNoMachine;      ///< source host
+  std::optional<std::size_t> from_neighbour;  ///< co-runner left behind
+  double predicted_stay_s = 0.0;  ///< predicted remaining time in place
+  double predicted_move_s = 0.0;  ///< predicted remaining time after the
+                                  ///< move, migration cost included
+  double downtime_s = 0.0;        ///< stop-and-copy pause
+  double copy_s = 0.0;            ///< copy-window length on both hosts
+  double cost_s = 0.0;            ///< total cost charged to the task
 };
 
 /// Append-only recorder owned by obs::Telemetry. All record calls are
@@ -107,6 +127,12 @@ class DecisionLog {
   /// simulator binds the placement to a concrete machine. No-op when
   /// the task has no recorded decision (e.g. FIFO placements).
   void bind_machine(std::uint64_t task, std::size_t machine);
+
+  /// Appends a re-placement record (kind forced to kMigration). The
+  /// rebalancer stamps source/destination hosts and the cost breakdown
+  /// before handing the event over; a task may carry any number of
+  /// migration records between its decision and its outcome.
+  void record_migration(DecisionEvent event);
 
   /// Appends a completion record (kind forced to kOutcome). Recorded
   /// even for tasks without a decision; attribution joins by task id.

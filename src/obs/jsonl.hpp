@@ -22,8 +22,9 @@ namespace tracon::obs {
 class JsonValue;
 
 /// Version shared by the tracon JSONL formats; bumped in lockstep when
-/// any record schema changes shape.
-inline constexpr int kJsonlSchemaVersion = 1;
+/// any record schema changes shape. History: 1 = initial formats;
+/// 2 = decision log grew the "migration" record kind.
+inline constexpr int kJsonlSchemaVersion = 2;
 
 /// Escapes `raw` for embedding inside a JSON string literal (quotes,
 /// backslashes, control characters).

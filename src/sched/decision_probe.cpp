@@ -9,12 +9,29 @@
 
 namespace tracon::sched {
 
-namespace {
+void score_candidates(const Predictor& predictor, std::size_t app,
+                      const ClusterCounts& cluster, Objective objective,
+                      bool include_empty,
+                      std::vector<std::optional<std::size_t>>* slots,
+                      std::vector<double>* scores) {
+  TRACON_REQUIRE(slots != nullptr && scores != nullptr,
+                 "score_candidates needs output vectors");
+  slots->clear();
+  cluster.append_candidates(include_empty, slots);
+  std::vector<PredictQuery> queries;
+  queries.reserve(slots->size());
+  for (const std::optional<std::size_t>& slot : *slots) {
+    queries.push_back({app, slot});
+  }
+  scores->assign(slots->size(), 0.0);
+  if (objective == Objective::kRuntime) {
+    predictor.predict_runtime_batch(queries, *scores);
+  } else {
+    predictor.predict_iops_batch(queries, *scores);
+  }
+}
 
-// Distance of the chosen score from the best alternative, signed so
-// that a policy override (beneficial-join filter rejecting the raw
-// argmin) shows up as a negative margin. Zero with a single candidate.
-double winning_margin(const std::vector<double>& scores, std::size_t chosen,
+double winning_margin(std::span<const double> scores, std::size_t chosen,
                       Objective objective) {
   bool have_other = false;
   double best_other = 0.0;
@@ -31,8 +48,6 @@ double winning_margin(const std::vector<double>& scores, std::size_t chosen,
   return objective == Objective::kRuntime ? best_other - scores[chosen]
                                           : scores[chosen] - best_other;
 }
-
-}  // namespace
 
 void record_decisions(obs::Telemetry* telemetry,
                       std::string_view scheduler_name, double now_s,
@@ -65,25 +80,14 @@ void record_decisions(obs::Telemetry* telemetry,
   // is exactly what the scheduler scanned when committing it.
   ClusterCounts state = cluster;
   std::vector<std::optional<std::size_t>> slots;
-  std::vector<PredictQuery> queries;
   std::vector<double> scores;
   for (const Placement& p : placements) {
     TRACON_REQUIRE(p.queue_pos < queue.size(),
                    "placement addresses a task outside the queue snapshot");
     const QueuedTask& task = queue[p.queue_pos];
 
-    slots.clear();
-    state.append_candidates(true, &slots);
-    queries.clear();
-    for (const std::optional<std::size_t>& slot : slots) {
-      queries.push_back({task.app, slot});
-    }
-    scores.assign(slots.size(), 0.0);
-    if (objective == Objective::kRuntime) {
-      predictor.predict_runtime_batch(queries, scores);
-    } else {
-      predictor.predict_iops_batch(queries, scores);
-    }
+    score_candidates(predictor, task.app, state, objective, true, &slots,
+                     &scores);
 
     obs::DecisionEvent event;
     event.task = task.id;

@@ -11,13 +11,35 @@
 // are bit-identical to the values the scheduler acted on.
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "sched/predictor.hpp"
 #include "sched/scheduler.hpp"
 
 namespace tracon::sched {
+
+/// Enumerates `cluster`'s free-slot classes in the schedulers'
+/// canonical append_candidates order and batch-predicts `app`'s value
+/// on each under `objective`. This is the one scoring path shared by
+/// the decision-log probe and the migrate::Rebalancer's re-placement
+/// scan, so recorded candidate sets and migration destinations are
+/// scored bit-identically to the schedulers' own decisions.
+void score_candidates(const Predictor& predictor, std::size_t app,
+                      const ClusterCounts& cluster, Objective objective,
+                      bool include_empty,
+                      std::vector<std::optional<std::size_t>>* slots,
+                      std::vector<double>* scores);
+
+/// Distance of the chosen score from the best alternative, signed so
+/// that a policy override (e.g. the beneficial-join filter rejecting
+/// the raw argmin) shows up as a negative margin. Zero with a single
+/// candidate.
+double winning_margin(std::span<const double> scores, std::size_t chosen,
+                      Objective objective);
 
 /// Records one decision event per placement into
 /// `telemetry->decisions`. `cluster` must be the pre-round view the

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "obs/accuracy.hpp"
+#include "obs/attribution.hpp"
+#include "obs/jsonl.hpp"
 #include "obs/kvlog.hpp"
 #include "util/error.hpp"
 
@@ -29,18 +31,30 @@ struct RunningTask {
   std::optional<std::size_t> placed_neighbour;
   /// Arrival index, joining this task's decision-log records.
   std::uint64_t task_id = 0;
+  /// Migration stop-and-copy pause: no progress before this time.
+  double frozen_until_s = 0.0;
 };
 
 struct Machine {
   std::optional<RunningTask> slot[2];
   std::uint64_t stamp = 0;  ///< invalidates queued completion events
+  /// Migration copy window: every resident task runs at the cost
+  /// model's copy_speed_factor until this time.
+  double copy_until_s = 0.0;
 
   std::size_t occupancy() const {
     return (slot[0].has_value() ? 1u : 0u) + (slot[1].has_value() ? 1u : 0u);
   }
 };
 
-enum class EventType { kArrival, kCompletion, kWakeup, kRound, kSnapshot };
+enum class EventType {
+  kArrival,
+  kCompletion,
+  kWakeup,
+  kRound,
+  kSnapshot,
+  kRebalance
+};
 
 struct Event {
   double time = 0.0;
@@ -77,6 +91,30 @@ class SlotRegistry {
       }
     }
     throw std::logic_error("SlotRegistry: no machine with requested key");
+  }
+
+  /// pop() variant for migration destinations: skips `excluded` (the
+  /// source machine is never a valid destination for its own task) and
+  /// returns nullopt instead of throwing when no other machine holds
+  /// the key — same-round churn can invalidate a planned class.
+  std::optional<std::size_t> try_pop_excluding(int key, std::size_t excluded) {
+    auto& s = stacks_[static_cast<std::size_t>(key)];
+    bool refile_excluded = false;
+    std::optional<std::size_t> out;
+    while (!s.empty()) {
+      std::size_t m = s.back();
+      s.pop_back();
+      if (key_[m] != key) continue;  // stale entry
+      if (m == excluded) {
+        refile_excluded = true;
+        continue;
+      }
+      key_[m] = kNone;
+      out = m;
+      break;
+    }
+    if (refile_excluded) s.push_back(excluded);
+    return out;
   }
 
  private:
@@ -162,6 +200,7 @@ DynamicOutcome run_dynamic(const PerfTable& table,
   obs::Counter* c_dropped = nullptr;
   obs::Counter* c_placed = nullptr;
   obs::Counter* c_completed = nullptr;
+  obs::Counter* c_migrated = nullptr;
   std::optional<obs::AccuracyTracker> acc_runtime;
   std::optional<obs::AccuracyTracker> acc_iops;
   if (tel != nullptr) {
@@ -175,6 +214,10 @@ DynamicOutcome run_dynamic(const PerfTable& table,
     c_dropped = &tel->metrics.counter("sim.tasks.dropped");
     c_placed = &tel->metrics.counter("sim.tasks.placed");
     c_completed = &tel->metrics.counter("sim.tasks.completed");
+    // Registered only on rebalancing runs so non-rebalancing exports
+    // keep their exact bytes.
+    if (cfg.rebalancer != nullptr)
+      c_migrated = &tel->metrics.counter("sim.tasks.migrated");
     if (cfg.accuracy_probe != nullptr) {
       std::string family =
           cfg.accuracy_family.empty() ? "probe" : cfg.accuracy_family;
@@ -204,19 +247,43 @@ DynamicOutcome run_dynamic(const PerfTable& table,
     return other->app;
   };
 
-  // Brings a machine's running tasks up to `now` and refreshes their
-  // completion events.
+  // Speed multiplier a migration's copy window applies to every task
+  // on the source and destination hosts (1.0 when rebalancing is off,
+  // and every copy/freeze branch below is dead code).
+  const double copy_factor =
+      cfg.rebalancer != nullptr
+          ? cfg.rebalancer->cost_model().copy_speed_factor()
+          : 1.0;
+
+  // Brings a machine's running tasks up to `now`, integrating progress
+  // piecewise over a task's migration freeze (no progress) and the
+  // machine's copy window (reduced speed).
   auto advance_machine = [&](std::size_t mi, double now) {
     Machine& m = fleet[mi];
     for (int s = 0; s < 2; ++s) {
       if (!m.slot[s].has_value()) continue;
       RunningTask& t = *m.slot[s];
-      double dt = now - t.last_update_s;
-      if (dt <= 0.0) continue;
+      if (now <= t.last_update_s) continue;
       auto nb = neighbour_of(m, s);
       double speed = table.speed(t.app, nb);
-      t.remaining_solo_s = std::max(0.0, t.remaining_solo_s - dt * speed);
-      t.iops_integral += table.iops(t.app, nb) * dt;
+      double iops = table.iops(t.app, nb);
+      double t0 = t.last_update_s;
+      while (t0 < now) {
+        double t1 = now;
+        double factor = 1.0;
+        if (t0 < t.frozen_until_s) {
+          factor = 0.0;
+          t1 = std::min(t1, t.frozen_until_s);
+        } else if (t0 < m.copy_until_s) {
+          factor = copy_factor;
+          t1 = std::min(t1, m.copy_until_s);
+        }
+        double dt = t1 - t0;
+        t.remaining_solo_s =
+            std::max(0.0, t.remaining_solo_s - dt * speed * factor);
+        t.iops_integral += iops * factor * dt;
+        t0 = t1;
+      }
       t.last_update_s = now;
     }
   };
@@ -229,8 +296,24 @@ DynamicOutcome run_dynamic(const PerfTable& table,
       const RunningTask& t = *m.slot[s];
       double speed = table.speed(t.app, neighbour_of(m, s));
       TRACON_ASSERT(speed > 0.0, "non-positive task speed");
-      double eta = now + t.remaining_solo_s / speed;
-      events.push({eta, EventType::kCompletion, mi, s, m.stamp});
+      // Piecewise ETA mirroring advance_machine: sit out the freeze,
+      // run the copy window at reduced speed, then full speed.
+      double t0 = now;
+      double rem = t.remaining_solo_s;
+      if (t.frozen_until_s > t0) t0 = t.frozen_until_s;
+      if (m.copy_until_s > t0) {
+        // copy_interference < 1 keeps the copy-window rate positive.
+        double rate = speed * copy_factor;
+        double work = (m.copy_until_s - t0) * rate;
+        if (work >= rem) {
+          events.push({t0 + rem / rate, EventType::kCompletion, mi, s,
+                       m.stamp});
+          continue;
+        }
+        rem -= work;
+        t0 = m.copy_until_s;
+      }
+      events.push({t0 + rem / speed, EventType::kCompletion, mi, s, m.stamp});
     }
   };
 
@@ -298,6 +381,124 @@ DynamicOutcome run_dynamic(const PerfTable& table,
     }
   };
 
+  // One rebalance round: snapshot the running tasks, let the
+  // rebalancer plan against its live signals, then apply each move —
+  // lift the task off its source host, claim a destination slot of the
+  // planned class, freeze the task for the downtime, open the copy
+  // window on both hosts, and record provenance.
+  auto run_rebalancer = [&](double now) {
+    std::vector<migrate::RunningTaskView> views;
+    for (std::size_t mi = 0; mi < cfg.machines; ++mi) {
+      advance_machine(mi, now);
+      Machine& m = fleet[mi];
+      // Hosts mid-copy and tasks mid-freeze sit a round out: stacking
+      // migrations on an in-flight one compounds cost unpredictably.
+      if (m.copy_until_s > now) continue;
+      for (int s = 0; s < 2; ++s) {
+        if (!m.slot[s].has_value()) continue;
+        const RunningTask& t = *m.slot[s];
+        if (t.frozen_until_s > now) continue;
+        if (t.remaining_solo_s <= 1e-6) continue;  // completing now
+        migrate::RunningTaskView v;
+        v.task_id = t.task_id;
+        v.app = t.app;
+        v.machine = mi;
+        v.neighbour = neighbour_of(m, s);
+        v.remaining_solo_s = t.remaining_solo_s;
+        v.solo_runtime_s = table.solo_runtime(t.app);
+        v.started_s = t.started_s;
+        views.push_back(v);
+      }
+    }
+    // Worst-mispredict signal: attribute the run's own decision log so
+    // far. Shard-local under the sharded engine, so the report (and
+    // every plan derived from it) is thread-count independent.
+    std::optional<obs::AttributionReport> report;
+    if (tel != nullptr && tel->decisions.enabled() &&
+        tel->decisions.size() > 0) {
+      obs::DecisionDoc doc;
+      doc.version = obs::kJsonlSchemaVersion;
+      doc.events = tel->decisions.events();
+      report.emplace(obs::attribute(doc));
+    }
+    const auto plans = cfg.rebalancer->plan(
+        now, views, counts, report.has_value() ? &*report : nullptr);
+    for (const migrate::MigrationPlan& p : plans) {
+      // Resolve the destination before touching anything: earlier moves
+      // in the same round can have consumed the planned class's last
+      // slot (or left only the source machine itself holding it), in
+      // which case the plan is quietly dropped — the cluster state
+      // stays truthful and later plans resolve against it.
+      int key = p.dest_neighbour.has_value()
+                    ? 1 + static_cast<int>(*p.dest_neighbour)
+                    : 0;
+      std::optional<std::size_t> dest =
+          registry.try_pop_excluding(key, p.from_machine);
+      if (!dest.has_value()) continue;
+      std::size_t dest_mi = *dest;
+
+      Machine& src = fleet[p.from_machine];
+      int slot = -1;
+      for (int s = 0; s < 2; ++s) {
+        if (src.slot[s].has_value() && src.slot[s]->task_id == p.task_id)
+          slot = s;
+      }
+      TRACON_ASSERT(slot >= 0, "planned migration names a missing task");
+      RunningTask moved = *src.slot[slot];
+      src.slot[slot].reset();
+      --busy_slots;
+      if (src.occupancy() == 0) {
+        --busy_machines;
+        trace_event(now, obs::TraceEventKind::kVmStop, moved.app,
+                    p.from_machine, 0, now - moved.started_s, 0.0);
+      }
+      counts.depart(moved.app, neighbour_of(src, slot));
+      registry.set_key(p.from_machine, registry_key(src));
+
+      counts.place(moved.app, p.dest_neighbour);
+      advance_machine(dest_mi, now);
+      Machine& dst = fleet[dest_mi];
+      int dslot = dst.slot[0].has_value() ? 1 : 0;
+      TRACON_ASSERT(!dst.slot[dslot].has_value(), "slot already busy");
+      moved.last_update_s = now;
+      moved.frozen_until_s = now + p.downtime_s;
+      moved.placed_neighbour = p.dest_neighbour;
+      dst.slot[dslot] = moved;
+      registry.set_key(dest_mi, registry_key(dst));
+      ++busy_slots;
+      if (dst.occupancy() == 1) {
+        ++busy_machines;
+        trace_event(now, obs::TraceEventKind::kVmStart, moved.app, dest_mi,
+                    dst.occupancy(), 0.0, 0.0);
+      }
+
+      double copy_end = now + p.copy_s;
+      src.copy_until_s = std::max(src.copy_until_s, copy_end);
+      dst.copy_until_s = std::max(dst.copy_until_s, copy_end);
+      refresh_completions(p.from_machine, now);
+      refresh_completions(dest_mi, now);
+
+      if (c_migrated != nullptr) c_migrated->inc();
+      if (tel != nullptr && tel->decisions.enabled()) {
+        obs::DecisionEvent de;
+        de.task = moved.task_id;
+        de.time_s = now;
+        de.app = moved.app;
+        de.machine = dest_mi;
+        de.from_machine = p.from_machine;
+        de.from_neighbour = p.from_neighbour;
+        de.neighbour = p.dest_neighbour;
+        de.predicted_stay_s = p.predicted_stay_s;
+        de.predicted_move_s = p.predicted_move_s;
+        de.downtime_s = p.downtime_s;
+        de.copy_s = p.copy_s;
+        de.cost_s = p.cost_s;
+        de.margin = p.margin;
+        tel->decisions.record_migration(std::move(de));
+      }
+    }
+  };
+
   // Prime the arrival stream and the manager's scheduling rounds. The
   // Event's `machine` field carries the arrival index.
   TRACON_REQUIRE(cfg.queue_capacity >= 1, "queue capacity must be >= 1");
@@ -324,6 +525,11 @@ DynamicOutcome run_dynamic(const PerfTable& table,
   TRACON_REQUIRE(
       cfg.windowed_iops == nullptr || cfg.accuracy_probe != nullptr,
       "windowed IOPS accuracy requires an accuracy probe");
+  if (cfg.rebalancer != nullptr) {
+    double first = cfg.rebalancer->config().interval_s;
+    if (first < cfg.duration_s)
+      events.push({first, EventType::kRebalance, 0, 0, 0});
+  }
 
   while (!events.empty()) {
     Event ev = events.top();
@@ -401,6 +607,11 @@ DynamicOutcome run_dynamic(const PerfTable& table,
           cfg.outcome_observer->on_completion(departed, t->placed_neighbour,
                                               runtime, mean_iops);
         }
+        if (cfg.rebalancer != nullptr) {
+          cfg.rebalancer->observe_completion(departed, t->placed_neighbour,
+                                             runtime,
+                                             table.solo_runtime(departed));
+        }
         if (tel != nullptr && tel->decisions.enabled()) {
           obs::DecisionEvent de;
           de.task = t->task_id;
@@ -450,6 +661,13 @@ DynamicOutcome run_dynamic(const PerfTable& table,
         if (next > cfg.duration_s) next = cfg.duration_s;
         if (next > ev.time)
           events.push({next, EventType::kSnapshot, 0, 0, 0});
+        break;
+      }
+      case EventType::kRebalance: {
+        run_rebalancer(ev.time);
+        double next = ev.time + cfg.rebalancer->config().interval_s;
+        if (next < cfg.duration_s)
+          events.push({next, EventType::kRebalance, 0, 0, 0});
         break;
       }
     }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "migrate/rebalancer.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/telemetry.hpp"
 #include "sched/predictor.hpp"
@@ -75,6 +76,18 @@ struct DynamicConfig {
   /// Require `accuracy_probe`.
   obs::WindowedAccuracy* windowed_runtime = nullptr;
   obs::WindowedAccuracy* windowed_iops = nullptr;
+  /// Optional live rebalancer (not owned; may be nullptr). When set,
+  /// the event loop runs a rebalance round every
+  /// rebalancer->config().interval_s of virtual time: running tasks are
+  /// snapshotted (machines ascending, slot 0 first), the rebalancer
+  /// plans migrations from its live signals (plus an attribution report
+  /// over the run's own decision log when recording is on), and each
+  /// planned move is applied — the task is frozen for the downtime, a
+  /// copy-I/O window slows both hosts, and a decision-log migration
+  /// record preserves provenance. The rebalancer is also fed every
+  /// completion. Stateful: use one instance per run (per shard under
+  /// the sharded engine).
+  migrate::Rebalancer* rebalancer = nullptr;
   /// Optional arrival stream override (not owned; may be nullptr). When
   /// set, run_dynamic(table, scheduler, cfg) draws the arrival list from
   /// this source and lambda_per_min / mix / mix_stddev / seed are

@@ -32,6 +32,7 @@ struct ShardState {
   std::optional<obs::SnapshotSeries> series;
   std::optional<obs::WindowedAccuracy> win_runtime;
   std::optional<obs::WindowedAccuracy> win_iops;
+  std::optional<migrate::Rebalancer> rebalancer;
   DynamicOutcome outcome;
 };
 
@@ -181,6 +182,12 @@ ShardedOutcome run_dynamic_sharded(const PerfTable& table,
       s.cfg.accuracy_probe = cfg.accuracy_probe;
       s.cfg.accuracy_family = cfg.accuracy_family;
     }
+    if (cfg.rebalance) {
+      TRACON_REQUIRE(cfg.rebalance_predictor != nullptr,
+                     "sharded rebalancing needs a destination predictor");
+      s.rebalancer.emplace(*cfg.rebalance_predictor, cfg.rebalance_cfg);
+      s.cfg.rebalancer = &*s.rebalancer;
+    }
     if (series_on) {
       s.series.emplace(s.telemetry.metrics, cfg.snapshot_interval_s);
       s.cfg.snapshots = &*s.series;
@@ -293,6 +300,8 @@ ShardedOutcome run_dynamic_sharded(const PerfTable& table,
     for (const ShardState& s : states) {
       for (obs::DecisionEvent ev : s.telemetry.decisions.events()) {
         if (ev.machine != obs::DecisionEvent::kNoMachine) ev.machine += s.base;
+        if (ev.from_machine != obs::DecisionEvent::kNoMachine)
+          ev.from_machine += s.base;
         ev.task += task_base;
         all.push_back(std::move(ev));
       }

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "migrate/rebalancer.hpp"
 #include "obs/telemetry.hpp"
 #include "sched/predictor.hpp"
 #include "sched/scheduler.hpp"
@@ -79,6 +80,21 @@ struct ShardedConfig {
   std::string accuracy_family;
   /// Per-shard rolling accuracy window capacity (when probing).
   std::size_t accuracy_window = 64;
+
+  /// Live rebalancing, restricted per shard (DESIGN.md §6h): when on,
+  /// each shard owns one migrate::Rebalancer scoped to its own
+  /// machines, fed by its own completions and decision log — no state
+  /// crosses a shard boundary, so migrations are a function of the
+  /// shard's seed alone and `--threads N` stays byte-identical to
+  /// `--threads 1`. Cross-shard moves are deliberately not modeled: a
+  /// shard is the paper's per-manager sub-cluster, and a manager only
+  /// migrates within its own fleet.
+  bool rebalance = false;
+  migrate::RebalanceConfig rebalance_cfg;
+  /// Predictor the per-shard rebalancers score destinations with; must
+  /// be non-null when `rebalance` is set and immutable under
+  /// concurrent reads (TablePredictor qualifies).
+  const sched::Predictor* rebalance_predictor = nullptr;
 
   /// > 0 enables the merged snapshot series (ShardedOutcome::series):
   /// every shard samples the same virtual-clock window grid, and

@@ -1,0 +1,29 @@
+#include "virt/migration.hpp"
+
+#include "util/error.hpp"
+
+namespace tracon::virt {
+
+MigrationCostModel::MigrationCostModel(const MigrationCostConfig& cfg)
+    : cfg_(cfg) {
+  TRACON_REQUIRE(cfg_.downtime_s >= 0.0,
+                 "migration downtime must be non-negative");
+  TRACON_REQUIRE(cfg_.copy_bandwidth_mbps > 0.0,
+                 "migration copy bandwidth must be positive");
+  TRACON_REQUIRE(cfg_.working_set_mb > 0.0,
+                 "migration working set must be positive");
+  TRACON_REQUIRE(cfg_.copy_interference >= 0.0 && cfg_.copy_interference < 1.0,
+                 "migration copy interference must be in [0, 1)");
+}
+
+double MigrationCostModel::copy_duration_s(double working_set_mb) const {
+  TRACON_REQUIRE(working_set_mb > 0.0, "working set must be positive");
+  return working_set_mb / cfg_.copy_bandwidth_mbps;
+}
+
+double MigrationCostModel::task_cost_s(double working_set_mb) const {
+  return cfg_.downtime_s +
+         copy_duration_s(working_set_mb) * cfg_.copy_interference;
+}
+
+}  // namespace tracon::virt

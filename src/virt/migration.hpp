@@ -1,0 +1,65 @@
+// Migration cost model (ROADMAP "Live rebalancing via task/VM
+// migration"): what it costs to move a running task's VM to another
+// host. The model follows the two-phase picture of pre-copy live
+// migration —
+//   1. a copy phase of `working_set_mb / copy_bandwidth_mbps` seconds,
+//      during which the copy traffic itself is interference: every
+//      task on the source AND destination host (the migrating task
+//      included) runs at a reduced speed factor, because migration
+//      I/O competes with application I/O on both ends (Jin et al.,
+//      "A Joint Optimization of Operational Cost and Performance
+//      Interference", PAPERS.md);
+//   2. a stop-and-copy pause of `downtime_s` during which the
+//      migrating task makes no progress at all.
+// The rebalancer charges the migrating task
+//   task_cost_s = downtime + copy_duration * copy_interference
+// (its own slowdown while the copy competes with it) and the dynamic
+// event loop injects the copy window on both hosts so co-runners pay
+// their share too. Everything is a pure function of the config —
+// no clocks, no randomness — so migration decisions stay inside the
+// determinism contract.
+#pragma once
+
+namespace tracon::virt {
+
+struct MigrationCostConfig {
+  /// Stop-and-copy pause: the migrating task is frozen this long.
+  double downtime_s = 0.5;
+  /// Host copy bandwidth in MB/s, shared with application I/O.
+  double copy_bandwidth_mbps = 400.0;
+  /// Default per-task working-set size in MB (the amount that must be
+  /// copied); callers may override per task.
+  double working_set_mb = 512.0;
+  /// Fraction of execution speed lost by every task on the source and
+  /// destination hosts while the copy is in flight, in [0, 1).
+  double copy_interference = 0.25;
+};
+
+/// Validated, immutable view over a MigrationCostConfig. Throws
+/// std::invalid_argument (via TRACON_REQUIRE) on non-positive
+/// bandwidth/working set, negative downtime, or interference outside
+/// [0, 1).
+class MigrationCostModel {
+ public:
+  explicit MigrationCostModel(const MigrationCostConfig& cfg);
+
+  const MigrationCostConfig& config() const { return cfg_; }
+
+  /// Seconds the copy phase lasts for a given working set.
+  double copy_duration_s(double working_set_mb) const;
+  double copy_duration_s() const { return copy_duration_s(cfg_.working_set_mb); }
+
+  /// Speed multiplier applied to every task on the source and
+  /// destination hosts during the copy window: 1 - copy_interference.
+  double copy_speed_factor() const { return 1.0 - cfg_.copy_interference; }
+
+  /// Total cost charged to the migrating task itself: the downtime
+  /// pause plus its own slowdown share of the copy window.
+  double task_cost_s(double working_set_mb) const;
+  double task_cost_s() const { return task_cost_s(cfg_.working_set_mb); }
+
+ private:
+  MigrationCostConfig cfg_;
+};
+
+}  // namespace tracon::virt

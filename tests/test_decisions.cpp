@@ -93,7 +93,7 @@ TEST(DecisionLog, GoldenBytes) {
   log.record_outcome(o);
 
   const std::string expected =
-      "{\"schema\": \"tracon.decision_log\", \"version\": 1, "
+      "{\"schema\": \"tracon.decision_log\", \"version\": 2, "
       "\"fingerprint\": {\"seed\": \"7\"}}\n"
       "{\"kind\": \"decision\", \"task\": 3, \"t\": 384.25, \"app\": 1, "
       "\"scheduler\": \"MIBS_8\", \"objective\": \"runtime\", "
@@ -121,7 +121,7 @@ TEST(DecisionLog, RoundTripsByteExactly) {
 
   const std::string bytes = log.str();
   DecisionDoc doc = obs::parse_decision_log(bytes);
-  EXPECT_EQ(doc.version, 1);
+  EXPECT_EQ(doc.version, 2);
   EXPECT_EQ(doc.fingerprint.at("seed"), "7");
   ASSERT_EQ(doc.events.size(), 3u);
   EXPECT_EQ(doc.events[0].kind, DecisionEvent::Kind::kDecision);

@@ -63,6 +63,8 @@ TEST(Determinism, CoversReplayAndRunstore) {
       has_rule(lint_content("src/replay/bad.cpp", body), "determinism"));
   EXPECT_TRUE(
       has_rule(lint_content("src/runstore/bad.cpp", body), "determinism"));
+  EXPECT_TRUE(
+      has_rule(lint_content("src/migrate/bad.cpp", body), "determinism"));
 }
 
 TEST(UnorderedOutput, FiresOnlyInSerializationDirs) {
@@ -72,6 +74,10 @@ TEST(UnorderedOutput, FiresOnlyInSerializationDirs) {
   EXPECT_TRUE(has_rule(lint_content("src/replay/bad.cpp", body),
                        "unordered-output"));
   EXPECT_TRUE(has_rule(lint_content("src/runstore/bad.hpp", body),
+                       "unordered-output"));
+  // Migration plans land in the decision log, which byte-compares
+  // across --threads, so src/migrate is serialization scope too.
+  EXPECT_TRUE(has_rule(lint_content("src/migrate/bad.cpp", body),
                        "unordered-output"));
   // Hash containers are fine where iteration order never reaches a
   // serialized byte stream.

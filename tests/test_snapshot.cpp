@@ -82,7 +82,7 @@ TEST(SnapshotSeriesTest, EmitsCounterDeltasGaugesAndAccuracy) {
   series.sample(20.0);
 
   MetricsSeries parsed = obs::parse_metrics_series(series.str());
-  EXPECT_EQ(parsed.version, 1);
+  EXPECT_EQ(parsed.version, 2);
   EXPECT_DOUBLE_EQ(parsed.interval_s, 10.0);
   ASSERT_EQ(parsed.windows.size(), 2u);
   EXPECT_EQ(parsed.windows[0].index, 0u);

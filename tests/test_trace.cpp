@@ -60,7 +60,7 @@ TEST(TraceRecorder, JsonlFormat) {
   std::ostringstream os;
   t.write_jsonl(os);
   EXPECT_EQ(os.str(),
-            "{\"schema\": \"tracon.task_events\", \"version\": 1, "
+            "{\"schema\": \"tracon.task_events\", \"version\": 2, "
             "\"events\": 2}\n"
             "{\"time_s\": 1.5, \"event\": \"placed\", \"app\": 3, "
             "\"machine\": 7}\n"

@@ -63,10 +63,11 @@ std::string module_of(const std::string& path) {
 
 int layer_rank(const std::string& module) {
   static const std::map<std::string, int> kRanks = {
-      {"util", 0},     {"obs", 1},      {"stats", 2},  {"virt", 2},
-      {"workload", 3}, {"monitor", 3},  {"model", 4},  {"sched", 5},
-      {"sim", 6},      {"replay", 7},   {"runstore", 7}, {"core", 8},
-      {"tools", 9},    {"bench", 9},    {"examples", 9}, {"tests", 10},
+      {"util", 0},     {"obs", 1},      {"stats", 2},    {"virt", 2},
+      {"workload", 3}, {"monitor", 3},  {"model", 4},    {"sched", 5},
+      {"migrate", 6},  {"sim", 7},      {"replay", 8},   {"runstore", 8},
+      {"core", 9},     {"tools", 10},   {"bench", 10},   {"examples", 10},
+      {"tests", 11},
   };
   auto it = kRanks.find(module);
   return it == kRanks.end() ? -1 : it->second;

@@ -1,8 +1,8 @@
 // determinism-taint: the repo's headline contract is that every run
 // replays bit-identically from its seed, so the bytes the system emits
 // (metrics/trace/series/decision-log exports in src/obs, traces in
-// src/replay, stored runs in src/runstore) must never be downstream of
-// a nondeterminism source. tracon_lint catches the obvious line hits in
+// src/replay, stored runs in src/runstore, migration plans in
+// src/migrate) must never be downstream of a nondeterminism source. tracon_lint catches the obvious line hits in
 // a fixed directory list; this pass instead catalogs sources anywhere
 // in src/ and uses the include graph to decide whether each one can
 // share a translation unit with an emitter — if it can, the tainted
@@ -126,7 +126,8 @@ void pass_determinism_taint(const Project& project, Reporter& reporter) {
   for (std::size_t i = 0; i < files.size(); ++i) {
     const std::string& m = files[i].module;
     is_emitter[i] = files[i].path.rfind("src/", 0) == 0 &&
-                    (m == "obs" || m == "replay" || m == "runstore");
+                    (m == "obs" || m == "replay" || m == "runstore" ||
+                     m == "migrate");
   }
 
   // For every translation unit, the closure and whether it reaches an

@@ -156,10 +156,12 @@ const std::regex& unordered_regex() {
   return re;
 }
 
-/// src/replay and src/runstore write files whose bytes are contractually
-/// stable (replayed traces and stored runs hash to the same id across
-/// runs and platforms); iterating a hash container anywhere in that code
-/// risks feeding hash order into the output.
+/// src/replay, src/runstore, and src/migrate produce bytes that are
+/// contractually stable (replayed traces and stored runs hash to the
+/// same id across runs and platforms; migration plans land in the
+/// decision log, which byte-compares across --threads); iterating a
+/// hash container anywhere in that code risks feeding hash order into
+/// the output.
 void check_unordered(const std::string& stripped, const Suppressions& sup,
                      std::vector<Finding>* out) {
   scan_lines(stripped, unordered_regex(), sup, "unordered-output",
@@ -563,6 +565,7 @@ std::vector<Finding> lint_content(const std::string& rel_path,
   const bool serialization_dir =
       starts_with(rel_path, "src/replay/") ||
       starts_with(rel_path, "src/runstore/") ||
+      starts_with(rel_path, "src/migrate/") ||
       starts_with(rel_path, "src/obs/decision_log") ||
       starts_with(rel_path, "src/obs/attribution");
   if ((starts_with(rel_path, "src/sim/") ||
@@ -634,11 +637,12 @@ std::string format(const Finding& f) {
 const std::vector<RuleDoc>& rule_docs() {
   static const std::vector<RuleDoc> kDocs = {
       {"determinism",
-       "no RNG/wall-clock calls in sim, virt, sched, obs, replay, "
-       "runstore (except the scope-timer profiler)"},
+       "no RNG/wall-clock calls in sim, virt, sched, migrate, obs, "
+       "replay, runstore (except the scope-timer profiler)"},
       {"unordered-output",
-       "no std::unordered_* in replay/runstore or the decision-log/"
-       "attribution writers (serialized bytes must not depend on hash "
+       "no std::unordered_* in replay/runstore/migrate or the "
+       "decision-log/attribution writers (serialized bytes must not "
+       "depend on hash "
        "order)"},
       {"float-eq",
        "no ==/!= against floating-point literals outside src/stats"},

@@ -275,7 +275,10 @@ void check_decisions(const tracon::obs::DecisionDoc& doc) {
   bool candidates_ok = true;
   bool families_ok = true;
   bool joins_ok = true;
+  bool hosts_ok = true;
+  bool costs_ok = true;
   std::size_t decisions = 0;
+  std::size_t migrations = 0;
   std::size_t outcomes = 0;
   double prev_t = 0.0;
   std::set<std::uint64_t> decided;
@@ -294,18 +297,36 @@ void check_decisions(const tracon::obs::DecisionDoc& doc) {
         families_ok = false;
       for (const auto& c : e.candidates)
         if (c.by_family.size() != e.families.size()) families_ok = false;
+    } else if (e.kind == DecisionEvent::Kind::kMigration) {
+      ++migrations;
+      // A migration must name both hosts, actually move (the event
+      // loop never migrates a task onto its own machine), and carry a
+      // physically sensible cost decomposition.
+      if (e.machine == DecisionEvent::kNoMachine ||
+          e.from_machine == DecisionEvent::kNoMachine ||
+          e.machine == e.from_machine)
+        hosts_ok = false;
+      if (e.downtime_s < 0.0 || e.copy_s < 0.0 || e.cost_s < 0.0)
+        costs_ok = false;
+      if (!decided.empty() && decided.count(e.task) == 0) joins_ok = false;
     } else {
       ++outcomes;
       if (!decided.empty() && decided.count(e.task) == 0) joins_ok = false;
     }
   }
-  check(decisions + outcomes > 0, "decision log contains at least one record");
+  check(decisions + migrations + outcomes > 0,
+        "decision log contains at least one record");
   check(times_ok, "decision-log times are monotonically non-decreasing");
   check(candidates_ok, "every decision has a non-empty candidate set");
   check(families_ok,
         "family/weight/by_family arrays agree on every decision");
   check(joins_ok,
-        "every outcome joins to a decision (or the run recorded none)");
+        "every migration/outcome joins to a decision (or the run "
+        "recorded none)");
+  check(hosts_ok,
+        "every migration names distinct source/destination machines");
+  check(costs_ok,
+        "every migration carries non-negative downtime/copy/cost fields");
 }
 
 }  // namespace

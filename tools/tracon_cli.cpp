@@ -78,6 +78,23 @@
 //   --decisions                  record the decision log and store it
 //                                with the run (record/replay), readable
 //                                later via `explain` / `attribution`
+//
+// Live rebalancing flags (dynamic, record, replay; DESIGN.md §6h):
+//   --rebalance                  run a migrate::Rebalancer round every
+//                                --rebalance-interval sim-seconds
+//                                (default 60): tasks in degrading
+//                                (app, co-runner) cells move when the
+//                                predicted benefit beats the migration
+//                                cost by --rebalance-min-benefit s
+//   --rebalance-max-moves N      cap migrations per round (default 2)
+//   --migration-downtime S       stop-and-copy pause, s (default 0.5)
+//   --migration-bandwidth MBPS   copy bandwidth      (default 400)
+//   --working-set MB             copied working set  (default 512)
+//   --migration-interference F   host slowdown fraction while copying,
+//                                in [0,1)            (default 0.25)
+//   Works with --threads: rebalancing is per shard, and every export
+//   stays byte-identical across thread counts. Migrations appear in
+//   the decision log as `migration` records (`explain` shows them).
 // All telemetry timestamps are virtual-clock; same-seed runs produce
 // byte-identical files (including the snapshot series and decision
 // log).
@@ -98,6 +115,7 @@
 #include <string>
 
 #include "core/tracon.hpp"
+#include "migrate/rebalancer.hpp"
 #include "obs/accuracy.hpp"
 #include "obs/attribution.hpp"
 #include "obs/decision_log.hpp"
@@ -172,6 +190,37 @@ workload::MixKind mix_by_name(const std::string& m) {
 
 workload::MixKind mix_from(const ArgParser& args) {
   return mix_by_name(args.get("mix", "medium"));
+}
+
+/// Parses the live-rebalancing knobs (DESIGN.md §6h). Returns true when
+/// --rebalance is on; `out` then carries the round interval, the
+/// hysteresis margin, and the migration cost model's parameters.
+bool rebalance_from(const ArgParser& args, migrate::RebalanceConfig* out) {
+  if (!args.has("rebalance")) return false;
+  out->interval_s = args.get_double("rebalance-interval", out->interval_s);
+  out->min_benefit_s =
+      args.get_double("rebalance-min-benefit", out->min_benefit_s);
+  out->max_moves_per_round = static_cast<std::size_t>(args.get_int(
+      "rebalance-max-moves", static_cast<long>(out->max_moves_per_round)));
+  out->cost.downtime_s =
+      args.get_double("migration-downtime", out->cost.downtime_s);
+  out->cost.copy_bandwidth_mbps =
+      args.get_double("migration-bandwidth", out->cost.copy_bandwidth_mbps);
+  out->cost.working_set_mb =
+      args.get_double("working-set", out->cost.working_set_mb);
+  out->cost.copy_interference =
+      args.get_double("migration-interference", out->cost.copy_interference);
+  return true;
+}
+
+/// Fingerprint entries for a rebalancing run. Pure functions of the
+/// flags — identical across thread counts, so they are safe to copy
+/// onto the decision-log fingerprint.
+void stamp_rebalance_fingerprint(obs::MetricsRegistry& metrics,
+                                 const migrate::RebalanceConfig& rc) {
+  metrics.set_fingerprint("rebalance", "on");
+  metrics.set_fingerprint("rebalance_interval",
+                          obs::json_number(rc.interval_s));
 }
 
 /// Stamps the run-identity block every metrics export carries: enough
@@ -447,6 +496,10 @@ int cmd_dynamic_sharded(const ArgParser& args) {
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   cfg.threads = static_cast<std::size_t>(args.get_int("threads", 1));
   cfg.shards = static_cast<std::size_t>(args.get_int("shards", 0));
+  if (rebalance_from(args, &cfg.rebalance_cfg)) {
+    cfg.rebalance = true;
+    cfg.rebalance_predictor = &sys.predictor();
+  }
   TRACON_REQUIRE(!args.has("prof") || cfg.threads == 1,
                  "--prof requires --threads 1: the profiling accumulators "
                  "are not synchronized across shard workers");
@@ -478,6 +531,8 @@ int cmd_dynamic_sharded(const ArgParser& args) {
   base_cfg.telemetry = nullptr;
   base_cfg.accuracy_probe = nullptr;
   base_cfg.snapshot_interval_s = 0.0;
+  base_cfg.rebalance = false;
+  base_cfg.rebalance_predictor = nullptr;
   auto base = sim::run_dynamic_sharded(
       sys.perf_table(),
       [&](std::size_t shard) -> std::unique_ptr<sched::Scheduler> {
@@ -508,6 +563,8 @@ int cmd_dynamic_sharded(const ArgParser& args) {
                       args.get("model", "nlm"), sched_name, "live");
     tel.metrics.set_fingerprint("threads", std::to_string(o.threads_used));
     tel.metrics.set_fingerprint("shards", std::to_string(o.shards));
+    if (cfg.rebalance)
+      stamp_rebalance_fingerprint(tel.metrics, cfg.rebalance_cfg);
     if (want_decisions) stamp_decision_fingerprint(tel);
   }
 
@@ -589,6 +646,16 @@ int cmd_dynamic(const ArgParser& args) {
   sim::TraceRecorder trace;
   if (args.has("trace") || args.has("events-jsonl")) cfg.trace = &trace;
 
+  // Rebalancing applies to the chosen-scheduler run only — the FIFO
+  // pass above stays the un-rebalanced normalization baseline.
+  migrate::RebalanceConfig reb_cfg;
+  const bool want_rebalance = rebalance_from(args, &reb_cfg);
+  std::optional<migrate::Rebalancer> rebalancer;
+  if (want_rebalance) {
+    rebalancer.emplace(sys.predictor(), reb_cfg);
+    cfg.rebalancer = &*rebalancer;
+  }
+
   // Telemetry wraps only the chosen-scheduler run (the FIFO pass above
   // is just the normalization baseline).
   const bool want_metrics = args.has("metrics-out") || args.has("metrics-csv");
@@ -614,6 +681,7 @@ int cmd_dynamic(const ArgParser& args) {
     stamp_fingerprint(tel.metrics, cfg, args.get("host", "paper"),
                       args.get("model", "nlm"), sched->name(), "live");
     if (want_confidence) tel.metrics.set_fingerprint("confidence", "on");
+    if (want_rebalance) stamp_rebalance_fingerprint(tel.metrics, reb_cfg);
     if (want_decisions) stamp_decision_fingerprint(tel);
   } else {
     sched = scheduler_from(args, sys, false);
@@ -718,6 +786,12 @@ int run_and_store(const ArgParser& args, core::Tracon& sys,
   cfg.telemetry = &tel;
   cfg.accuracy_probe = &sys.predictor();
   cfg.accuracy_family = model::model_kind_name(sys.model_kind());
+  migrate::RebalanceConfig reb_cfg;
+  std::optional<migrate::Rebalancer> rebalancer;
+  if (rebalance_from(args, &reb_cfg)) {
+    rebalancer.emplace(sys.predictor(), reb_cfg);
+    cfg.rebalancer = &*rebalancer;
+  }
   RunInstruments inst;
   instrument_run(args, sys, cfg, tel, default_queue, inst);
   std::unique_ptr<sched::Scheduler> sched =
@@ -729,6 +803,8 @@ int run_and_store(const ArgParser& args, core::Tracon& sys,
   stamp_fingerprint(tel.metrics, cfg, host, model, sched->name(), source);
   if (inst.confidence != nullptr)
     tel.metrics.set_fingerprint("confidence", "on");
+  if (rebalancer.has_value())
+    stamp_rebalance_fingerprint(tel.metrics, reb_cfg);
   if (want_decisions) stamp_decision_fingerprint(tel);
 
   if (args.has("metrics-out")) {
@@ -1141,9 +1217,12 @@ int cmd_explain(const ArgParser& args) {
   // explain the same record attribute() would use.
   const obs::DecisionEvent* decision = nullptr;
   const obs::DecisionEvent* outcome = nullptr;
+  std::vector<const obs::DecisionEvent*> migrations;
   for (const obs::DecisionEvent& e : doc.events) {
     if (e.task != task) continue;
     if (e.kind == obs::DecisionEvent::Kind::kDecision) decision = &e;
+    else if (e.kind == obs::DecisionEvent::Kind::kMigration)
+      migrations.push_back(&e);
     else outcome = &e;
   }
   if (decision == nullptr) {
@@ -1188,6 +1267,19 @@ int cmd_explain(const ArgParser& args) {
   std::printf("  predicted: runtime %s s, IOPS %s\n",
               fmt(decision->predicted_runtime_s, 1).c_str(),
               fmt(decision->predicted_iops, 1).c_str());
+  for (const obs::DecisionEvent* m : migrations) {
+    std::printf("  migrated:  machine %zu (next to %s) -> machine %zu "
+                "(next to %s) at t=%s s\n",
+                m->from_machine, neighbour_name(m->from_neighbour).c_str(),
+                m->machine, neighbour_name(m->neighbour).c_str(),
+                fmt(m->time_s, 1).c_str());
+    std::printf("             stay %s s vs move %s s; cost %s s "
+                "(%s s downtime + %s s copy), margin %s s\n",
+                fmt(m->predicted_stay_s, 1).c_str(),
+                fmt(m->predicted_move_s, 1).c_str(),
+                fmt(m->cost_s, 2).c_str(), fmt(m->downtime_s, 2).c_str(),
+                fmt(m->copy_s, 2).c_str(), fmt(m->margin, 2).c_str());
+  }
   if (outcome != nullptr) {
     double slowdown = outcome->solo_runtime_s > 0.0
                           ? outcome->runtime_s / outcome->solo_runtime_s
