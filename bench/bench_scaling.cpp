@@ -15,6 +15,10 @@
 //      telemetry attached and decision recording off vs on, measuring
 //      what the provenance stream (DESIGN.md section 6g) costs when
 //      enabled (it is a no-op when off).
+//   4. span-log overhead — the same off-vs-on probe for the
+//      task-lifecycle span stream (DESIGN.md section 6i), which records
+//      a span per co-runner epoch and so writes more events than the
+//      decision log.
 //
 // When TRACON_BENCH_OUT names a directory, a machine-readable summary
 // is written to $TRACON_BENCH_OUT/BENCH_scaling.json (CI consumes it;
@@ -145,6 +149,36 @@ DecisionRow run_decisions(std::size_t machines, std::size_t threads,
   return row;
 }
 
+/// Span-log overhead probe: same configuration, with the lifecycle
+/// span stream (DESIGN.md section 6i) off vs on.
+DecisionRow run_spans(std::size_t machines, std::size_t threads, bool spans) {
+  const sched::TablePredictor& oracle = [] {
+    static sched::TablePredictor p = table().oracle_predictor();
+    return p;
+  }();
+  sim::ShardedConfig cfg;
+  cfg.machines = machines;
+  cfg.lambda_per_min = static_cast<double>(machines);
+  cfg.duration_s = 1'800.0;
+  cfg.seed = 7;
+  cfg.threads = threads;
+  obs::Telemetry tel;
+  tel.spans.set_enabled(spans);
+  cfg.telemetry = &tel;
+  auto start = std::chrono::steady_clock::now();
+  sim::run_dynamic_sharded(
+      table(),
+      [&](std::size_t) {
+        return std::make_unique<sched::MibsScheduler>(
+            oracle, sched::Objective::kRuntime, 8, 60.0);
+      },
+      cfg);
+  DecisionRow row;
+  row.wall_s = seconds_since(start);
+  row.events = tel.spans.size();
+  return row;
+}
+
 /// Microbench: repeated MIBS rounds with a 256-task Min-Min window over
 /// a half-occupied cluster; returns microseconds per scheduling round.
 /// The wide window (vs the paper's MIBS_8) stresses the candidate-2
@@ -236,6 +270,21 @@ int main() {
                      std::to_string(dec_on.events)});
   decisions.print(std::cout);
 
+  std::printf("\nspan-log overhead (%zu machines, %zu threads):\n",
+              dec_machines, dec_threads);
+  DecisionRow span_off = run_spans(dec_machines, dec_threads, false);
+  DecisionRow span_on = run_spans(dec_machines, dec_threads, true);
+  double span_overhead_pct =
+      span_off.wall_s > 0.0
+          ? (span_on.wall_s / span_off.wall_s - 1.0) * 100.0
+          : 0.0;
+  TableWriter spans({"recording", "wall_s", "overhead_%", "events"});
+  spans.add_row({"off", fmt(span_off.wall_s, 2), "0.00",
+                 std::to_string(span_off.events)});
+  spans.add_row({"on", fmt(span_on.wall_s, 2), fmt(span_overhead_pct, 2),
+                 std::to_string(span_on.events)});
+  spans.print(std::cout);
+
   const char* out_dir = std::getenv("TRACON_BENCH_OUT");
   if (out_dir != nullptr && *out_dir != '\0') {
     std::string path = std::string(out_dir) + "/BENCH_scaling.json";
@@ -265,7 +314,13 @@ int main() {
         << ", \"disabled_wall_s\": " << fmt(dec_off.wall_s, 4)
         << ", \"enabled_wall_s\": " << fmt(dec_on.wall_s, 4)
         << ", \"overhead_pct\": " << fmt(dec_overhead_pct, 2)
-        << ", \"events\": " << dec_on.events << "}\n}\n";
+        << ", \"events\": " << dec_on.events << "},\n"
+        << "  \"spans\": {\"machines\": " << dec_machines
+        << ", \"threads\": " << dec_threads
+        << ", \"disabled_wall_s\": " << fmt(span_off.wall_s, 4)
+        << ", \"enabled_wall_s\": " << fmt(span_on.wall_s, 4)
+        << ", \"overhead_pct\": " << fmt(span_overhead_pct, 2)
+        << ", \"events\": " << span_on.events << "}\n}\n";
     std::printf("\nwrote %s\n", path.c_str());
   }
   return 0;

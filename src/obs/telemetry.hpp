@@ -7,12 +7,15 @@
 //   - tracer: the per-event timeline (Chrome trace / JSONL export);
 //   - decisions: the placement-provenance log (opt-in via
 //     set_enabled; inert otherwise so pre-existing exports keep
-//     their exact bytes).
+//     their exact bytes);
+//   - spans: the task-lifecycle span log (opt-in via set_enabled;
+//     same inert-when-off contract as decisions).
 #pragma once
 
 #include "obs/decision_log.hpp"
 #include "obs/event_tracer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span_log.hpp"
 
 namespace tracon::obs {
 
@@ -20,6 +23,7 @@ struct Telemetry {
   MetricsRegistry metrics;
   EventTracer tracer;
   DecisionLog decisions;
+  SpanLog spans;
 };
 
 }  // namespace tracon::obs

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/attribution.hpp"
+#include "obs/breakdown.hpp"
 #include "obs/json.hpp"
 #include "obs/jsonl.hpp"
 #include "obs/metrics.hpp"
@@ -194,6 +195,32 @@ void diff_decisions(const obs::AttributionReport& a,
                           b.mean_abs_runtime_error});
   section.rows.push_back(
       {"mean |iops rel error|", a.mean_abs_iops_error, b.mean_abs_iops_error});
+  report->sections.push_back(std::move(section));
+}
+
+void diff_breakdown(const obs::BreakdownReport& a,
+                    const obs::BreakdownReport& b, RunReport* report) {
+  TRACON_REQUIRE(report != nullptr, "diff_breakdown needs a report");
+  auto mean = [](const obs::BreakdownCell& cell, double component) {
+    return cell.tasks > 0 ? component / static_cast<double>(cell.tasks) : 0.0;
+  };
+  ReportSection section{"breakdown", {}};
+  section.rows.push_back({"completed tasks",
+                          static_cast<double>(a.total.tasks),
+                          static_cast<double>(b.total.tasks)});
+  section.rows.push_back({"mean wait s", mean(a.total, a.total.wait_s),
+                          mean(b.total, b.total.wait_s)});
+  section.rows.push_back({"mean solo s", mean(a.total, a.total.solo_s),
+                          mean(b.total, b.total.solo_s)});
+  section.rows.push_back({"mean interference s",
+                          mean(a.total, a.total.interference_s),
+                          mean(b.total, b.total.interference_s)});
+  section.rows.push_back({"mean migration s",
+                          mean(a.total, a.total.migration_s),
+                          mean(b.total, b.total.migration_s)});
+  section.rows.push_back({"mean end-to-end s",
+                          mean(a.total, a.total.end_to_end_s()),
+                          mean(b.total, b.total.end_to_end_s())});
   report->sections.push_back(std::move(section));
 }
 

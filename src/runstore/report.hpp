@@ -16,6 +16,7 @@ namespace tracon::obs {
 class JsonValue;
 struct MetricsSeries;
 struct AttributionReport;
+struct BreakdownReport;
 }
 
 namespace tracon::runstore {
@@ -95,6 +96,14 @@ void diff_series(const obs::MetricsSeries& a, const obs::MetricsSeries& b,
 /// just outcomes. Renders through the same generic section machinery.
 void diff_decisions(const obs::AttributionReport& a,
                     const obs::AttributionReport& b, RunReport* report);
+
+/// Appends a "breakdown" section comparing two runs' latency
+/// decompositions: completed-task count and the mean per-task seconds
+/// spent in each component (wait / solo / interference / migration) —
+/// *where* the latency delta between the runs comes from, not just its
+/// size. Renders through the same generic section machinery.
+void diff_breakdown(const obs::BreakdownReport& a,
+                    const obs::BreakdownReport& b, RunReport* report);
 
 /// Aligned text tables, one per non-empty section, preceded by the
 /// fingerprint keys on which the two runs differ.

@@ -108,18 +108,20 @@ std::string RunStore::add_run(const obs::MetricsRegistry& metrics,
                               const std::string& scheduler,
                               const std::string& source,
                               const std::string& series_jsonl,
-                              const std::string& decisions_jsonl) {
+                              const std::string& decisions_jsonl,
+                              const std::string& spans_jsonl) {
   std::ostringstream os;
   metrics.write_json(os);
   return add_run_json(os.str(), scheduler, source, metrics.fingerprint(),
-                      series_jsonl, decisions_jsonl);
+                      series_jsonl, decisions_jsonl, spans_jsonl);
 }
 
 std::string RunStore::add_run_json(
     const std::string& metrics_json, const std::string& scheduler,
     const std::string& source,
     const std::map<std::string, std::string>& fingerprint,
-    const std::string& series_jsonl, const std::string& decisions_jsonl) {
+    const std::string& series_jsonl, const std::string& decisions_jsonl,
+    const std::string& spans_jsonl) {
   const std::string id = content_id(metrics_json);
   LoadResult existing = load();
   for (const RunRecord& r : existing.runs) {
@@ -138,6 +140,11 @@ std::string RunStore::add_run_json(
     decisions_rel = "objects/" + id + ".decisions.jsonl";
     write_file_atomic(dir_ / decisions_rel, decisions_jsonl);
   }
+  std::string spans_rel;
+  if (!spans_jsonl.empty()) {
+    spans_rel = "objects/" + id + ".spans.jsonl";
+    write_file_atomic(dir_ / spans_rel, spans_jsonl);
+  }
 
   const fs::path index = dir_ / "index.jsonl";
   std::error_code ec;
@@ -154,6 +161,7 @@ std::string RunStore::add_run_json(
       .field("metrics", metrics_rel);
   if (!series_rel.empty()) record.field("series", series_rel);
   if (!decisions_rel.empty()) record.field("decisions", decisions_rel);
+  if (!spans_rel.empty()) record.field("spans", spans_rel);
   record.raw_field("fingerprint", fingerprint_json(fingerprint));
   append_line_fsync(index, record.str());
   return id;
@@ -199,6 +207,10 @@ RunStore::LoadResult RunStore::load() const {
       if (const obs::JsonValue* decisions = obj.find("decisions");
           decisions != nullptr && decisions->is_string()) {
         rec.decisions_rel = decisions->as_string();
+      }
+      if (const obs::JsonValue* spans = obj.find("spans");
+          spans != nullptr && spans->is_string()) {
+        rec.spans_rel = spans->as_string();
       }
       if (const obs::JsonValue* fp = obj.find("fingerprint");
           fp != nullptr && fp->is_object()) {
@@ -269,6 +281,19 @@ std::string RunStore::read_decisions(const RunRecord& record) const {
   if (!in) {
     throw std::runtime_error(
         "runstore: cannot open decisions object for run " + record.id);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string RunStore::read_spans(const RunRecord& record) const {
+  TRACON_REQUIRE(record.has_spans(),
+                 "run stored no span log (record with --spans)");
+  std::ifstream in(dir_ / record.spans_rel, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("runstore: cannot open spans object for run " +
+                             record.id);
   }
   std::ostringstream buf;
   buf << in.rdbuf();

@@ -7,6 +7,7 @@
 //   <dir>/objects/<id>.json     the run's full metrics export
 //   <dir>/objects/<id>.series.jsonl  optional windowed snapshot series
 //   <dir>/objects/<id>.decisions.jsonl  optional decision-provenance log
+//   <dir>/objects/<id>.spans.jsonl  optional task-lifecycle span log
 //
 // Run ids are content hashes (FNV-1a 64 over the metrics JSON), so a
 // byte-identical re-run stores under the same id and storing is
@@ -42,10 +43,12 @@ struct RunRecord {
   std::string metrics_rel;  ///< object path relative to the store dir
   std::string series_rel;   ///< snapshot-series path; empty when none
   std::string decisions_rel;  ///< decision-log path; empty when none
+  std::string spans_rel;      ///< span-log path; empty when none
   std::map<std::string, std::string> fingerprint;  ///< config fingerprint
 
   bool has_series() const { return !series_rel.empty(); }
   bool has_decisions() const { return !decisions_rel.empty(); }
+  bool has_spans() const { return !spans_rel.empty(); }
 };
 
 class RunStore {
@@ -61,12 +64,14 @@ class RunStore {
   /// `series_jsonl` (a SnapshotSeries document) is stored alongside
   /// the metrics under objects/<id>.series.jsonl; a non-empty
   /// `decisions_jsonl` (a DecisionLog document) under
-  /// objects/<id>.decisions.jsonl.
+  /// objects/<id>.decisions.jsonl; a non-empty `spans_jsonl` (a
+  /// SpanLog document) under objects/<id>.spans.jsonl.
   std::string add_run(const obs::MetricsRegistry& metrics,
                       const std::string& scheduler,
                       const std::string& source,
                       const std::string& series_jsonl = "",
-                      const std::string& decisions_jsonl = "");
+                      const std::string& decisions_jsonl = "",
+                      const std::string& spans_jsonl = "");
 
   /// Same, from a pre-serialized metrics JSON document.
   std::string add_run_json(const std::string& metrics_json,
@@ -75,7 +80,8 @@ class RunStore {
                            const std::map<std::string, std::string>&
                                fingerprint,
                            const std::string& series_jsonl = "",
-                           const std::string& decisions_jsonl = "");
+                           const std::string& decisions_jsonl = "",
+                           const std::string& spans_jsonl = "");
 
   struct LoadResult {
     std::vector<RunRecord> runs;  ///< index order, deduplicated by id
@@ -101,6 +107,10 @@ class RunStore {
   /// The stored decision-log document for `record`; throws
   /// std::invalid_argument when the run stored none.
   std::string read_decisions(const RunRecord& record) const;
+
+  /// The stored span-log document for `record`; throws
+  /// std::invalid_argument when the run stored none.
+  std::string read_spans(const RunRecord& record) const;
 
   const std::filesystem::path& dir() const { return dir_; }
 

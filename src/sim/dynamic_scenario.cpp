@@ -11,6 +11,7 @@
 #include "obs/attribution.hpp"
 #include "obs/jsonl.hpp"
 #include "obs/kvlog.hpp"
+#include "obs/span_log.hpp"
 #include "util/error.hpp"
 
 namespace tracon::sim {
@@ -33,6 +34,9 @@ struct RunningTask {
   std::uint64_t task_id = 0;
   /// Migration stop-and-copy pause: no progress before this time.
   double frozen_until_s = 0.0;
+  /// Start of the task's open span-log epoch (co-runner and copy state
+  /// constant since then). Only maintained when spans are recorded.
+  double span_open_s = 0.0;
 };
 
 struct Machine {
@@ -255,6 +259,55 @@ DynamicOutcome run_dynamic(const PerfTable& table,
           ? cfg.rebalancer->cost_model().copy_speed_factor()
           : 1.0;
 
+  // Task-lifecycle span recording (obs::SpanLog). An epoch is the
+  // stretch since a task's co-runner or copy-window state last changed;
+  // close_epoch splits the open epoch at the task's freeze and the
+  // machine's copy-window boundaries into the span kinds in force —
+  // the same piecewise factors advance_machine integrates — and
+  // re-opens it at `now`. Every mutation that changes a slot's
+  // neighbour or a machine's copy window closes the affected epochs
+  // FIRST, so an open epoch only ever sees the freeze/copy boundaries
+  // that were in force when it opened.
+  const bool spans_on = tel != nullptr && tel->spans.enabled();
+  auto close_epoch = [&](std::size_t mi, int slot, double now) {
+    Machine& m = fleet[mi];
+    if (!m.slot[slot].has_value()) return;
+    RunningTask& t = *m.slot[slot];
+    auto nb = neighbour_of(m, slot);
+    const double speed = table.speed(t.app, nb);
+    double t0 = t.span_open_s;
+    while (t0 < now) {
+      obs::SpanEvent se;
+      se.task = t.task_id;
+      se.app = t.app;
+      se.machine = mi;
+      se.t0_s = t0;
+      double t1 = now;
+      if (t0 < t.frozen_until_s) {
+        se.kind = obs::SpanEvent::Kind::kMigrationFreeze;
+        t1 = std::min(t1, t.frozen_until_s);
+      } else if (t0 < m.copy_until_s) {
+        se.kind = obs::SpanEvent::Kind::kMigrationCopy;
+        se.neighbour = nb;
+        se.factor = speed;
+        se.copy_factor = copy_factor;
+        t1 = std::min(t1, m.copy_until_s);
+      } else {
+        se.kind = obs::SpanEvent::Kind::kRunning;
+        se.neighbour = nb;
+        se.factor = speed;
+      }
+      se.t1_s = t1;
+      tel->spans.record(std::move(se));
+      t0 = t1;
+    }
+    t.span_open_s = now;
+  };
+  auto close_epochs = [&](std::size_t mi, double now) {
+    close_epoch(mi, 0, now);
+    close_epoch(mi, 1, now);
+  };
+
   // Brings a machine's running tasks up to `now`, integrating progress
   // piecewise over a task's migration freeze (no progress) and the
   // machine's copy window (reduced speed).
@@ -351,6 +404,17 @@ DynamicOutcome run_dynamic(const PerfTable& table,
               cfg.accuracy_probe->predict_runtime(app, p.neighbour);
           t.predicted_iops = cfg.accuracy_probe->predict_iops(app, p.neighbour);
         }
+        t.span_open_s = now;
+        if (spans_on) {
+          close_epochs(mi, now);  // the resident's co-runner changes
+          obs::SpanEvent qs;
+          qs.kind = obs::SpanEvent::Kind::kQueued;
+          qs.task = t.task_id;
+          qs.app = app;
+          qs.t0_s = queue[p.queue_pos].arrival_s;
+          qs.t1_s = now;
+          tel->spans.record(std::move(qs));
+        }
         m.slot[slot] = t;
         registry.set_key(mi, registry_key(m));
         refresh_completions(mi, now);
@@ -444,6 +508,9 @@ DynamicOutcome run_dynamic(const PerfTable& table,
           slot = s;
       }
       TRACON_ASSERT(slot >= 0, "planned migration names a missing task");
+      // Close both source epochs before lifting: the moved task's
+      // epoch ends and the left-behind co-runner's neighbour changes.
+      if (spans_on) close_epochs(p.from_machine, now);
       RunningTask moved = *src.slot[slot];
       src.slot[slot].reset();
       --busy_slots;
@@ -457,10 +524,15 @@ DynamicOutcome run_dynamic(const PerfTable& table,
 
       counts.place(moved.app, p.dest_neighbour);
       advance_machine(dest_mi, now);
+      // Close the destination resident's epoch too — its co-runner is
+      // about to change, and the copy window below must only cover
+      // epochs opened at `now`.
+      if (spans_on) close_epochs(dest_mi, now);
       Machine& dst = fleet[dest_mi];
       int dslot = dst.slot[0].has_value() ? 1 : 0;
       TRACON_ASSERT(!dst.slot[dslot].has_value(), "slot already busy");
       moved.last_update_s = now;
+      moved.span_open_s = now;
       moved.frozen_until_s = now + p.downtime_s;
       moved.placed_neighbour = p.dest_neighbour;
       dst.slot[dslot] = moved;
@@ -624,6 +696,21 @@ DynamicOutcome run_dynamic(const PerfTable& table,
           de.solo_runtime_s = table.solo_runtime(departed);
           tel->decisions.record_outcome(std::move(de));
         }
+        if (spans_on) {
+          // Close the departing task's final segment and the
+          // survivor's epoch (its co-runner is about to leave), then
+          // mark the completion.
+          close_epochs(ev.machine, ev.time);
+          obs::SpanEvent cm;
+          cm.kind = obs::SpanEvent::Kind::kCompleted;
+          cm.task = t->task_id;
+          cm.app = departed;
+          cm.machine = ev.machine;
+          cm.t0_s = ev.time;
+          cm.t1_s = ev.time;
+          cm.solo_runtime_s = table.solo_runtime(departed);
+          tel->spans.record(std::move(cm));
+        }
         m.slot[ev.slot].reset();
         --busy_slots;
         if (m.occupancy() == 0) {
@@ -670,6 +757,24 @@ DynamicOutcome run_dynamic(const PerfTable& table,
           events.push({next, EventType::kRebalance, 0, 0, 0});
         break;
       }
+    }
+  }
+
+  if (spans_on) {
+    // Account the tail: tasks still running or queued when the horizon
+    // closes get their open spans flushed at the horizon (mirroring how
+    // the utilization integrals run out to it). No completed markers —
+    // the breakdown reports them as incomplete.
+    for (std::size_t mi = 0; mi < cfg.machines; ++mi)
+      close_epochs(mi, cfg.duration_s);
+    for (const sched::QueuedTask& q : queue) {
+      obs::SpanEvent qs;
+      qs.kind = obs::SpanEvent::Kind::kQueued;
+      qs.task = q.id;
+      qs.app = q.app;
+      qs.t0_s = q.arrival_s;
+      qs.t1_s = cfg.duration_s;
+      tel->spans.record(std::move(qs));
     }
   }
 

@@ -140,6 +140,8 @@ ShardedOutcome run_dynamic_sharded(const PerfTable& table,
       cfg.telemetry != nullptr && cfg.telemetry->tracer.enabled();
   const bool decisions_on =
       cfg.telemetry != nullptr && cfg.telemetry->decisions.enabled();
+  const bool spans_on =
+      cfg.telemetry != nullptr && cfg.telemetry->spans.enabled();
 
   // --- Decompose: everything here is a function of (seed, machines,
   // shards); the thread count appears only in the parallel_for below.
@@ -178,6 +180,7 @@ ShardedOutcome run_dynamic_sharded(const PerfTable& table,
     }
     if (tracer_on) s.telemetry.tracer.set_enabled(true);
     if (decisions_on) s.telemetry.decisions.set_enabled(true);
+    if (spans_on) s.telemetry.spans.set_enabled(true);
     if (cfg.accuracy_probe != nullptr) {
       s.cfg.accuracy_probe = cfg.accuracy_probe;
       s.cfg.accuracy_family = cfg.accuracy_family;
@@ -314,6 +317,28 @@ ShardedOutcome run_dynamic_sharded(const PerfTable& table,
         });
     for (obs::DecisionEvent& ev : all)
       cfg.telemetry->decisions.append(std::move(ev));
+  }
+
+  if (spans_on) {
+    // Same recipe as the decision log: re-index machines, offset task
+    // ids by the per-shard arrival prefix sums, stable-sort on span
+    // start (a task's starts are non-decreasing, so per-task
+    // chronological order survives), append verbatim.
+    std::vector<obs::SpanEvent> all;
+    std::uint64_t task_base = 0;
+    for (const ShardState& s : states) {
+      for (obs::SpanEvent ev : s.telemetry.spans.events()) {
+        if (ev.machine != obs::SpanEvent::kNoMachine) ev.machine += s.base;
+        ev.task += task_base;
+        all.push_back(std::move(ev));
+      }
+      task_base += s.outcome.arrived;
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const obs::SpanEvent& a, const obs::SpanEvent& b) {
+                       return a.t0_s < b.t0_s;
+                     });
+    for (obs::SpanEvent& ev : all) cfg.telemetry->spans.append(std::move(ev));
   }
 
   if (series_on) out.series = merge_series(states);

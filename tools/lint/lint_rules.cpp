@@ -567,7 +567,9 @@ std::vector<Finding> lint_content(const std::string& rel_path,
       starts_with(rel_path, "src/runstore/") ||
       starts_with(rel_path, "src/migrate/") ||
       starts_with(rel_path, "src/obs/decision_log") ||
-      starts_with(rel_path, "src/obs/attribution");
+      starts_with(rel_path, "src/obs/attribution") ||
+      starts_with(rel_path, "src/obs/span_log") ||
+      starts_with(rel_path, "src/obs/breakdown");
   if ((starts_with(rel_path, "src/sim/") ||
        starts_with(rel_path, "src/virt/") ||
        starts_with(rel_path, "src/sched/") ||
@@ -641,9 +643,8 @@ const std::vector<RuleDoc>& rule_docs() {
        "replay, runstore (except the scope-timer profiler)"},
       {"unordered-output",
        "no std::unordered_* in replay/runstore/migrate or the "
-       "decision-log/attribution writers (serialized bytes must not "
-       "depend on hash "
-       "order)"},
+       "decision-log/attribution/span-log/breakdown writers (serialized "
+       "bytes must not depend on hash order)"},
       {"float-eq",
        "no ==/!= against floating-point literals outside src/stats"},
       {"iostream", "library code logs through util/log, not iostream"},

@@ -3,6 +3,7 @@
 // Usage: telemetry_check --metrics METRICS.json [--trace TRACE.json]
 //                        [--series SERIES.jsonl]
 //                        [--decisions DECISIONS.jsonl]
+//                        [--spans SPANS.jsonl]
 //                        [--metrics-b OTHER.json]
 //
 // Checks (exit 0 when all pass, 1 otherwise):
@@ -33,18 +34,32 @@
 //     has a non-empty candidate set with matching family/weight
 //     arrays; every outcome's task id was first seen as a decision or
 //     belongs to a FIFO-style run with no decisions at all.
+//   spans: parses as tracon.spans JSONL (schema + per-record field
+//     presence and unknown-kind rejection enforced by the parser); the
+//     header carries the core fingerprint keys but no thread count
+//     (the log must stay byte-comparable across --threads); each
+//     task's spans form a monotone, non-overlapping, contiguous chain
+//     tiling [enqueue, complete]; every span after the first joins to
+//     a task the log already introduced; and for every completed task
+//     wait + solo + interference + migration equals the end-to-end
+//     latency to 1e-9 (DESIGN.md §6i's accounting contract).
 //
 // Used by CI after an instrumented example/CLI run; kept dependency-free
 // via the in-tree obs JSON reader.
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
 
+#include "obs/breakdown.hpp"
 #include "obs/decision_log.hpp"
 #include "obs/json.hpp"
 #include "obs/snapshot.hpp"
+#include "obs/span_log.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -329,16 +344,90 @@ void check_decisions(const tracon::obs::DecisionDoc& doc) {
         "every migration carries non-negative downtime/copy/cost fields");
 }
 
+void check_spans(const tracon::obs::SpanDoc& doc) {
+  using tracon::obs::SpanEvent;
+  check(!doc.fingerprint.empty(), "span log carries a fingerprint block");
+  for (const char* key : {"seed", "scheduler", "machines", "mix"}) {
+    auto it = doc.fingerprint.find(key);
+    check(it != doc.fingerprint.end() && !it->second.empty(),
+          std::string("span fingerprint carries a non-empty ") + key);
+  }
+  // DESIGN.md §6i: the log is byte-identical across --threads, so its
+  // fingerprint must not record the execution shape.
+  check(doc.fingerprint.count("threads") == 0 &&
+            doc.fingerprint.count("shards") == 0,
+        "span fingerprint excludes threads/shards");
+  check(!doc.events.empty(), "span log contains at least one span");
+
+  // Per-task chain state: the end of the last span seen, and whether
+  // the completed marker already closed the chain.
+  struct Chain {
+    double cursor = 0.0;
+    bool completed = false;
+  };
+  std::map<std::uint64_t, Chain> chains;
+  bool monotone_ok = true;
+  bool contiguous_ok = true;
+  bool closed_ok = true;
+  bool factors_ok = true;
+  for (const SpanEvent& e : doc.events) {
+    if (e.t1_s < e.t0_s) monotone_ok = false;
+    // Speed factors above 1 are legitimate (a pairing can slightly
+    // outpace solo); zero or negative progress rates are not, and the
+    // copy slowdown is a fraction by construction.
+    if (e.factor <= 0.0 || e.copy_factor <= 0.0 ||
+        e.copy_factor > 1.0 + 1e-9)
+      factors_ok = false;
+    auto [it, fresh] = chains.try_emplace(e.task);
+    Chain& c = it->second;
+    if (!fresh) {
+      // Non-overlap and contiguity in one condition: each span must
+      // start exactly where the previous one ended.
+      if (e.t0_s != c.cursor) contiguous_ok = false;
+      if (c.completed) closed_ok = false;
+    }
+    c.cursor = e.t1_s;
+    if (e.kind == SpanEvent::Kind::kCompleted) c.completed = true;
+  }
+  check(monotone_ok, "every span is monotone (t1 >= t0)");
+  check(contiguous_ok,
+        "every task's spans tile contiguously (no gap, no overlap)");
+  check(closed_ok, "no span follows a task's completed marker");
+  check(factors_ok,
+        "every speed factor is positive and every copy factor is in (0, 1]");
+
+  // The accounting contract: obs::breakdown folds the per-kind
+  // arithmetic; re-verify the sum against the chain extent per task.
+  try {
+    tracon::obs::BreakdownReport report = tracon::obs::breakdown(doc);
+    bool sums_ok = true;
+    for (const tracon::obs::TaskBreakdown& row : report.rows) {
+      const double sum =
+          row.wait_s + row.solo_s + row.interference_s + row.migration_s;
+      if (std::abs(sum - row.end_to_end_s()) > 1e-9) sums_ok = false;
+    }
+    check(sums_ok,
+          "wait + solo + interference + migration equals end-to-end "
+          "latency within 1e-9 for every completed task");
+    check(report.rows.size() + report.incomplete == chains.size(),
+          "every span joins to a known task");
+  } catch (const std::exception& e) {
+    check(false, std::string("span breakdown folds cleanly (") + e.what() +
+                     ")");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     tracon::ArgParser args(argc, argv);
     if (!args.has("metrics") && !args.has("series") &&
-        !args.has("decisions")) {
+        !args.has("decisions") && !args.has("spans")) {
       std::fprintf(stderr,
                    "usage: %s --metrics METRICS.json [--trace TRACE.json] "
-                   "[--series SERIES.jsonl] [--decisions DECISIONS.jsonl]\n",
+                   "[--series SERIES.jsonl] [--decisions DECISIONS.jsonl] "
+                   "[--spans SPANS.jsonl]\n",
                    argv[0]);
       return 2;
     }
@@ -359,6 +448,9 @@ int main(int argc, char** argv) {
     if (args.has("decisions")) {
       check_decisions(
           tracon::obs::parse_decision_log(slurp(args.get("decisions"))));
+    }
+    if (args.has("spans")) {
+      check_spans(tracon::obs::parse_span_log(slurp(args.get("spans"))));
     }
     if (g_failures > 0) {
       std::fprintf(stderr, "telemetry_check: %d failure(s)\n", g_failures);

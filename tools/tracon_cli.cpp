@@ -32,6 +32,18 @@
 //                                heatmap and worst-mispredicts table
 //                                (--top N, default 10); --json for
 //                                machine-readable output
+//   tracon breakdown             latency accounting for a whole run:
+//                                every completed task's end-to-end
+//                                latency decomposed into wait + solo +
+//                                interference + migration, aggregated
+//                                per app class (and per window with
+//                                --window S); reads --spans FILE or a
+//                                stored run (<run-id-prefix> [--store]);
+//                                --json for machine-readable output
+//   tracon critical-path         the chain of tasks that set the
+//                                makespan: walk back from the last
+//                                completion through each same-machine
+//                                predecessor; same sources as breakdown
 //
 // Common flags:
 //   --host paper|ssd|raid|iscsi  host/storage model   (default paper)
@@ -79,6 +91,16 @@
 //                                with the run (record/replay), readable
 //                                later via `explain` / `attribution`
 //
+// Lifecycle span flags (DESIGN.md §6i):
+//   --spans-out FILE             write the tracon.spans JSONL (dynamic,
+//                                record, replay; works with --threads —
+//                                the merged log is byte-identical
+//                                across thread counts)
+//   --spans                      record the span log and store it with
+//                                the run (record/replay), readable
+//                                later via `breakdown` / `critical-path`
+//                                / `explain`
+//
 // Live rebalancing flags (dynamic, record, replay; DESIGN.md §6h):
 //   --rebalance                  run a migrate::Rebalancer round every
 //                                --rebalance-interval sim-seconds
@@ -118,12 +140,14 @@
 #include "migrate/rebalancer.hpp"
 #include "obs/accuracy.hpp"
 #include "obs/attribution.hpp"
+#include "obs/breakdown.hpp"
 #include "obs/decision_log.hpp"
 #include "obs/json.hpp"
 #include "obs/jsonl.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scope_timer.hpp"
 #include "obs/snapshot.hpp"
+#include "obs/span_log.hpp"
 #include "obs/telemetry.hpp"
 #include "replay/arrival_trace.hpp"
 #include "runstore/report.hpp"
@@ -250,6 +274,15 @@ void stamp_decision_fingerprint(obs::Telemetry& tel) {
   }
 }
 
+/// Same contract for the span log (DESIGN.md §6i): the header must
+/// stay byte-identical across `--threads N`.
+void stamp_span_fingerprint(obs::Telemetry& tel) {
+  for (const auto& [key, value] : tel.metrics.fingerprint()) {
+    if (key == "threads" || key == "shards") continue;
+    tel.spans.set_fingerprint(key, value);
+  }
+}
+
 /// App-class id -> benchmark name, for human-readable decision output.
 std::string app_class_name(std::size_t app) {
   const auto& apps = workload::paper_benchmarks();
@@ -260,6 +293,18 @@ std::string app_class_name(std::size_t app) {
 std::string neighbour_name(const std::optional<std::size_t>& neighbour) {
   return neighbour.has_value() ? app_class_name(*neighbour)
                                : std::string("empty");
+}
+
+/// Span kind -> display / JSON label (matches the serialized kind).
+std::string span_state_name(obs::SpanEvent::Kind kind) {
+  switch (kind) {
+    case obs::SpanEvent::Kind::kQueued: return "queued";
+    case obs::SpanEvent::Kind::kRunning: return "running";
+    case obs::SpanEvent::Kind::kMigrationFreeze: return "migration_freeze";
+    case obs::SpanEvent::Kind::kMigrationCopy: return "migration_copy";
+    case obs::SpanEvent::Kind::kCompleted: return "completed";
+  }
+  return "unknown";
 }
 
 core::Tracon make_system(const ArgParser& args, bool train) {
@@ -509,12 +554,15 @@ int cmd_dynamic_sharded(const ArgParser& args) {
   const bool want_series =
       args.has("snapshot-interval") || args.has("series-out");
   const bool want_decisions = args.has("decisions-out");
+  const bool want_spans = args.has("spans-out");
   obs::Telemetry tel;
   sim::TraceRecorder trace;
   if (args.has("trace") || args.has("events-jsonl")) cfg.trace = &trace;
-  if (want_metrics || want_trace || want_series || want_decisions) {
+  if (want_metrics || want_trace || want_series || want_decisions ||
+      want_spans) {
     tel.tracer.set_enabled(want_trace);
     tel.decisions.set_enabled(want_decisions);
+    tel.spans.set_enabled(want_spans);
     cfg.telemetry = &tel;
     cfg.accuracy_probe = &sys.predictor();
     cfg.accuracy_family = model::model_kind_name(sys.model_kind());
@@ -566,6 +614,7 @@ int cmd_dynamic_sharded(const ArgParser& args) {
     if (cfg.rebalance)
       stamp_rebalance_fingerprint(tel.metrics, cfg.rebalance_cfg);
     if (want_decisions) stamp_decision_fingerprint(tel);
+    if (want_spans) stamp_span_fingerprint(tel);
   }
 
   auto write_file = [&](const char* flag, const char* what,
@@ -601,6 +650,9 @@ int cmd_dynamic_sharded(const ArgParser& args) {
   if (args.has("decisions-out"))
     io_ok &= write_file("decisions-out", "decision log",
                         [&](std::ostream& f) { tel.decisions.write(f); });
+  if (args.has("spans-out"))
+    io_ok &= write_file("spans-out", "span log",
+                        [&](std::ostream& f) { tel.spans.write(f); });
   if (args.has("trace"))
     io_ok &= write_file("trace", "task-event CSV",
                         [&](std::ostream& f) { trace.write_csv(f); });
@@ -664,13 +716,15 @@ int cmd_dynamic(const ArgParser& args) {
       args.has("snapshot-interval") || args.has("series-out");
   const bool want_confidence = args.has("confidence-weighting");
   const bool want_decisions = args.has("decisions-out");
+  const bool want_spans = args.has("spans-out");
   obs::Telemetry tel;
   RunInstruments inst;
   std::unique_ptr<sched::Scheduler> sched;
   if (want_metrics || want_trace || want_series || want_confidence ||
-      want_decisions) {
+      want_decisions || want_spans) {
     tel.tracer.set_enabled(want_trace);
     tel.decisions.set_enabled(want_decisions);
+    tel.spans.set_enabled(want_spans);
     cfg.telemetry = &tel;
     cfg.accuracy_probe = &sys.predictor();
     cfg.accuracy_family = model::model_kind_name(sys.model_kind());
@@ -683,6 +737,7 @@ int cmd_dynamic(const ArgParser& args) {
     if (want_confidence) tel.metrics.set_fingerprint("confidence", "on");
     if (want_rebalance) stamp_rebalance_fingerprint(tel.metrics, reb_cfg);
     if (want_decisions) stamp_decision_fingerprint(tel);
+    if (want_spans) stamp_span_fingerprint(tel);
   } else {
     sched = scheduler_from(args, sys, false);
   }
@@ -723,6 +778,9 @@ int cmd_dynamic(const ArgParser& args) {
   if (args.has("decisions-out"))
     io_ok &= write_file("decisions-out", "decision log",
                         [&](std::ostream& f) { tel.decisions.write(f); });
+  if (args.has("spans-out"))
+    io_ok &= write_file("spans-out", "span log",
+                        [&](std::ostream& f) { tel.spans.write(f); });
   if (!io_ok) return 1;
 
   if (args.has("trace")) {
@@ -780,9 +838,11 @@ int run_and_store(const ArgParser& args, core::Tracon& sys,
                   const std::string& source, std::size_t default_queue = 8) {
   const bool want_decisions =
       args.has("decisions") || args.has("decisions-out");
+  const bool want_spans = args.has("spans") || args.has("spans-out");
   obs::Telemetry tel;
   tel.tracer.set_enabled(false);
   tel.decisions.set_enabled(want_decisions);
+  tel.spans.set_enabled(want_spans);
   cfg.telemetry = &tel;
   cfg.accuracy_probe = &sys.predictor();
   cfg.accuracy_family = model::model_kind_name(sys.model_kind());
@@ -806,6 +866,7 @@ int run_and_store(const ArgParser& args, core::Tracon& sys,
   if (rebalancer.has_value())
     stamp_rebalance_fingerprint(tel.metrics, reb_cfg);
   if (want_decisions) stamp_decision_fingerprint(tel);
+  if (want_spans) stamp_span_fingerprint(tel);
 
   if (args.has("metrics-out")) {
     std::string path = args.get("metrics-out");
@@ -837,12 +898,23 @@ int run_and_store(const ArgParser& args, core::Tracon& sys,
     tel.decisions.write(f);
     std::printf("decision log written to %s\n", path.c_str());
   }
+  if (args.has("spans-out")) {
+    std::string path = args.get("spans-out");
+    std::ofstream f(path, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot open span-log file '%s'\n", path.c_str());
+      return 1;
+    }
+    tel.spans.write(f);
+    std::printf("span log written to %s\n", path.c_str());
+  }
 
   runstore::RunStore store(args.get("store", "runs"));
   std::string id =
       store.add_run(tel.metrics, sched->name(), source,
                     inst.series.has_value() ? inst.series->str() : "",
-                    want_decisions ? tel.decisions.str() : "");
+                    want_decisions ? tel.decisions.str() : "",
+                    want_spans ? tel.spans.str() : "");
   std::printf("%s (%s): %zu arrivals, completed %zu, dropped %zu\n",
               sched->name().c_str(), source.c_str(), arrivals.size(),
               o.completed, o.dropped);
@@ -996,6 +1068,13 @@ int cmd_report(const ArgParser& args) {
     obs::AttributionReport ab =
         obs::attribute(obs::parse_decision_log(store.read_decisions(rb)));
     runstore::diff_decisions(aa, ab, &report);
+  }
+  if (ra.has_spans() && rb.has_spans()) {
+    obs::BreakdownReport ba =
+        obs::breakdown(obs::parse_span_log(store.read_spans(ra)));
+    obs::BreakdownReport bb =
+        obs::breakdown(obs::parse_span_log(store.read_spans(rb)));
+    runstore::diff_breakdown(ba, bb, &report);
   }
   if (args.has("json")) {
     runstore::write_report_json(std::cout, report);
@@ -1182,14 +1261,55 @@ int load_decision_doc(const ArgParser& args, std::size_t idx,
   return 0;
 }
 
+/// Same resolution for the span log (`breakdown`, `critical-path`):
+/// --spans FILE, or a stored run's spans object (run-id prefix at
+/// positional `idx`). Same return convention as load_decision_doc.
+int load_span_doc(const ArgParser& args, std::size_t idx, obs::SpanDoc* doc,
+                  std::string* label) {
+  std::string content;
+  if (args.has("spans")) {
+    const std::string path = args.get("spans");
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot open span log '%s'\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    content = buf.str();
+    *label = path;
+  } else if (args.positional().size() > idx) {
+    runstore::RunStore store(args.get("store", "runs"));
+    auto rec = store.find(args.positional()[idx]);
+    if (!rec.has_value()) {
+      std::fprintf(stderr, "no run matches id prefix '%s' in store '%s'\n",
+                   args.positional()[idx].c_str(),
+                   args.get("store", "runs").c_str());
+      return 1;
+    }
+    if (!rec->has_spans()) {
+      std::fprintf(stderr,
+                   "run %s has no stored span log (record it with --spans)\n",
+                   rec->id.c_str());
+      return 1;
+    }
+    content = store.read_spans(*rec);
+    *label = rec->id;
+  } else {
+    return 2;
+  }
+  *doc = obs::parse_span_log(content);
+  return 0;
+}
+
 /// `tracon explain <task-id>`: renders one task's decision record —
 /// every candidate slot the scheduler scanned, what each model family
 /// predicted for it, the confidence weights in force, and the margin —
 /// joined to the realized outcome when the task completed.
 int cmd_explain(const ArgParser& args) {
   const char* kUsage =
-      "usage: tracon explain <task-id> (--decisions FILE | <run-id-prefix> "
-      "[--store DIR])\n";
+      "usage: tracon explain <task-id> (--decisions FILE [--spans FILE] | "
+      "<run-id-prefix> [--store DIR])\n";
   if (args.positional().size() < 2) {
     std::fprintf(stderr, "%s", kUsage);
     return 2;
@@ -1298,6 +1418,63 @@ int cmd_explain(const ArgParser& args) {
                 fmt(outcome->time_s, 1).c_str());
   } else {
     std::printf("  outcome:   task did not complete within the run\n");
+  }
+
+  // Lifecycle timeline alongside the decision: where the seconds went
+  // once the placement was made. Loaded when a span source is at hand —
+  // --spans FILE, or the same stored run carrying a spans object;
+  // silently absent otherwise (the decision record stands alone).
+  obs::SpanDoc spans;
+  bool have_spans = false;
+  if (args.has("spans")) {
+    std::string span_label;
+    if (int rc = load_span_doc(args, args.positional().size(), &spans,
+                               &span_label);
+        rc != 0)
+      return rc;
+    have_spans = true;
+  } else if (!args.has("decisions") && args.positional().size() > 2) {
+    runstore::RunStore store(args.get("store", "runs"));
+    auto rec = store.find(args.positional()[2]);
+    if (rec.has_value() && rec->has_spans()) {
+      spans = obs::parse_span_log(store.read_spans(*rec));
+      have_spans = true;
+    }
+  }
+  if (have_spans) {
+    obs::SpanDoc mine;
+    mine.version = spans.version;
+    for (const obs::SpanEvent& e : spans.events)
+      if (e.task == task) mine.events.push_back(e);
+    if (!mine.events.empty()) {
+      std::printf("\n  lifecycle (tracon.spans; speed = progress per wall "
+                  "second):\n");
+      TableWriter tl({"t0", "t1", "dur_s", "state", "machine", "next-to",
+                     "speed"});
+      for (const obs::SpanEvent& e : mine.events) {
+        std::string state = span_state_name(e.kind);
+        bool scored = e.kind == obs::SpanEvent::Kind::kRunning ||
+                      e.kind == obs::SpanEvent::Kind::kMigrationCopy;
+        tl.add_row({fmt(e.t0_s, 1), fmt(e.t1_s, 1), fmt(e.t1_s - e.t0_s, 1),
+                    state,
+                    e.machine != obs::SpanEvent::kNoMachine
+                        ? std::to_string(e.machine)
+                        : "-",
+                    scored ? neighbour_name(e.neighbour) : "-",
+                    scored ? fmt(e.factor * e.copy_factor, 3) : "-"});
+      }
+      tl.print(std::cout);
+      obs::BreakdownReport mine_report = obs::breakdown(mine);
+      if (!mine_report.rows.empty()) {
+        const obs::TaskBreakdown& row = mine_report.rows.front();
+        std::printf("  accounted: wait %s s + solo %s s + interference %s s "
+                    "+ migration %s s = %s s end-to-end\n",
+                    fmt(row.wait_s, 1).c_str(), fmt(row.solo_s, 1).c_str(),
+                    fmt(row.interference_s, 1).c_str(),
+                    fmt(row.migration_s, 1).c_str(),
+                    fmt(row.end_to_end_s(), 1).c_str());
+      }
+    }
   }
   return 0;
 }
@@ -1420,6 +1597,176 @@ int cmd_attribution(const ArgParser& args) {
   return 0;
 }
 
+/// `tracon breakdown`: reduces a whole run's span log to the latency
+/// decomposition — where every completed task's seconds went, overall
+/// and per app class (and per completion window with --window S).
+int cmd_breakdown(const ArgParser& args) {
+  const char* kUsage =
+      "usage: tracon breakdown (--spans FILE | <run-id-prefix> "
+      "[--store DIR]) [--window S] [--json]\n";
+  obs::SpanDoc doc;
+  std::string label;
+  if (int rc = load_span_doc(args, 1, &doc, &label); rc != 0) {
+    if (rc == 2) std::fprintf(stderr, "%s", kUsage);
+    return rc;
+  }
+  const double window_s = args.get_double("window", 0.0);
+  obs::BreakdownReport report = obs::breakdown(doc, window_s);
+
+  if (args.has("json")) {
+    std::ostream& os = std::cout;
+    auto cell = [&](const obs::BreakdownCell& c) {
+      os << "{\"tasks\": " << c.tasks
+         << ", \"wait_s\": " << obs::json_number(c.wait_s)
+         << ", \"solo_s\": " << obs::json_number(c.solo_s)
+         << ", \"interference_s\": " << obs::json_number(c.interference_s)
+         << ", \"migration_s\": " << obs::json_number(c.migration_s)
+         << ", \"end_to_end_s\": " << obs::json_number(c.end_to_end_s())
+         << "}";
+    };
+    os << "{\n  \"schema\": \"tracon.breakdown\", \"version\": 1,\n"
+       << "  \"tasks\": " << report.rows.size()
+       << ", \"incomplete\": " << report.incomplete
+       << ", \"window_s\": " << obs::json_number(report.window_s)
+       << ",\n  \"total\": ";
+    cell(report.total);
+    os << ",\n  \"by_app\": [";
+    bool first = true;
+    for (const auto& [app, c] : report.by_app) {
+      os << (first ? "\n" : ",\n") << "    {\"app\": \""
+         << obs::json_escape(app_class_name(app)) << "\", \"cell\": ";
+      cell(c);
+      os << "}";
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "],\n  \"by_window\": [";
+    first = true;
+    for (const auto& [w, c] : report.by_window) {
+      os << (first ? "\n" : ",\n") << "    {\"window\": " << w
+         << ", \"t_start\": "
+         << obs::json_number(static_cast<double>(w) * report.window_s)
+         << ", \"cell\": ";
+      cell(c);
+      os << "}";
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "]\n}\n";
+    return 0;
+  }
+
+  const double e2e = report.total.end_to_end_s();
+  auto share = [&](double v) {
+    return e2e > 0.0 ? fmt(100.0 * v / e2e, 1) + "%" : std::string("-");
+  };
+  std::printf("span log %s: %zu completed tasks, %llu incomplete at the "
+              "horizon\n",
+              label.c_str(), report.rows.size(),
+              static_cast<unsigned long long>(report.incomplete));
+  std::printf("  end-to-end %s s = wait %s s (%s) + solo %s s (%s) + "
+              "interference %s s (%s) + migration %s s (%s)\n",
+              fmt(e2e, 1).c_str(), fmt(report.total.wait_s, 1).c_str(),
+              share(report.total.wait_s).c_str(),
+              fmt(report.total.solo_s, 1).c_str(),
+              share(report.total.solo_s).c_str(),
+              fmt(report.total.interference_s, 1).c_str(),
+              share(report.total.interference_s).c_str(),
+              fmt(report.total.migration_s, 1).c_str(),
+              share(report.total.migration_s).c_str());
+
+  auto mean = [](const obs::BreakdownCell& c, double v) {
+    return c.tasks > 0 ? v / static_cast<double>(c.tasks) : 0.0;
+  };
+  if (!report.by_app.empty()) {
+    std::printf("\nmean seconds per task by app class:\n");
+    TableWriter by_app({"app", "tasks", "wait", "solo", "interference",
+                        "migration", "end-to-end"});
+    for (const auto& [app, c] : report.by_app) {
+      by_app.add_row({app_class_name(app), std::to_string(c.tasks),
+                      fmt(mean(c, c.wait_s), 1), fmt(mean(c, c.solo_s), 1),
+                      fmt(mean(c, c.interference_s), 1),
+                      fmt(mean(c, c.migration_s), 1),
+                      fmt(mean(c, c.end_to_end_s()), 1)});
+    }
+    emit(by_app, args);
+  }
+  if (!report.by_window.empty()) {
+    std::printf("\nmean seconds per task by completion window (%s s):\n",
+                fmt(report.window_s, 0).c_str());
+    TableWriter by_win({"window", "t_start", "tasks", "wait", "solo",
+                        "interference", "migration"});
+    for (const auto& [w, c] : report.by_window) {
+      by_win.add_row({std::to_string(w),
+                      fmt(static_cast<double>(w) * report.window_s, 0),
+                      std::to_string(c.tasks), fmt(mean(c, c.wait_s), 1),
+                      fmt(mean(c, c.solo_s), 1),
+                      fmt(mean(c, c.interference_s), 1),
+                      fmt(mean(c, c.migration_s), 1)});
+    }
+    emit(by_win, args);
+  }
+  return 0;
+}
+
+/// `tracon critical-path`: the chain of tasks that bounds the run's
+/// last completion — each link waited on the previous link's machine
+/// time, so shortening any of them moves the makespan.
+int cmd_critical_path(const ArgParser& args) {
+  const char* kUsage =
+      "usage: tracon critical-path (--spans FILE | <run-id-prefix> "
+      "[--store DIR]) [--json]\n";
+  obs::SpanDoc doc;
+  std::string label;
+  if (int rc = load_span_doc(args, 1, &doc, &label); rc != 0) {
+    if (rc == 2) std::fprintf(stderr, "%s", kUsage);
+    return rc;
+  }
+  std::vector<obs::CriticalPathEntry> chain = obs::critical_path(doc);
+
+  if (args.has("json")) {
+    std::ostream& os = std::cout;
+    os << "{\n  \"schema\": \"tracon.critical_path\", \"version\": 1,\n"
+       << "  \"links\": [";
+    bool first = true;
+    for (const obs::CriticalPathEntry& e : chain) {
+      os << (first ? "\n" : ",\n") << "    {\"task\": " << e.task
+         << ", \"app\": \"" << obs::json_escape(app_class_name(e.app))
+         << "\", \"machine\": ";
+      if (e.machine != obs::SpanEvent::kNoMachine) os << e.machine;
+      else os << "\"-\"";
+      os << ", \"enqueue_s\": " << obs::json_number(e.enqueue_s)
+         << ", \"start_s\": " << obs::json_number(e.start_s)
+         << ", \"complete_s\": " << obs::json_number(e.complete_s)
+         << ", \"wait_s\": " << obs::json_number(e.wait_s) << "}";
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "]\n}\n";
+    return 0;
+  }
+
+  if (chain.empty()) {
+    std::printf("span log %s: no completed task, no critical path\n",
+                label.c_str());
+    return 0;
+  }
+  std::printf("critical path %s: %zu links, makespan ends at t=%s s with "
+              "task %llu\n",
+              label.c_str(), chain.size(),
+              fmt(chain.back().complete_s, 1).c_str(),
+              static_cast<unsigned long long>(chain.back().task));
+  TableWriter out({"task", "app", "machine", "enqueue", "start", "complete",
+                   "wait_s"});
+  for (const obs::CriticalPathEntry& e : chain) {
+    out.add_row({std::to_string(e.task), app_class_name(e.app),
+                 e.machine != obs::SpanEvent::kNoMachine
+                     ? std::to_string(e.machine)
+                     : "-",
+                 fmt(e.enqueue_s, 1), fmt(e.start_s, 1),
+                 fmt(e.complete_s, 1), fmt(e.wait_s, 1)});
+  }
+  emit(out, args);
+  return 0;
+}
+
 int cmd_profile(const ArgParser& args) {
   core::Tracon sys = make_system(args, false);
   std::string path = args.get("out", "perf_table.csv");
@@ -1475,7 +1822,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: tracon "
                "<table1|matrix|predict|static|dynamic|hierarchy|profile|"
-               "record|replay|runs|report|timeline|explain|attribution> "
+               "record|replay|runs|report|timeline|explain|attribution|"
+               "breakdown|critical-path> "
                "[flags]\n(see the header of tools/tracon_cli.cpp)\n");
   return 2;
 }
@@ -1503,6 +1851,8 @@ int main(int argc, char** argv) {
     else if (cmd == "timeline") rc = cmd_timeline(args);
     else if (cmd == "explain") rc = cmd_explain(args);
     else if (cmd == "attribution") rc = cmd_attribution(args);
+    else if (cmd == "breakdown") rc = cmd_breakdown(args);
+    else if (cmd == "critical-path") rc = cmd_critical_path(args);
     else return usage();
     if (args.has("prof")) {
       std::cerr << "--- wall-clock kernel profile (--prof) ---\n";
