@@ -6,6 +6,9 @@
 // seeded: each binary is deterministic end to end.
 #pragma once
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -104,6 +107,51 @@ class TelemetrySidecar {
   std::string name_;
   std::string dir_;
   std::unique_ptr<obs::Telemetry> tel_;
+};
+
+/// Opt-in throughput sidecar: benches count the simulated tasks their
+/// runs complete via add_tasks(), and when TRACON_BENCH_OUT names a
+/// directory the destructor writes
+/// `<dir>/THROUGHPUT_<name>.json` with the total, the tasks/sec over
+/// the bench's whole wall clock, and the process peak RSS from
+/// getrusage. bench/run_all.sh folds the sidecar into the wrapper
+/// BENCH_<name>.json as its "throughput" block. Without the variable
+/// the reporter is inert.
+class ThroughputReporter {
+ public:
+  explicit ThroughputReporter(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+    const char* dir = std::getenv("TRACON_BENCH_OUT");
+    if (dir != nullptr && *dir != '\0') dir_ = dir;
+  }
+  ~ThroughputReporter() {
+    if (dir_.empty()) return;
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+    struct rusage usage {};
+    long peak_rss_kb =
+        getrusage(RUSAGE_SELF, &usage) == 0 ? usage.ru_maxrss : 0;
+    std::ofstream out(dir_ + "/THROUGHPUT_" + name_ + ".json");
+    if (!out) return;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"tasks_completed\": %zu, \"wall_s\": %.4f, "
+                  "\"tasks_per_sec\": %.1f, \"peak_rss_kb\": %ld}",
+                  tasks_, wall, wall > 0.0 ? tasks_ / wall : 0.0,
+                  peak_rss_kb);
+    out << buf << "\n";
+  }
+  ThroughputReporter(const ThroughputReporter&) = delete;
+  ThroughputReporter& operator=(const ThroughputReporter&) = delete;
+
+  void add_tasks(std::size_t n) { tasks_ += n; }
+
+ private:
+  std::string name_;
+  std::string dir_;
+  std::chrono::steady_clock::time_point start_;
+  std::size_t tasks_ = 0;
 };
 
 }  // namespace tracon::bench

@@ -16,6 +16,9 @@ int main() {
   // With TRACON_TELEMETRY_DIR set, the MIBS_8 runs accumulate metrics
   // and a trace into <dir>/fig11_{metrics,trace}.json; inert otherwise.
   bench::TelemetrySidecar sidecar("fig11");
+  // With TRACON_BENCH_OUT set, total completed tasks + tasks/sec + peak
+  // RSS land in the run_all.sh wrapper JSON; inert otherwise.
+  bench::ThroughputReporter throughput("bench_fig11");
 
   TableWriter out({"machines", "FIFO tasks", "MIOS", "MIBS_8", "MIX_8"});
   for (std::size_t m : {8UL, 16UL, 64UL, 256UL, 1024UL}) {
@@ -42,6 +45,8 @@ int main() {
     }
     auto db = sim::run_dynamic(sys.perf_table(), *mibs, mibs_cfg);
     auto dx = sim::run_dynamic(sys.perf_table(), *mix8, cfg);
+    throughput.add_tasks(df.completed + dm.completed + db.completed +
+                         dx.completed);
     double base = static_cast<double>(df.completed);
     out.add_row({std::to_string(m), std::to_string(df.completed),
                  fmt(dm.completed / base, 3), fmt(db.completed / base, 3),
@@ -61,6 +66,7 @@ int main() {
                                  sched::Objective::kRuntime, 8);
   auto df = sim::run_dynamic(sys.perf_table(), *fifo, big);
   auto db = sim::run_dynamic(sys.perf_table(), *mibs, big);
+  throughput.add_tasks(df.completed + db.completed);
   std::printf(
       "\n10,000 machines, lambda=10,000/min (1 h): FIFO=%zu MIBS_8=%zu "
       "normalized=%.3f\n(paper: MIBS_8 remains ~40%% above FIFO)\n",

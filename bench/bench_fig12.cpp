@@ -10,6 +10,10 @@ int main() {
   core::Tracon sys = bench::make_system();
   sys.train(model::ModelKind::kNonlinear);
 
+  // With TRACON_BENCH_OUT set, total completed tasks + tasks/sec + peak
+  // RSS land in the run_all.sh wrapper JSON; inert otherwise.
+  bench::ThroughputReporter throughput("bench_fig12");
+
   TableWriter out({"machines", "FIFO tasks", "MIBS_2", "MIBS_4", "MIBS_8"});
   for (std::size_t m : {8UL, 16UL, 64UL, 256UL, 1024UL}) {
     sim::DynamicConfig cfg;
@@ -19,12 +23,14 @@ int main() {
     auto fifo = sys.make_scheduler(core::SchedulerKind::kFifo,
                                    sched::Objective::kRuntime);
     auto df = sim::run_dynamic(sys.perf_table(), *fifo, cfg);
+    throughput.add_tasks(df.completed);
     std::vector<std::string> cells = {std::to_string(m),
                                       std::to_string(df.completed)};
     for (std::size_t q : {2UL, 4UL, 8UL}) {
       auto mibs = sys.make_scheduler(core::SchedulerKind::kMibs,
                                      sched::Objective::kRuntime, q);
       auto d = sim::run_dynamic(sys.perf_table(), *mibs, cfg);
+      throughput.add_tasks(d.completed);
       cells.push_back(fmt(static_cast<double>(d.completed) / df.completed, 3));
     }
     out.add_row(cells);

@@ -16,6 +16,9 @@ int main() {
   // With TRACON_TELEMETRY_DIR set, the MIBS_8 runs accumulate metrics
   // and a trace into <dir>/fig9_{metrics,trace}.json; inert otherwise.
   bench::TelemetrySidecar sidecar("fig9");
+  // With TRACON_BENCH_OUT set, total completed tasks + tasks/sec + peak
+  // RSS land in the run_all.sh wrapper JSON; inert otherwise.
+  bench::ThroughputReporter throughput("bench_fig9");
 
   const std::vector<double> lambdas = {20, 40, 60, 80, 120, 160};
   const std::vector<workload::MixKind> mixes = {workload::MixKind::kLight,
@@ -50,6 +53,8 @@ int main() {
       }
       auto db = sim::run_dynamic(sys.perf_table(), *mibs, mibs_cfg);
       auto dx = sim::run_dynamic(sys.perf_table(), *mix8, cfg);
+      throughput.add_tasks(df.completed + dm.completed + db.completed +
+                           dx.completed);
       double base = static_cast<double>(df.completed);
       out.add_row({fmt(lam, 0), std::to_string(df.completed),
                    fmt(dm.completed / base, 3), fmt(db.completed / base, 3),

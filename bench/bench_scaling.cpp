@@ -27,7 +27,10 @@
 
 #include "bench_common.hpp"
 #include "obs/telemetry.hpp"
+#include "sched/candidate_index.hpp"
+#include "sched/prediction_cache.hpp"
 #include "sim/shard_scenario.hpp"
+#include "stats/matrix.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -73,41 +76,68 @@ class ScalarOnlyPredictor final : public sched::Predictor {
   const sched::Predictor& inner_;
 };
 
+const sched::TablePredictor& shared_oracle() {
+  static sched::TablePredictor p = table().oracle_predictor();
+  return p;
+}
+
+/// One shared immutable index serves every shard; per-shard state
+/// (clustered availability) lives inside each shard's ClusterCounts.
+const sched::CandidateIndex& shared_index() {
+  static sched::CandidateIndex idx(shared_oracle());
+  return idx;
+}
+
 struct ScalingRow {
   std::size_t machines = 0;
   std::size_t shards = 0;
   std::size_t threads = 0;
+  double duration_s = 0.0;
+  bool indexed = false;
   double wall_s = 0.0;
   double speedup = 0.0;
+  double tasks_per_s = 0.0;
   std::size_t completed = 0;
 };
 
 /// One full sharded run; wall-clock measured around run_dynamic_sharded
-/// only (table construction is shared and excluded).
-ScalingRow run_once(std::size_t machines, std::size_t threads) {
-  const sched::TablePredictor& oracle = [] {
-    static sched::TablePredictor p = table().oracle_predictor();
-    return p;
-  }();
+/// only (table construction is shared and excluded). With `indexed`,
+/// placements go through the candidate index and each shard's scheduler
+/// reads the oracle through its own PredictionCache — the sublinear
+/// path the CLI enables with --candidate-index.
+ScalingRow run_once(std::size_t machines, std::size_t threads,
+                    double duration_s = 1'800.0, bool indexed = false) {
+  const sched::TablePredictor& oracle = shared_oracle();
   sim::ShardedConfig cfg;
   cfg.machines = machines;
   cfg.lambda_per_min = static_cast<double>(machines);  // 1 task/machine/min
-  cfg.duration_s = 1'800.0;
+  cfg.duration_s = duration_s;
   cfg.seed = 7;
   cfg.threads = threads;
+  if (indexed) cfg.candidate_index = &shared_index();
+  std::vector<std::unique_ptr<sched::PredictionCache>> caches;
   auto start = std::chrono::steady_clock::now();
   sim::ShardedOutcome o = sim::run_dynamic_sharded(
       table(),
-      [&](std::size_t) {
+      [&](std::size_t) -> std::unique_ptr<sched::Scheduler> {
+        if (!indexed)
+          return std::make_unique<sched::MibsScheduler>(
+              oracle, sched::Objective::kRuntime, 8, 60.0);
+        caches.push_back(std::make_unique<sched::PredictionCache>(oracle));
         return std::make_unique<sched::MibsScheduler>(
-            oracle, sched::Objective::kRuntime, 8, 60.0);
+            *caches.back(), sched::Objective::kRuntime, 8, 60.0);
       },
       cfg);
   ScalingRow row;
   row.machines = machines;
   row.shards = o.shards;
   row.threads = o.threads_used;
+  row.duration_s = duration_s;
+  row.indexed = indexed;
   row.wall_s = seconds_since(start);
+  row.tasks_per_s =
+      row.wall_s > 0.0 ? static_cast<double>(o.total.completed) / row.wall_s
+                       : 0.0;
   row.completed = o.total.completed;
   return row;
 }
@@ -205,16 +235,123 @@ double mibs_round_us(const sched::Predictor& pred, int rounds) {
   return elapsed * 1e6 / rounds;
 }
 
+/// Deterministic many-class prediction table. The paper's testbed has
+/// only 8 application classes, where the flat candidate scan is already
+/// cheap; scaling the class count shows where the shortlist index takes
+/// over. Values follow a fixed formula, so the table (and the clusters
+/// derived from it) is identical on every run.
+sched::TablePredictor synthetic_table(std::size_t classes) {
+  stats::Matrix rt(classes, classes + 1);
+  stats::Matrix io(classes, classes + 1);
+  for (std::size_t i = 0; i < classes; ++i) {
+    for (std::size_t j = 0; j <= classes; ++j) {
+      rt(i, j) = 60.0 + 3.0 * static_cast<double>(i) +
+                 static_cast<double>((i * 7 + j * 13) % 23);
+      io(i, j) = 40.0 + 2.0 * static_cast<double>(i) +
+                 static_cast<double>((i * 11 + j * 5) % 19);
+    }
+  }
+  return sched::TablePredictor(rt, io);
+}
+
+struct PlacementMicro {
+  std::size_t classes = 0;
+  double flat_ns = 0.0;
+  double indexed_ns = 0.0;
+  double speedup = 0.0;
+};
+
+/// Per-decision cost of the Algorithm 1 candidate scan over a
+/// half-occupied 4096-machine cluster: the flat scan over every class
+/// vs the cluster-shortlist index (identical placements by contract).
+PlacementMicro placement_micro(const sched::TablePredictor& pred,
+                               int iters) {
+  const std::size_t n = pred.num_apps();
+  sched::CandidateIndex idx(pred);
+  sched::ClusterCounts counts(n, 4'096);
+  idx.attach(&counts);
+  for (std::size_t m = 0; m < 2'048; ++m) counts.place(m % n, std::nullopt);
+  sched::PlacementPolicy policy;  // strict beneficial-join admission
+  PlacementMicro row;
+  row.classes = n;
+  std::size_t sink = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    auto slot = sched::mios_best_slot(static_cast<std::size_t>(i) % n,
+                                      counts, pred,
+                                      sched::Objective::kRuntime, policy);
+    sink += slot.has_value() ? 1 : 0;
+  }
+  row.flat_ns = seconds_since(start) * 1e9 / iters;
+  start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    auto slot = sched::mios_best_slot(static_cast<std::size_t>(i) % n,
+                                      counts, pred,
+                                      sched::Objective::kRuntime, policy,
+                                      /*exclude_empty=*/false, &idx);
+    sink += slot.has_value() ? 1 : 0;
+  }
+  row.indexed_ns = seconds_since(start) * 1e9 / iters;
+  row.speedup = row.indexed_ns > 0.0 ? row.flat_ns / row.indexed_ns : 0.0;
+  if (sink == 0) std::fprintf(stderr, "warn: placement micro placed nothing\n");
+  return row;
+}
+
+struct CacheMicro {
+  double ensemble_ns = 0.0;
+  double cached_ns = 0.0;
+  double speedup = 0.0;
+};
+
+/// Per-query cost of the confidence-weighted ensemble blend vs the same
+/// ensemble read through a warmed PredictionCache (a hit is one dense
+/// table lookup, bit-identical to the blend by construction).
+CacheMicro cache_micro(int iters) {
+  const sched::TablePredictor& a = shared_oracle();
+  sched::TablePredictor b = table().oracle_predictor();
+  sched::ConfidenceWeightedPredictor ensemble(
+      {{"oracle", &a}, {"oracle2", &b}});
+  sched::PredictionCache cache(ensemble);
+  const std::size_t n = a.num_apps();
+  const std::size_t stride = n + 1;
+  auto neighbour_of = [&](std::size_t q) {
+    std::size_t col = (q / n) % stride;
+    return col == n ? std::optional<std::size_t>{}
+                    : std::optional<std::size_t>{col};
+  };
+  // Warm every (pair, objective) slot so the timed loop measures hits.
+  for (std::size_t q = 0; q < n * stride; ++q)
+    cache.predict_runtime(q % n, neighbour_of(q));
+  double sink = 0.0;
+  CacheMicro row;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    std::size_t q = static_cast<std::size_t>(i);
+    sink += ensemble.predict_runtime(q % n, neighbour_of(q));
+  }
+  row.ensemble_ns = seconds_since(start) * 1e9 / iters;
+  start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    std::size_t q = static_cast<std::size_t>(i);
+    sink += cache.predict_runtime(q % n, neighbour_of(q));
+  }
+  row.cached_ns = seconds_since(start) * 1e9 / iters;
+  row.speedup = row.cached_ns > 0.0 ? row.ensemble_ns / row.cached_ns : 0.0;
+  if (sink <= 0.0) std::fprintf(stderr, "warn: cache micro summed nothing\n");
+  return row;
+}
+
 }  // namespace
 
 int main() {
   bench::print_header("Scaling",
                       "sharded dynamic scenario and batched prediction");
   std::printf("host threads: %zu\n\n", hardware_threads());
+  bench::ThroughputReporter throughput("bench_scaling");
 
   std::vector<ScalingRow> rows;
   TableWriter scaling({"machines", "shards", "threads", "wall_s",
-                       "speedup", "completed"});
+                       "speedup", "tasks_per_s", "completed"});
   for (std::size_t machines : {1'024UL, 4'096UL, 10'000UL}) {
     double base_wall = 0.0;
     std::size_t base_completed = 0;
@@ -233,13 +370,78 @@ int main() {
       }
       row.speedup = base_wall / row.wall_s;
       rows.push_back(row);
+      throughput.add_tasks(row.completed);
       scaling.add_row({std::to_string(row.machines),
                        std::to_string(row.shards),
                        std::to_string(row.threads), fmt(row.wall_s, 2),
-                       fmt(row.speedup, 2), std::to_string(row.completed)});
+                       fmt(row.speedup, 2), fmt(row.tasks_per_s, 0),
+                       std::to_string(row.completed)});
     }
   }
   scaling.print(std::cout);
+
+  // Large tiers (DESIGN.md section 7): the same 1 task/machine/min load
+  // at 10^5 and 10^6 machines. Each tier first runs the exact candidate
+  // scan once, then the indexed path (candidate index + per-shard
+  // prediction caches) at 1 and 4 worker threads; completed counts must
+  // agree across all three runs — the byte-identity contract at scale.
+  // The 10^6 horizon is shortened to 600 virtual seconds to keep the
+  // whole bench minutes-scale; tasks/sec is the headline number.
+  std::printf("\nlarge tiers (exact scan vs candidate index):\n");
+  struct Tier {
+    std::size_t machines;
+    double duration_s;
+  };
+  std::vector<ScalingRow> large_rows;
+  TableWriter large({"machines", "shards", "threads", "sim_s", "path",
+                     "wall_s", "speedup", "tasks_per_s", "completed"});
+  for (Tier tier : {Tier{100'000, 1'800.0}, Tier{1'000'000, 600.0}}) {
+    ScalingRow exact = run_once(tier.machines, 1, tier.duration_s, false);
+    exact.speedup = 1.0;
+    for (std::size_t threads : {0UL, 1UL, 4UL}) {
+      ScalingRow row = threads == 0
+                           ? exact
+                           : run_once(tier.machines, threads,
+                                      tier.duration_s, true);
+      if (row.completed != exact.completed) {
+        std::fprintf(stderr,
+                     "ERROR: candidate index changed results (%zu "
+                     "machines: %zu vs %zu completed)\n",
+                     tier.machines, exact.completed, row.completed);
+        return 1;
+      }
+      row.speedup = exact.wall_s > 0.0 ? exact.wall_s / row.wall_s : 0.0;
+      large_rows.push_back(row);
+      throughput.add_tasks(row.completed);
+      large.add_row({std::to_string(row.machines),
+                     std::to_string(row.shards),
+                     std::to_string(row.threads), fmt(row.duration_s, 0),
+                     row.indexed ? "indexed" : "exact", fmt(row.wall_s, 2),
+                     fmt(row.speedup, 2), fmt(row.tasks_per_s, 0),
+                     std::to_string(row.completed)});
+    }
+  }
+  large.print(std::cout);
+
+  std::printf("\nplacement microbench "
+              "(4096 machines, half occupied, strict admission):\n");
+  std::vector<PlacementMicro> placement;
+  TableWriter pmicro({"classes", "flat_ns", "indexed_ns", "speedup"});
+  placement.push_back(placement_micro(shared_oracle(), 200'000));
+  placement.push_back(placement_micro(synthetic_table(64), 50'000));
+  for (const PlacementMicro& p : placement)
+    pmicro.add_row({std::to_string(p.classes), fmt(p.flat_ns, 1),
+                    fmt(p.indexed_ns, 1), fmt(p.speedup, 2)});
+  pmicro.print(std::cout);
+
+  std::printf("\nprediction-cache microbench "
+              "(2-family confidence ensemble, warmed cache):\n");
+  CacheMicro cachem = cache_micro(1'000'000);
+  TableWriter cmicro({"path", "ns/query", "speedup"});
+  cmicro.add_row({"ensemble blend", fmt(cachem.ensemble_ns, 1), "1.00"});
+  cmicro.add_row({"cache hit", fmt(cachem.cached_ns, 1),
+                  fmt(cachem.speedup, 2)});
+  cmicro.print(std::cout);
 
   std::printf("\nMIBS batched-prediction microbench "
               "(1024 machines, 256-task Min-Min window):\n");
@@ -302,10 +504,37 @@ int main() {
           << ", \"shards\": " << r.shards << ", \"threads\": " << r.threads
           << ", \"wall_s\": " << fmt(r.wall_s, 4)
           << ", \"speedup\": " << fmt(r.speedup, 3)
+          << ", \"tasks_per_sec\": " << fmt(r.tasks_per_s, 1)
           << ", \"completed\": " << r.completed << "}"
           << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    out << "  ],\n  \"mibs_batch_microbench\": {\"scalar_us_per_round\": "
+    out << "  ],\n  \"large_tiers\": [\n";
+    for (std::size_t i = 0; i < large_rows.size(); ++i) {
+      const ScalingRow& r = large_rows[i];
+      out << "    {\"machines\": " << r.machines
+          << ", \"shards\": " << r.shards << ", \"threads\": " << r.threads
+          << ", \"duration_s\": " << fmt(r.duration_s, 1)
+          << ", \"path\": \"" << (r.indexed ? "indexed" : "exact")
+          << "\", \"wall_s\": " << fmt(r.wall_s, 4)
+          << ", \"speedup_vs_exact\": " << fmt(r.speedup, 3)
+          << ", \"tasks_per_sec\": " << fmt(r.tasks_per_s, 1)
+          << ", \"completed\": " << r.completed << "}"
+          << (i + 1 < large_rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"placement_microbench\": [\n";
+    for (std::size_t i = 0; i < placement.size(); ++i) {
+      const PlacementMicro& p = placement[i];
+      out << "    {\"classes\": " << p.classes
+          << ", \"flat_ns_per_decision\": " << fmt(p.flat_ns, 2)
+          << ", \"indexed_ns_per_decision\": " << fmt(p.indexed_ns, 2)
+          << ", \"speedup\": " << fmt(p.speedup, 3) << "}"
+          << (i + 1 < placement.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"prediction_cache_microbench\": "
+        << "{\"ensemble_ns_per_query\": " << fmt(cachem.ensemble_ns, 2)
+        << ", \"cached_ns_per_query\": " << fmt(cachem.cached_ns, 2)
+        << ", \"speedup\": " << fmt(cachem.speedup, 3) << "},\n"
+        << "  \"mibs_batch_microbench\": {\"scalar_us_per_round\": "
         << fmt(scalar_us, 2)
         << ", \"batched_us_per_round\": " << fmt(batched_us, 2)
         << ", \"speedup\": " << fmt(micro_speedup, 3) << "},\n"

@@ -46,11 +46,22 @@ for bin in "$build_dir"/bench/bench_*; do
   fi
   start=$(date +%s)
   status=0
+  rm -f "$out_dir/THROUGHPUT_${name}.json"
   "$bin" >"$out_dir/${name}.log" 2>&1 || status=$?
   end=$(date +%s)
   wall=$((end - start))
-  printf '{"bench": "%s", "exit_status": %d, "wall_seconds": %d}\n' \
-    "$name" "$status" "$wall" >"$out_dir/BENCH_${name}.json"
+  # Benches that count their simulated tasks (bench/bench_common.hpp's
+  # ThroughputReporter) leave a THROUGHPUT_<name>.json sidecar; fold it
+  # into the wrapper as the "throughput" block.
+  if [ -f "$out_dir/THROUGHPUT_${name}.json" ]; then
+    tp=$(tr -d '\n' <"$out_dir/THROUGHPUT_${name}.json")
+    rm -f "$out_dir/THROUGHPUT_${name}.json"
+    printf '{"bench": "%s", "exit_status": %d, "wall_seconds": %d, "throughput": %s}\n' \
+      "$name" "$status" "$wall" "$tp" >"$out_dir/BENCH_${name}.json"
+  else
+    printf '{"bench": "%s", "exit_status": %d, "wall_seconds": %d}\n' \
+      "$name" "$status" "$wall" >"$out_dir/BENCH_${name}.json"
+  fi
   echo "$name: exit=$status wall=${wall}s"
   names="$names $name"
   [ "$status" -eq 0 ] || overall=1

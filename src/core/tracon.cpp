@@ -88,10 +88,12 @@ const model::ModelPair& Tracon::models(std::size_t app) const {
 
 std::unique_ptr<sched::Scheduler> Tracon::make_scheduler(
     SchedulerKind kind, sched::Objective objective, std::size_t queue_limit,
-    double batch_timeout_s, sched::PlacementPolicy policy) const {
+    double batch_timeout_s, sched::PlacementPolicy policy,
+    const sched::Predictor* predictor_override) const {
   if (kind == SchedulerKind::kFifo)
     return std::make_unique<sched::FifoScheduler>(cfg_.seed + 1);
-  const sched::TablePredictor& pred = predictor();
+  const sched::Predictor& pred =
+      predictor_override != nullptr ? *predictor_override : predictor();
   switch (kind) {
     case SchedulerKind::kMios: {
       // MIOS dispatches every task immediately to its best VM

@@ -9,6 +9,7 @@
 // immediately on detected drift.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -43,6 +44,14 @@ class AdaptiveModel {
 
   const InterferenceModel& current() const { return *model_; }
   std::size_t rebuild_count() const { return rebuilds_; }
+  /// Model epoch for memoization layers (sched::PredictionCache): a
+  /// retrain is exactly the event after which cached predictions made
+  /// through this model must be invalidated, so the epoch IS the
+  /// rebuild counter. Predictor adapters over an AdaptiveModel forward
+  /// this from Predictor::model_epoch().
+  std::uint64_t model_epoch() const {
+    return static_cast<std::uint64_t>(rebuilds_);
+  }
   std::size_t observations_since_rebuild() const { return fresh_; }
   Response response() const { return response_; }
 

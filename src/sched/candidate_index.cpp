@@ -1,0 +1,272 @@
+#include "sched/candidate_index.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/pca.hpp"
+#include "util/error.hpp"
+
+namespace tracon::sched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double sq_dist(const stats::Matrix& m, std::size_t row,
+               std::span<const double> c) {
+  double d = 0.0;
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    double diff = m(row, j) - c[j];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+ClassClustering ClassClustering::build(const Predictor& predictor,
+                                       std::size_t num_clusters) {
+  const std::size_t n = predictor.num_apps();
+  TRACON_REQUIRE(n > 0, "clustering needs at least one app class");
+
+  // Auto cluster count: smallest C with C*C >= n (≈ sqrt) — enough
+  // clusters that both the per-cluster lists and the cluster loop stay
+  // ~sqrt(n) long.
+  std::size_t C = num_clusters;
+  if (C == 0) {
+    C = 1;
+    while (C * C < n) ++C;
+  }
+  C = std::min(C, n);
+
+  ClassClustering out;
+  out.num_clusters_ = C;
+  out.cluster_of_.assign(n, 0);
+  if (C == 1) return out;
+  if (C == n) {
+    for (std::size_t a = 0; a < n; ++a) out.cluster_of_[a] = a;
+    return out;
+  }
+
+  // Interference profile of class a: how it performs next to everyone
+  // (rows of the prediction tables) and how everyone performs next to
+  // it (columns) — both responses. PCA-projected before matching,
+  // exactly like the WMM pipeline.
+  const std::size_t dims = 4 * n + 2;
+  stats::Matrix x(n, dims);
+  for (std::size_t a = 0; a < n; ++a) {
+    std::size_t col = 0;
+    for (std::size_t j = 0; j < n; ++j)
+      x(a, col++) = predictor.predict_runtime(a, j);
+    x(a, col++) = predictor.predict_runtime(a, std::nullopt);
+    for (std::size_t j = 0; j < n; ++j)
+      x(a, col++) = predictor.predict_iops(a, j);
+    x(a, col++) = predictor.predict_iops(a, std::nullopt);
+    for (std::size_t j = 0; j < n; ++j)
+      x(a, col++) = predictor.predict_runtime(j, a);
+    for (std::size_t j = 0; j < n; ++j)
+      x(a, col++) = predictor.predict_iops(j, a);
+  }
+  const std::size_t k = std::min<std::size_t>(3, std::min(dims, n));
+  stats::Pca pca = stats::Pca::fit(x, k, /*standardize=*/true);
+  stats::Matrix proj = pca.project_rows(x);
+
+  // Deterministic farthest-point seeding: class 0 first, then the
+  // class farthest from every chosen seed (ties -> lowest index).
+  std::vector<std::size_t> seeds{0};
+  std::vector<double> mind(n, kInf);
+  while (seeds.size() < C) {
+    const std::size_t last = seeds.back();
+    std::vector<double> lastc(k);
+    for (std::size_t j = 0; j < k; ++j) lastc[j] = proj(last, j);
+    for (std::size_t a = 0; a < n; ++a)
+      mind[a] = std::min(mind[a], sq_dist(proj, a, lastc));
+    std::size_t far = 0;
+    double far_d = -1.0;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (mind[a] > far_d) {
+        far_d = mind[a];
+        far = a;
+      }
+    }
+    seeds.push_back(far);
+    mind[far] = -1.0;  // never re-chosen
+  }
+
+  // Fixed-iteration Lloyd refinement, all ties toward the lower index:
+  // every step is a pure function of the prediction tables.
+  std::vector<std::vector<double>> centroids(C, std::vector<double>(k));
+  for (std::size_t c = 0; c < C; ++c)
+    for (std::size_t j = 0; j < k; ++j) centroids[c][j] = proj(seeds[c], j);
+  std::vector<std::size_t>& assign = out.cluster_of_;
+  for (int iter = 0; iter < 10; ++iter) {
+    for (std::size_t a = 0; a < n; ++a) {
+      std::size_t best = 0;
+      double best_d = kInf;
+      for (std::size_t c = 0; c < C; ++c) {
+        double d = sq_dist(proj, a, centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      assign[a] = best;
+    }
+    for (std::size_t c = 0; c < C; ++c) {
+      std::vector<double> sum(k, 0.0);
+      std::size_t count = 0;
+      for (std::size_t a = 0; a < n; ++a) {
+        if (assign[a] != c) continue;
+        ++count;
+        for (std::size_t j = 0; j < k; ++j) sum[j] += proj(a, j);
+      }
+      if (count == 0) continue;  // empty cluster keeps its centroid
+      for (std::size_t j = 0; j < k; ++j)
+        centroids[c][j] = sum[j] / static_cast<double>(count);
+    }
+  }
+  return out;
+}
+
+CandidateIndex::CandidateIndex(const Predictor& predictor,
+                               std::size_t num_clusters)
+    : predictor_(predictor),
+      clustering_(ClassClustering::build(predictor, num_clusters)) {
+  TRACON_REQUIRE(predictor.num_apps() > 0,
+                 "candidate index needs at least one application class");
+  epoch_ = predictor_.model_epoch();
+  rebuild();
+}
+
+void CandidateIndex::attach(ClusterCounts* counts) const {
+  TRACON_REQUIRE(counts != nullptr, "attach requires a ClusterCounts");
+  counts->attach_clusters(clustering_.cluster_of(),
+                          clustering_.num_clusters());
+}
+
+void CandidateIndex::sync_epoch() const {
+  const std::uint64_t e = predictor_.model_epoch();
+  if (e == epoch_) return;
+  epoch_ = e;
+  ++rebuilds_;
+  rebuild();
+}
+
+void CandidateIndex::rebuild() const {
+  const std::size_t n = predictor_.num_apps();
+  const std::size_t C = clustering_.num_clusters();
+  const std::size_t stride = C + 1;
+  for (auto& per_obj : lists_) {
+    per_obj.clear();
+    per_obj.resize(n * stride);
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    const double t_solo = predictor_.predict_runtime(t, std::nullopt);
+    // Empty-machine pseudo-cluster entry per objective: rank 0, always
+    // admissible (the join policy never applies to an idle neighbour).
+    {
+      Entry e;
+      e.rank = 0;
+      e.join_lhs = kInf;
+      e.score = t_solo;
+      lists_[0][t * stride + C].push_back(e);
+      e.score = -predictor_.predict_iops(t, std::nullopt);
+      lists_[1][t * stride + C].push_back(e);
+    }
+    for (std::size_t a = 0; a < n; ++a) {
+      const std::size_t c = clustering_.cluster_of()[a];
+      // Runtime objective. join_lhs/join_scale reproduce the exact
+      // scan's beneficial-join arithmetic: beneficial at margin m iff
+      // join_lhs > m * join_scale (scale 1, and m * 1.0 == m exactly).
+      {
+        Entry e;
+        e.rank = static_cast<std::uint32_t>(a + 1);
+        const double t_pair = predictor_.predict_runtime(t, a);
+        e.score = t_pair;
+        const double n_solo = predictor_.predict_runtime(a, std::nullopt);
+        const double n_pair = predictor_.predict_runtime(a, t);
+        if (t_pair > 0.0 && n_pair > 0.0) {
+          const double gained = t_solo / t_pair;
+          const double lost = 1.0 - n_solo / n_pair;
+          e.join_lhs = gained - lost;
+        } else {
+          e.join_lhs = -kInf;  // the exact path rejects this join
+        }
+        e.join_scale = 1.0;
+        lists_[0][t * stride + c].push_back(e);
+      }
+      // IOPS objective (maximize -> score is the negated prediction).
+      {
+        Entry e;
+        e.rank = static_cast<std::uint32_t>(a + 1);
+        const double added = predictor_.predict_iops(t, a);
+        e.score = -added;
+        const double before = predictor_.predict_iops(a, std::nullopt);
+        const double after = predictor_.predict_iops(a, t);
+        e.join_lhs = added - (before - after);
+        e.join_scale = std::max(before, 1e-9);
+        lists_[1][t * stride + c].push_back(e);
+      }
+    }
+  }
+  for (auto& per_obj : lists_) {
+    for (auto& v : per_obj) {
+      std::sort(v.begin(), v.end(), [](const Entry& x, const Entry& y) {
+        return x.score < y.score || (x.score == y.score && x.rank < y.rank);
+      });
+    }
+  }
+}
+
+const std::vector<CandidateIndex::Entry>& CandidateIndex::entries(
+    Objective objective, std::size_t task, std::size_t cluster) const {
+  const std::size_t obj = objective == Objective::kRuntime ? 0 : 1;
+  const std::size_t stride = clustering_.num_clusters() + 1;
+  return lists_[obj][task * stride + cluster];
+}
+
+std::optional<std::optional<std::size_t>> CandidateIndex::best_slot(
+    std::size_t task, const ClusterCounts& cluster, Objective objective,
+    const PlacementPolicy& policy, bool exclude_empty) const {
+  sync_epoch();
+  TRACON_REQUIRE(task < clustering_.num_apps(), "task class out of range");
+  TRACON_REQUIRE(cluster.clustered() &&
+                     cluster.num_clusters() == clustering_.num_clusters(),
+                 "ClusterCounts is not attached to this index's clustering");
+  const std::size_t C = clustering_.num_clusters();
+
+  // Each cluster's champion is its first available (and beneficial)
+  // entry in (score, rank) order; the winner is the lexicographic
+  // minimum over champions — exactly the flat scan's argmin with
+  // first-wins ties in canonical order.
+  const Entry* best = nullptr;
+  for (std::size_t c = 0; c <= C; ++c) {
+    if (cluster.cluster_avail(c) == 0) continue;
+    if (c == C && exclude_empty) continue;
+    for (const Entry& e : entries(objective, task, c)) {
+      if (e.rank != 0) {
+        if (cluster.half_busy(e.rank - 1) == 0) continue;
+        if (policy.beneficial_joins_only &&
+            !(e.join_lhs > policy.join_margin * e.join_scale))
+          continue;
+      }
+      if (best == nullptr || e.score < best->score ||
+          (e.score == best->score && e.rank < best->rank))
+        best = &e;
+      break;
+    }
+  }
+
+  std::optional<std::optional<std::size_t>> out;
+  if (best != nullptr) {
+    out.emplace(best->rank == 0
+                    ? std::optional<std::size_t>{}
+                    : std::optional<std::size_t>{best->rank - 1});
+  } else if (exclude_empty && cluster.has_slot(std::nullopt)) {
+    // Last resort: no occupied machine offers a beneficial join.
+    out.emplace(std::optional<std::size_t>{});
+  }
+  return out;
+}
+
+}  // namespace tracon::sched

@@ -1,0 +1,110 @@
+// Candidate shortlist index: sublinear replacement for the schedulers'
+// flat candidate scan.
+//
+// ClusterCounts::append_candidates enumerates every occupied class per
+// decision, and mios_best_slot re-scores all of them. This module
+// promotes that flat scan to an index in two steps:
+//
+//  1. ClassClustering groups the application classes by interference
+//     profile — each class's predicted runtime/IOPS rows and columns
+//     are projected with the same src/stats PCA that powers the WMM
+//     model, then clustered with deterministic farthest-point k-means
+//     (nearest-centroid assignment, the k-NN matching step of WMM).
+//  2. CandidateIndex precomputes, once per (objective, task, model
+//     epoch), each cluster's candidate classes sorted by (score,
+//     canonical rank), together with the beneficial-join quantities.
+//     A lookup walks the clusters the live ClusterCounts reports
+//     non-empty (cluster representatives first), refines inside each
+//     by taking its first available entry, and picks the lexicographic
+//     minimum — which is EXACTLY the argmin-with-first-wins-ties of
+//     the flat scan, so placements are byte-identical to the exact
+//     path (property-tested across schedulers and seeds).
+//
+// Cost: a decision touches O(active clusters + probed entries) instead
+// of O(num_apps); with per-cluster availability maintained by
+// ClusterCounts in O(1) per place/depart, exhausted clusters cost
+// nothing. The index rebuilds itself when the predictor's model epoch
+// advances. Instances are read-only at decision time, so one index may
+// serve every shard of a sharded run over an immutable TablePredictor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/cluster_counts.hpp"
+#include "sched/mios.hpp"
+#include "sched/predictor.hpp"
+
+namespace tracon::sched {
+
+/// Interference-profile clustering of the application classes.
+class ClassClustering {
+ public:
+  /// Builds the clustering from the predictor's pairwise tables.
+  /// `num_clusters` 0 = auto (~sqrt of the class count).
+  static ClassClustering build(const Predictor& predictor,
+                               std::size_t num_clusters = 0);
+
+  std::size_t num_apps() const { return cluster_of_.size(); }
+  std::size_t num_clusters() const { return num_clusters_; }
+  const std::vector<std::size_t>& cluster_of() const { return cluster_of_; }
+
+ private:
+  std::vector<std::size_t> cluster_of_;
+  std::size_t num_clusters_ = 0;
+};
+
+class CandidateIndex {
+ public:
+  /// `predictor` is not owned and must outlive the index.
+  explicit CandidateIndex(const Predictor& predictor,
+                          std::size_t num_clusters = 0);
+
+  const ClassClustering& clustering() const { return clustering_; }
+  const Predictor& predictor() const { return predictor_; }
+
+  /// Attaches this index's clustering to a ClusterCounts instance
+  /// (required before best_slot can consult it).
+  void attach(ClusterCounts* counts) const;
+
+  /// Indexed equivalent of the mios_best_slot scan: best available slot
+  /// class for `task`, or nullopt when no placement is allowed.
+  /// Requires `cluster` to be clustered with a mapping of this index's
+  /// shape. Bit-identical to the exact scan, including tie-breaking and
+  /// the empty-machine last resort under `exclude_empty`.
+  std::optional<std::optional<std::size_t>> best_slot(
+      std::size_t task, const ClusterCounts& cluster, Objective objective,
+      const PlacementPolicy& policy, bool exclude_empty) const;
+
+  /// Number of epoch-driven rebuilds since construction (0 for an
+  /// immutable TablePredictor).
+  std::uint64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  /// One precomputed candidate: `rank` is the canonical scan position
+  /// (0 = empty machine, a+1 = class a); the beneficial-join test at
+  /// margin m is `join_lhs > m * join_scale` (scale 1 for the runtime
+  /// objective), matching the exact path's arithmetic bit for bit.
+  struct Entry {
+    double score = 0.0;
+    double join_lhs = 0.0;
+    double join_scale = 1.0;
+    std::uint32_t rank = 0;
+  };
+
+  void sync_epoch() const;
+  void rebuild() const;
+  const std::vector<Entry>& entries(Objective objective, std::size_t task,
+                                    std::size_t cluster) const;
+
+  const Predictor& predictor_;
+  ClassClustering clustering_;
+  /// lists_[objective][task * (num_clusters + 1) + cluster]: entries
+  /// sorted ascending by (score, rank). The trailing pseudo-cluster
+  /// holds the single empty-machine entry.
+  mutable std::vector<std::vector<Entry>> lists_[2];
+  mutable std::uint64_t epoch_ = 0;
+  mutable std::uint64_t rebuilds_ = 0;
+};
+
+}  // namespace tracon::sched

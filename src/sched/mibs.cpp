@@ -15,7 +15,8 @@ BatchOutcome mibs_batch(std::span<const QueuedTask> queue,
                         std::span<const std::size_t> order,
                         const ClusterCounts& cluster,
                         const Predictor& predictor, Objective objective,
-                        const PlacementPolicy& policy) {
+                        const PlacementPolicy& policy,
+                        const CandidateIndex* index) {
   BatchOutcome out;
   ClusterCounts state = cluster;
   std::vector<std::size_t> pending(order.begin(), order.end());
@@ -40,8 +41,8 @@ BatchOutcome mibs_batch(std::span<const QueuedTask> queue,
   while (head < pending.size() && state.any_free()) {
     // Candidate 1: first (remaining) task of the queue, placed by MIOS.
     std::size_t c1 = pending[head];
-    auto slot1 =
-        mios_best_slot(queue[c1].app, state, predictor, objective, policy);
+    auto slot1 = mios_best_slot(queue[c1].app, state, predictor, objective,
+                                policy, /*exclude_empty=*/false, index);
     if (!slot1.has_value()) {
       ++head;
       continue;
@@ -85,7 +86,7 @@ BatchOutcome mibs_batch(std::span<const QueuedTask> queue,
     bool must_pair = objective == Objective::kRuntime &&
                      state.empty_machines() < pending.size() - head;
     auto slot2 = mios_best_slot(queue[c2].app, state, predictor, objective,
-                                policy, must_pair);
+                                policy, must_pair, index);
     if (slot2.has_value()) {
       place(c2, *slot2);
       pending.erase(pending.begin() + static_cast<long>(best_i));
@@ -133,7 +134,8 @@ std::vector<Placement> MibsScheduler::schedule(
   std::vector<std::size_t> order(window);
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   BatchOutcome outcome = mibs_batch(queue.first(window), order, cluster,
-                                    predictor_, objective_, policy_);
+                                    predictor_, objective_, policy_,
+                                    candidate_index());
   record_decisions(telemetry(), name(), ctx.now_s, queue, cluster,
                    outcome.placements, predictor_, objective_);
   note_round(queue.size(), outcome.placements.size(),

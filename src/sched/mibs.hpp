@@ -25,11 +25,14 @@ struct BatchOutcome {
 
 /// Runs Algorithm 2 over the queue snapshot in the given order.
 /// `order` holds queue positions; placements refer to those positions.
+/// A non-null `index` routes the per-task slot scans through the
+/// candidate shortlist (bit-identical; see candidate_index.hpp).
 BatchOutcome mibs_batch(std::span<const QueuedTask> queue,
                         std::span<const std::size_t> order,
                         const ClusterCounts& cluster,
                         const Predictor& predictor, Objective objective,
-                        const PlacementPolicy& policy = {});
+                        const PlacementPolicy& policy = {},
+                        const CandidateIndex* index = nullptr);
 
 /// Batch trigger shared by MIBS and MIX: process when the queue reached
 /// the configured length, when the head task has waited out the timeout,

@@ -3,6 +3,7 @@
 #include <limits>
 #include <vector>
 
+#include "sched/candidate_index.hpp"
 #include "sched/decision_probe.hpp"
 #include "util/error.hpp"
 
@@ -38,7 +39,12 @@ bool join_beneficial(std::size_t task, std::size_t neighbour,
 std::optional<std::optional<std::size_t>> mios_best_slot(
     std::size_t task, const ClusterCounts& cluster,
     const Predictor& predictor, Objective objective,
-    const PlacementPolicy& policy, bool exclude_empty) {
+    const PlacementPolicy& policy, bool exclude_empty,
+    const CandidateIndex* index) {
+  // Indexed fast path: per-cluster shortlist lookup, bit-identical to
+  // the flat scan below (see candidate_index.hpp).
+  if (index != nullptr && cluster.clustered())
+    return index->best_slot(task, cluster, objective, policy, exclude_empty);
   // Candidate slot classes in canonical scan order (empty machine
   // first, then occupied classes ascending), scored through the batched
   // prediction API: one virtual call covers every candidate, and one
@@ -137,7 +143,8 @@ std::vector<Placement> MiosScheduler::schedule(
   for (std::size_t pos = 0; pos < queue.size(); ++pos) {
     if (!state.any_free()) break;
     auto slot = mios_best_slot(queue[pos].app, state, predictor_, objective_,
-                               policy_);
+                               policy_, /*exclude_empty=*/false,
+                               candidate_index());
     if (!slot.has_value()) continue;  // no acceptable slot; task waits
     TRACON_DCHECK(state.has_slot(*slot),
                   "MIOS selected an infeasible placement slot");

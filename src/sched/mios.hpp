@@ -11,6 +11,8 @@
 
 namespace tracon::sched {
 
+class CandidateIndex;
+
 /// Placement policy shared by the TRACON schedulers.
 struct PlacementPolicy {
   /// Only consolidate when the predicted combined progress of the pair
@@ -48,11 +50,14 @@ bool join_beneficial(std::size_t task, std::size_t neighbour,
 /// class. With `exclude_empty`, empty machines are only used as a last
 /// resort — MIBS uses this for candidate 2 when the batch cannot fit on
 /// empty machines anyway, so that the chosen partner actually
-/// co-locates.
+/// co-locates. When `index` is non-null and `cluster` carries its
+/// clustering, the flat candidate scan is replaced by the indexed
+/// lookup (bit-identical placements; see candidate_index.hpp).
 std::optional<std::optional<std::size_t>> mios_best_slot(
     std::size_t task, const ClusterCounts& cluster,
     const Predictor& predictor, Objective objective,
-    const PlacementPolicy& policy = {}, bool exclude_empty = false);
+    const PlacementPolicy& policy = {}, bool exclude_empty = false,
+    const CandidateIndex* index = nullptr);
 
 class MiosScheduler final : public Scheduler {
  public:

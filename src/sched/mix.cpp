@@ -50,8 +50,8 @@ std::vector<Placement> MixScheduler::schedule(
     for (std::size_t i = 0; i < window; ++i)
       if (i != head) order[w++] = i;
 
-    BatchOutcome outcome =
-        mibs_batch(batch, order, cluster, predictor_, objective_, policy_);
+    BatchOutcome outcome = mibs_batch(batch, order, cluster, predictor_,
+                                      objective_, policy_, candidate_index());
     TRACON_DCHECK(outcome.placements.size() <= window,
                   "MIX batch placed more tasks than the window holds");
     if constexpr (kParanoidChecksEnabled) {

@@ -1,0 +1,87 @@
+#include "sched/prediction_cache.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tracon::sched {
+
+PredictionCache::PredictionCache(const Predictor& base)
+    : base_(base), stride_(base.num_apps() + 1) {
+  TRACON_REQUIRE(base.num_apps() > 0, "cache needs at least one app class");
+  const std::size_t cells = base.num_apps() * stride_;
+  for (auto& v : values_) v.assign(cells, 0.0);
+  for (auto& v : valid_) v.assign(cells, 0);
+  epoch_ = base.model_epoch();
+}
+
+std::size_t PredictionCache::slot(
+    std::size_t task, const std::optional<std::size_t>& neighbour) const {
+  TRACON_REQUIRE(task < base_.num_apps(), "task class out of range");
+  const std::size_t col =
+      neighbour.has_value() ? *neighbour : base_.num_apps();
+  TRACON_REQUIRE(col < stride_, "neighbour class out of range");
+  return task * stride_ + col;
+}
+
+void PredictionCache::sync_epoch() const {
+  const std::uint64_t e = base_.model_epoch();
+  if (e == epoch_) return;
+  epoch_ = e;
+  ++invalidations_;
+  for (auto& v : valid_) std::fill(v.begin(), v.end(), 0);
+}
+
+double PredictionCache::lookup(
+    Channel chan, std::size_t task,
+    const std::optional<std::size_t>& neighbour) const {
+  const std::size_t i = slot(task, neighbour);
+  if (valid_[chan][i] != 0) {
+    ++hits_;
+    return values_[chan][i];
+  }
+  ++misses_;
+  const double v = chan == kRuntimeChan
+                       ? base_.predict_runtime(task, neighbour)
+                       : base_.predict_iops(task, neighbour);
+  values_[chan][i] = v;
+  valid_[chan][i] = 1;
+  return v;
+}
+
+double PredictionCache::predict_runtime(
+    std::size_t task, const std::optional<std::size_t>& neighbour) const {
+  sync_epoch();
+  return lookup(kRuntimeChan, task, neighbour);
+}
+
+double PredictionCache::predict_iops(
+    std::size_t task, const std::optional<std::size_t>& neighbour) const {
+  sync_epoch();
+  return lookup(kIopsChan, task, neighbour);
+}
+
+// Batch = the scalar cache path per query. The Predictor contract
+// guarantees the base's batch output is bit-identical to its scalar
+// calls in query order, so filling each element from the (scalar-
+// populated) cache preserves the bytes the uncached batch would have
+// produced.
+void PredictionCache::predict_runtime_batch(
+    std::span<const PredictQuery> queries, std::span<double> out) const {
+  TRACON_REQUIRE(queries.size() == out.size(),
+                 "batch output size must match query count");
+  sync_epoch();
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    out[i] = lookup(kRuntimeChan, queries[i].task, queries[i].neighbour);
+}
+
+void PredictionCache::predict_iops_batch(std::span<const PredictQuery> queries,
+                                         std::span<double> out) const {
+  TRACON_REQUIRE(queries.size() == out.size(),
+                 "batch output size must match query count");
+  sync_epoch();
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    out[i] = lookup(kIopsChan, queries[i].task, queries[i].neighbour);
+}
+
+}  // namespace tracon::sched

@@ -1,0 +1,80 @@
+// Memoization layer under the schedulers' prediction traffic.
+//
+// Every scheduling decision scores (task, neighbour-class) pairs, and
+// the same pairs recur across decisions: with two VMs per machine the
+// pair space is only num_apps x (num_apps + 1), while a dynamic run
+// issues millions of queries. PredictionCache is a transparent
+// Predictor decorator that answers each (pair, objective) from a dense
+// table after the first evaluation, so an expensive backing predictor
+// (the wmm/lm/nlm confidence ensemble, a freshly retrained model) is
+// consulted once per pair per model epoch instead of once per decision.
+//
+// Correctness: cached values are the exact doubles the backing
+// predictor returned — a hit is bit-identical to a recomputation, so
+// placements, golden outputs, and the `--threads N` byte-identity
+// contract are unaffected (tested in test_candidate_index.cpp). The
+// cache watches Predictor::model_epoch() and drops every entry when
+// the backing model advances (ensemble weight refresh, AdaptiveModel
+// retrain).
+//
+// Threading: a PredictionCache instance mutates on reads and is NOT
+// safe for concurrent use. The sharded engine gives each shard its own
+// instance (built serially by the scheduler factory) over the shared
+// immutable TablePredictor.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/predictor.hpp"
+
+namespace tracon::sched {
+
+class PredictionCache final : public Predictor {
+ public:
+  /// `base` is not owned and must outlive the cache.
+  explicit PredictionCache(const Predictor& base);
+
+  std::size_t num_apps() const override { return base_.num_apps(); }
+  double predict_runtime(
+      std::size_t task,
+      const std::optional<std::size_t>& neighbour) const override;
+  double predict_iops(
+      std::size_t task,
+      const std::optional<std::size_t>& neighbour) const override;
+  void predict_runtime_batch(std::span<const PredictQuery> queries,
+                             std::span<double> out) const override;
+  void predict_iops_batch(std::span<const PredictQuery> queries,
+                          std::span<double> out) const override;
+  void begin_round(double now_s) const override { base_.begin_round(now_s); }
+  std::uint64_t model_epoch() const override { return base_.model_epoch(); }
+
+  const Predictor& base() const { return base_; }
+
+  /// Cache-effectiveness counters (since construction, across epochs).
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  /// Number of epoch-change flushes observed.
+  std::uint64_t invalidations() const { return invalidations_; }
+
+ private:
+  enum Channel : std::size_t { kRuntimeChan = 0, kIopsChan = 1 };
+
+  std::size_t slot(std::size_t task,
+                   const std::optional<std::size_t>& neighbour) const;
+  void sync_epoch() const;
+  double lookup(Channel chan, std::size_t task,
+                const std::optional<std::size_t>& neighbour) const;
+
+  const Predictor& base_;
+  std::size_t stride_;  ///< num_apps + 1 (last column = idle neighbour)
+  /// Dense per-channel value tables and valid bits, indexed by
+  /// task * stride_ + neighbour-column.
+  mutable std::vector<double> values_[2];
+  mutable std::vector<unsigned char> valid_[2];
+  mutable std::uint64_t epoch_ = 0;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+  mutable std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace tracon::sched

@@ -239,6 +239,7 @@ void ConfidenceWeightedPredictor::on_completion(
     iops_windows_[f].record(p.predict_iops(app, neighbour), actual_iops);
   }
   stale_ = true;
+  ++epoch_;
 }
 
 const std::string& ConfidenceWeightedPredictor::family_name(

@@ -5,6 +5,7 @@
 // live windowed accuracy.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -61,6 +62,15 @@ class Predictor {
   /// adaptive predictors refresh their state exactly once per round and
   /// every in-round query sees consistent weights. Default no-op.
   virtual void begin_round(double now_s) const { (void)now_s; }
+
+  /// Model epoch: monotone counter that advances whenever the
+  /// predictor's answers may change (retraining, confidence-weight
+  /// updates). Memoization layers (sched::PredictionCache,
+  /// sched::CandidateIndex) key their cached values on it and
+  /// invalidate on a bump. Immutable predictors (TablePredictor) stay
+  /// at epoch 0 forever, which is what makes their caches shareable
+  /// across a whole sharded run.
+  virtual std::uint64_t model_epoch() const { return 0; }
 };
 
 /// Feedback seam between the simulator and adaptive predictors: the
@@ -177,6 +187,11 @@ class ConfidenceWeightedPredictor final : public Predictor,
                      const std::optional<std::size_t>& neighbour,
                      double actual_runtime_s, double actual_iops) override;
 
+  /// Every completion feeds the error windows and so can shift the
+  /// blend weights: the epoch advances with each one, invalidating any
+  /// memoized predictions.
+  std::uint64_t model_epoch() const override { return epoch_; }
+
   std::size_t num_families() const { return families_.size(); }
   const std::string& family_name(std::size_t family) const;
   /// The underlying per-family predictor — the decision-log probe
@@ -208,6 +223,7 @@ class ConfidenceWeightedPredictor final : public Predictor,
   mutable std::vector<double> runtime_weights_;
   mutable std::vector<double> iops_weights_;
   mutable bool stale_ = true;
+  std::uint64_t epoch_ = 0;
   /// Per-family scratch for the batch accumulate; reused across calls
   /// so steady-state batching allocates nothing.
   mutable std::vector<double> batch_scratch_;

@@ -17,6 +17,8 @@
 
 namespace tracon::sched {
 
+class CandidateIndex;
+
 /// The scheduling objective: minimize total runtime (MIBS_RT) or
 /// maximize total I/O throughput (MIBS_IO) — Section 3.2.
 enum class Objective { kRuntime, kIops };
@@ -70,6 +72,16 @@ class Scheduler {
   void set_telemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
   obs::Telemetry* telemetry() const { return telemetry_; }
 
+  /// Attaches (or detaches, with nullptr) a candidate shortlist index
+  /// (sched::CandidateIndex, not owned). The TRACON schedulers route
+  /// their slot scans through it when the cluster view carries its
+  /// clustering; schedulers without a candidate scan (FIFO) ignore it.
+  /// The simulator wires this from DynamicConfig::candidate_index.
+  void set_candidate_index(const CandidateIndex* index) {
+    candidate_index_ = index;
+  }
+  const CandidateIndex* candidate_index() const { return candidate_index_; }
+
  protected:
   /// Records one scheduling round: counters for rounds/decisions/
   /// placements, the queue-length gauge, a placed-per-round histogram,
@@ -98,6 +110,7 @@ class Scheduler {
 
  private:
   obs::Telemetry* telemetry_ = nullptr;
+  const CandidateIndex* candidate_index_ = nullptr;
 };
 
 }  // namespace tracon::sched

@@ -1,0 +1,150 @@
+// Indexed priority structure for the dynamic scenario's completion
+// events.
+//
+// The event loop used to queue completions in the shared binary heap
+// with lazy invalidation: every neighbour change, migration freeze, or
+// copy-window extension bumped a per-machine stamp and re-pushed fresh
+// events, leaving the dead ones to be popped and discarded later. At
+// datacenter scale that churn dominates — every placement invalidates
+// up to two events, so the heap holds a multiple of the live set.
+//
+// CompletionHeap replaces that with an indexed 4-ary min-heap keyed by
+// VM slot (machine * 2 + slot): update() moves the slot's single entry
+// in place (decrease/increase-key in O(log4 n)), remove() deletes it,
+// and the heap never holds more entries than occupied slots. A 4-ary
+// layout halves the tree depth of a binary heap and keeps child
+// scans inside one cache line of Entry values — the classic d-ary
+// trade that favours decrease-key-heavy workloads like this one.
+//
+// Ordering is deterministic: ties on time break toward the lower slot
+// id, so the pop sequence is a pure function of the simulation state
+// (the determinism contract's requirement), not of heap history.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tracon::sim {
+
+class CompletionHeap {
+ public:
+  struct Entry {
+    double time = 0.0;
+    std::size_t id = 0;  ///< slot id: machine * 2 + slot
+  };
+
+  /// `slots` is the id-space size (machines * 2).
+  explicit CompletionHeap(std::size_t slots) : pos_(slots, kAbsent) {}
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  bool contains(std::size_t id) const { return pos_[id] != kAbsent; }
+
+  const Entry& top() const {
+    TRACON_ASSERT(!heap_.empty(), "top() on an empty completion heap");
+    return heap_.front();
+  }
+
+  void pop() {
+    TRACON_ASSERT(!heap_.empty(), "pop() on an empty completion heap");
+    pos_[heap_.front().id] = kAbsent;
+    if (heap_.size() > 1) {
+      heap_.front() = heap_.back();
+      heap_.pop_back();
+      pos_[heap_.front().id] = 0;
+      sift_down(0);
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  /// Inserts `id` at `time`, or moves its existing entry (the
+  /// decrease/increase-key the lazy-invalidation scheme lacked).
+  void update(std::size_t id, double time) {
+    TRACON_ASSERT(id < pos_.size(), "slot id out of range");
+    std::size_t i = pos_[id];
+    if (i == kAbsent) {
+      heap_.push_back({time, id});
+      pos_[id] = heap_.size() - 1;
+      sift_up(heap_.size() - 1);
+      return;
+    }
+    const double old = heap_[i].time;
+    heap_[i].time = time;
+    if (time < old) {
+      sift_up(i);
+    } else if (time > old) {
+      sift_down(i);
+    }
+  }
+
+  /// Deletes `id`'s entry; no-op when absent.
+  void remove(std::size_t id) {
+    TRACON_ASSERT(id < pos_.size(), "slot id out of range");
+    const std::size_t i = pos_[id];
+    if (i == kAbsent) return;
+    pos_[id] = kAbsent;
+    const std::size_t last = heap_.size() - 1;
+    if (i != last) {
+      const std::size_t moved = heap_[last].id;
+      heap_[i] = heap_[last];
+      heap_.pop_back();
+      pos_[moved] = i;
+      // The moved entry may need to travel either way.
+      sift_up(i);
+      sift_down(pos_[moved]);
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+ private:
+  static constexpr std::size_t kAbsent =
+      std::numeric_limits<std::size_t>::max();
+  static constexpr std::size_t kArity = 4;
+
+  static bool less(const Entry& a, const Entry& b) {
+    return a.time < b.time || (a.time == b.time && a.id < b.id);
+  }
+
+  void sift_up(std::size_t i) {
+    Entry e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!less(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      pos_[heap_[i].id] = i;
+      i = parent;
+    }
+    heap_[i] = e;
+    pos_[e.id] = i;
+  }
+
+  void sift_down(std::size_t i) {
+    Entry e = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = i * kArity + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = std::min(first + kArity, n);
+      for (std::size_t c = first + 1; c < last; ++c)
+        if (less(heap_[c], heap_[best])) best = c;
+      if (!less(heap_[best], e)) break;
+      heap_[i] = heap_[best];
+      pos_[heap_[i].id] = i;
+      i = best;
+    }
+    heap_[i] = e;
+    pos_[e.id] = i;
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::size_t> pos_;  ///< id -> heap index, kAbsent when out
+};
+
+}  // namespace tracon::sim

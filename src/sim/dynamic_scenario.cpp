@@ -12,6 +12,8 @@
 #include "obs/jsonl.hpp"
 #include "obs/kvlog.hpp"
 #include "obs/span_log.hpp"
+#include "sim/completion_heap.hpp"
+#include "sim/slot_registry.hpp"
 #include "util/error.hpp"
 
 namespace tracon::sim {
@@ -41,7 +43,6 @@ struct RunningTask {
 
 struct Machine {
   std::optional<RunningTask> slot[2];
-  std::uint64_t stamp = 0;  ///< invalidates queued completion events
   /// Migration copy window: every resident task runs at the cost
   /// model's copy_speed_factor until this time.
   double copy_until_s = 0.0;
@@ -51,79 +52,17 @@ struct Machine {
   }
 };
 
-enum class EventType {
-  kArrival,
-  kCompletion,
-  kWakeup,
-  kRound,
-  kSnapshot,
-  kRebalance
-};
+/// Control events. Completions are NOT queued here: they live in the
+/// indexed CompletionHeap, keyed by VM slot, where ETA changes move the
+/// slot's single entry in place instead of stranding dead events.
+enum class EventType { kArrival, kWakeup, kRound, kSnapshot, kRebalance };
 
 struct Event {
   double time = 0.0;
   EventType type = EventType::kArrival;
-  std::size_t machine = 0;   // completion only
-  int slot = 0;              // completion only
-  std::uint64_t stamp = 0;   // completion only
+  std::size_t index = 0;  ///< arrival index (kArrival only)
 
   bool operator>(const Event& o) const { return time > o.time; }
-};
-
-/// Machines indexed by occupancy class, with lazy deletion: each machine
-/// remembers its current registry key; stale stack entries are skipped.
-class SlotRegistry {
- public:
-  static constexpr int kNone = -1;
-  SlotRegistry(std::size_t machines, std::size_t num_apps)
-      : key_(machines, kNone), stacks_(num_apps + 1) {}
-
-  /// key 0 = empty machine; key 1+a = half-busy running app a.
-  void set_key(std::size_t machine, int key) {
-    key_[machine] = key;
-    if (key != kNone) stacks_[static_cast<std::size_t>(key)].push_back(machine);
-  }
-
-  std::size_t pop(int key) {
-    auto& s = stacks_[static_cast<std::size_t>(key)];
-    while (!s.empty()) {
-      std::size_t m = s.back();
-      s.pop_back();
-      if (key_[m] == key) {
-        key_[m] = kNone;
-        return m;
-      }
-    }
-    throw std::logic_error("SlotRegistry: no machine with requested key");
-  }
-
-  /// pop() variant for migration destinations: skips `excluded` (the
-  /// source machine is never a valid destination for its own task) and
-  /// returns nullopt instead of throwing when no other machine holds
-  /// the key — same-round churn can invalidate a planned class.
-  std::optional<std::size_t> try_pop_excluding(int key, std::size_t excluded) {
-    auto& s = stacks_[static_cast<std::size_t>(key)];
-    bool refile_excluded = false;
-    std::optional<std::size_t> out;
-    while (!s.empty()) {
-      std::size_t m = s.back();
-      s.pop_back();
-      if (key_[m] != key) continue;  // stale entry
-      if (m == excluded) {
-        refile_excluded = true;
-        continue;
-      }
-      key_[m] = kNone;
-      out = m;
-      break;
-    }
-    if (refile_excluded) s.push_back(excluded);
-    return out;
-  }
-
- private:
-  std::vector<int> key_;
-  std::vector<std::vector<std::size_t>> stacks_;
 };
 
 int registry_key(const Machine& m) {
@@ -173,11 +112,17 @@ DynamicOutcome run_dynamic(const PerfTable& table,
 
   std::vector<Machine> fleet(cfg.machines);
   sched::ClusterCounts counts(n, cfg.machines);
+  if (cfg.candidate_index != nullptr) cfg.candidate_index->attach(&counts);
+  scheduler.set_candidate_index(cfg.candidate_index);
   SlotRegistry registry(cfg.machines, n);
   for (std::size_t m = 0; m < cfg.machines; ++m)
     registry.set_key(m, 0);
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  // Completions live in an indexed heap keyed by VM slot; ETA changes
+  // move the slot's single entry in place instead of stranding stale
+  // events behind a stamp check.
+  CompletionHeap completions(cfg.machines * 2);
   std::vector<sched::QueuedTask> queue;
 
   DynamicOutcome out;
@@ -341,11 +286,17 @@ DynamicOutcome run_dynamic(const PerfTable& table,
     }
   };
 
-  auto refresh_completions = [&](std::size_t mi, double now) {
+  // Re-times a machine's completion entries after any state change:
+  // occupied slots get their piecewise ETA recomputed and moved in
+  // place, freed slots leave the heap.
+  auto update_etas = [&](std::size_t mi, double now) {
     Machine& m = fleet[mi];
-    ++m.stamp;
     for (int s = 0; s < 2; ++s) {
-      if (!m.slot[s].has_value()) continue;
+      const std::size_t id = mi * 2 + static_cast<std::size_t>(s);
+      if (!m.slot[s].has_value()) {
+        completions.remove(id);
+        continue;
+      }
       const RunningTask& t = *m.slot[s];
       double speed = table.speed(t.app, neighbour_of(m, s));
       TRACON_ASSERT(speed > 0.0, "non-positive task speed");
@@ -359,14 +310,13 @@ DynamicOutcome run_dynamic(const PerfTable& table,
         double rate = speed * copy_factor;
         double work = (m.copy_until_s - t0) * rate;
         if (work >= rem) {
-          events.push({t0 + rem / rate, EventType::kCompletion, mi, s,
-                       m.stamp});
+          completions.update(id, t0 + rem / rate);
           continue;
         }
         rem -= work;
         t0 = m.copy_until_s;
       }
-      events.push({t0 + rem / speed, EventType::kCompletion, mi, s, m.stamp});
+      completions.update(id, t0 + rem / speed);
     }
   };
 
@@ -417,7 +367,7 @@ DynamicOutcome run_dynamic(const PerfTable& table,
         }
         m.slot[slot] = t;
         registry.set_key(mi, registry_key(m));
-        refresh_completions(mi, now);
+        update_etas(mi, now);
         ++busy_slots;
         if (m.occupancy() == 1) {
           ++busy_machines;
@@ -441,7 +391,7 @@ DynamicOutcome run_dynamic(const PerfTable& table,
     }
     if (auto wake = scheduler.next_wakeup(queue, ctx);
         wake.has_value() && *wake > now && *wake < cfg.duration_s) {
-      events.push({*wake, EventType::kWakeup, 0, 0, 0});
+      events.push({*wake, EventType::kWakeup});
     }
   };
 
@@ -547,8 +497,8 @@ DynamicOutcome run_dynamic(const PerfTable& table,
       double copy_end = now + p.copy_s;
       src.copy_until_s = std::max(src.copy_until_s, copy_end);
       dst.copy_until_s = std::max(dst.copy_until_s, copy_end);
-      refresh_completions(p.from_machine, now);
-      refresh_completions(dest_mi, now);
+      update_etas(p.from_machine, now);
+      update_etas(dest_mi, now);
 
       if (c_migrated != nullptr) c_migrated->inc();
       if (tel != nullptr && tel->decisions.enabled()) {
@@ -571,13 +521,12 @@ DynamicOutcome run_dynamic(const PerfTable& table,
     }
   };
 
-  // Prime the arrival stream and the manager's scheduling rounds. The
-  // Event's `machine` field carries the arrival index.
+  // Prime the arrival stream and the manager's scheduling rounds.
   TRACON_REQUIRE(cfg.queue_capacity >= 1, "queue capacity must be >= 1");
   TRACON_REQUIRE(cfg.schedule_period_s > 0.0,
                  "schedule period must be positive");
   if (!arrivals.empty() && arrivals.front().time_s < cfg.duration_s)
-    events.push({arrivals.front().time_s, EventType::kArrival, 0, 0, 0});
+    events.push({arrivals.front().time_s, EventType::kArrival, 0});
   // Online schedulers (FIFO, MIOS) dispatch on every event. Batch
   // schedulers are triggered by arrivals (the paper: "the scheduling
   // process takes place when the queue that holds the incoming tasks is
@@ -585,11 +534,11 @@ DynamicOutcome run_dynamic(const PerfTable& table,
   // completions: freed VMs accumulate between batches, which is what
   // gives MIBS/MIX genuinely concurrent placement choices.
   const bool online = scheduler.online();
-  events.push({cfg.schedule_period_s, EventType::kRound, 0, 0, 0});
+  events.push({cfg.schedule_period_s, EventType::kRound});
   if (cfg.snapshots != nullptr) {
     TRACON_REQUIRE(tel != nullptr, "snapshot series requires telemetry");
     events.push({std::min(cfg.snapshots->interval_s(), cfg.duration_s),
-                 EventType::kSnapshot, 0, 0, 0});
+                 EventType::kSnapshot});
   }
   TRACON_REQUIRE(
       cfg.windowed_runtime == nullptr || cfg.accuracy_probe != nullptr,
@@ -600,25 +549,121 @@ DynamicOutcome run_dynamic(const PerfTable& table,
   if (cfg.rebalancer != nullptr) {
     double first = cfg.rebalancer->config().interval_s;
     if (first < cfg.duration_s)
-      events.push({first, EventType::kRebalance, 0, 0, 0});
+      events.push({first, EventType::kRebalance});
   }
 
-  while (!events.empty()) {
-    Event ev = events.top();
-    events.pop();
-    if (ev.time > cfg.duration_s) break;
+  while (!events.empty() || !completions.empty()) {
+    // Two-queue merge: control events win equal-time ties so that a
+    // round/arrival at the exact instant of a completion sees the
+    // pre-completion cluster — completions at a tied time strictly
+    // follow, as a deterministic rule rather than heap happenstance.
+    const bool take_comp =
+        !completions.empty() &&
+        (events.empty() || completions.top().time < events.top().time);
+    const double now =
+        take_comp ? completions.top().time : events.top().time;
+    if (now > cfg.duration_s) break;
 
-    double dt = ev.time - last_event_time;
+    double dt = now - last_event_time;
     queue_len_integral += static_cast<double>(queue.size()) * dt;
     busy_machine_integral += static_cast<double>(busy_machines) * dt;
     busy_slot_integral += static_cast<double>(busy_slots) * dt;
-    last_event_time = ev.time;
+    last_event_time = now;
+
+    if (take_comp) {
+      const std::size_t id = completions.top().id;
+      completions.pop();
+      const std::size_t mi = id / 2;
+      const int slot = static_cast<int>(id % 2);
+      Machine& m = fleet[mi];
+      TRACON_ASSERT(m.slot[slot].has_value(),
+                    "completion entry for an empty slot");
+      advance_machine(mi, now);
+      RunningTask* t = &*m.slot[slot];
+      if (t->remaining_solo_s > 1e-6) {
+        // Floating-point residue left the finish past the computed
+        // ETA; re-arm the slot's entry at the corrected time.
+        update_etas(mi, now);
+        continue;
+      }
+      double runtime = now - t->started_s;
+      double mean_iops = runtime > 0.0 ? t->iops_integral / runtime : 0.0;
+      ++out.completed;
+      if (c_completed != nullptr) c_completed->inc();
+      out.total_runtime += runtime;
+      out.total_iops += mean_iops;
+      std::size_t departed = t->app;
+      if (cfg.trace != nullptr)
+        cfg.trace->record(now, TaskEventKind::kCompleted, departed, mi);
+      if (runtime_hist != nullptr) runtime_hist->observe(runtime);
+      trace_event(now, obs::TraceEventKind::kTaskCompleted, departed, mi, 0,
+                  runtime, mean_iops);
+      if (acc_runtime.has_value() && t->predicted_runtime_s >= 0.0)
+        acc_runtime->record(t->predicted_runtime_s, runtime);
+      if (acc_iops.has_value() && t->predicted_iops >= 0.0)
+        acc_iops->record(t->predicted_iops, mean_iops);
+      if (cfg.windowed_runtime != nullptr && t->predicted_runtime_s >= 0.0)
+        cfg.windowed_runtime->record(t->predicted_runtime_s, runtime);
+      if (cfg.windowed_iops != nullptr && t->predicted_iops >= 0.0)
+        cfg.windowed_iops->record(t->predicted_iops, mean_iops);
+      if (cfg.outcome_observer != nullptr) {
+        cfg.outcome_observer->on_completion(departed, t->placed_neighbour,
+                                            runtime, mean_iops);
+      }
+      if (cfg.rebalancer != nullptr) {
+        cfg.rebalancer->observe_completion(departed, t->placed_neighbour,
+                                           runtime,
+                                           table.solo_runtime(departed));
+      }
+      if (tel != nullptr && tel->decisions.enabled()) {
+        obs::DecisionEvent de;
+        de.task = t->task_id;
+        de.time_s = now;
+        de.app = departed;
+        de.machine = mi;
+        de.neighbour = t->placed_neighbour;
+        de.runtime_s = runtime;
+        de.iops = mean_iops;
+        de.solo_runtime_s = table.solo_runtime(departed);
+        tel->decisions.record_outcome(std::move(de));
+      }
+      if (spans_on) {
+        // Close the departing task's final segment and the
+        // survivor's epoch (its co-runner is about to leave), then
+        // mark the completion.
+        close_epochs(mi, now);
+        obs::SpanEvent cm;
+        cm.kind = obs::SpanEvent::Kind::kCompleted;
+        cm.task = t->task_id;
+        cm.app = departed;
+        cm.machine = mi;
+        cm.t0_s = now;
+        cm.t1_s = now;
+        cm.solo_runtime_s = table.solo_runtime(departed);
+        tel->spans.record(std::move(cm));
+      }
+      m.slot[slot].reset();
+      --busy_slots;
+      if (m.occupancy() == 0) {
+        --busy_machines;
+        trace_event(now, obs::TraceEventKind::kVmStop, departed, mi, 0,
+                    runtime, 0.0);
+      }
+      counts.depart(departed, neighbour_of(m, slot));
+      registry.set_key(mi, registry_key(m));
+      update_etas(mi, now);
+      if (online) run_scheduler(now);
+      continue;
+    }
+
+    Event ev = events.top();
+    events.pop();
 
     switch (ev.type) {
       case EventType::kArrival: {
         ++out.arrived;
         if (c_arrived != nullptr) c_arrived->inc();
-        std::size_t idx = ev.machine;  // arrival index
+        std::size_t idx = ev.index;
         std::size_t app = arrivals[idx].app;
         TRACON_ASSERT(app < n, "arrival app out of range");
         if (cfg.trace != nullptr)
@@ -639,89 +684,8 @@ DynamicOutcome run_dynamic(const PerfTable& table,
         if (idx + 1 < arrivals.size() &&
             arrivals[idx + 1].time_s < cfg.duration_s) {
           events.push(
-              {arrivals[idx + 1].time_s, EventType::kArrival, idx + 1, 0, 0});
+              {arrivals[idx + 1].time_s, EventType::kArrival, idx + 1});
         }
-        break;
-      }
-      case EventType::kCompletion: {
-        Machine& m = fleet[ev.machine];
-        if (ev.stamp != m.stamp) break;  // stale
-        advance_machine(ev.machine, ev.time);
-        RunningTask* t = m.slot[ev.slot].has_value() ? &*m.slot[ev.slot]
-                                                     : nullptr;
-        if (t == nullptr || t->remaining_solo_s > 1e-6) {
-          // Completion got pushed back by a neighbour change; re-arm.
-          refresh_completions(ev.machine, ev.time);
-          break;
-        }
-        double runtime = ev.time - t->started_s;
-        double mean_iops = runtime > 0.0 ? t->iops_integral / runtime : 0.0;
-        ++out.completed;
-        if (c_completed != nullptr) c_completed->inc();
-        out.total_runtime += runtime;
-        out.total_iops += mean_iops;
-        std::size_t departed = t->app;
-        if (cfg.trace != nullptr)
-          cfg.trace->record(ev.time, TaskEventKind::kCompleted, departed,
-                            ev.machine);
-        if (runtime_hist != nullptr) runtime_hist->observe(runtime);
-        trace_event(ev.time, obs::TraceEventKind::kTaskCompleted, departed,
-                    ev.machine, 0, runtime, mean_iops);
-        if (acc_runtime.has_value() && t->predicted_runtime_s >= 0.0)
-          acc_runtime->record(t->predicted_runtime_s, runtime);
-        if (acc_iops.has_value() && t->predicted_iops >= 0.0)
-          acc_iops->record(t->predicted_iops, mean_iops);
-        if (cfg.windowed_runtime != nullptr && t->predicted_runtime_s >= 0.0)
-          cfg.windowed_runtime->record(t->predicted_runtime_s, runtime);
-        if (cfg.windowed_iops != nullptr && t->predicted_iops >= 0.0)
-          cfg.windowed_iops->record(t->predicted_iops, mean_iops);
-        if (cfg.outcome_observer != nullptr) {
-          cfg.outcome_observer->on_completion(departed, t->placed_neighbour,
-                                              runtime, mean_iops);
-        }
-        if (cfg.rebalancer != nullptr) {
-          cfg.rebalancer->observe_completion(departed, t->placed_neighbour,
-                                             runtime,
-                                             table.solo_runtime(departed));
-        }
-        if (tel != nullptr && tel->decisions.enabled()) {
-          obs::DecisionEvent de;
-          de.task = t->task_id;
-          de.time_s = ev.time;
-          de.app = departed;
-          de.machine = ev.machine;
-          de.neighbour = t->placed_neighbour;
-          de.runtime_s = runtime;
-          de.iops = mean_iops;
-          de.solo_runtime_s = table.solo_runtime(departed);
-          tel->decisions.record_outcome(std::move(de));
-        }
-        if (spans_on) {
-          // Close the departing task's final segment and the
-          // survivor's epoch (its co-runner is about to leave), then
-          // mark the completion.
-          close_epochs(ev.machine, ev.time);
-          obs::SpanEvent cm;
-          cm.kind = obs::SpanEvent::Kind::kCompleted;
-          cm.task = t->task_id;
-          cm.app = departed;
-          cm.machine = ev.machine;
-          cm.t0_s = ev.time;
-          cm.t1_s = ev.time;
-          cm.solo_runtime_s = table.solo_runtime(departed);
-          tel->spans.record(std::move(cm));
-        }
-        m.slot[ev.slot].reset();
-        --busy_slots;
-        if (m.occupancy() == 0) {
-          --busy_machines;
-          trace_event(ev.time, obs::TraceEventKind::kVmStop, departed,
-                      ev.machine, 0, runtime, 0.0);
-        }
-        counts.depart(departed, neighbour_of(m, ev.slot));
-        registry.set_key(ev.machine, registry_key(m));
-        refresh_completions(ev.machine, ev.time);
-        if (online) run_scheduler(ev.time);
         break;
       }
       case EventType::kWakeup:
@@ -731,7 +695,7 @@ DynamicOutcome run_dynamic(const PerfTable& table,
         run_scheduler(ev.time);
         double next_round = ev.time + cfg.schedule_period_s;
         if (next_round < cfg.duration_s)
-          events.push({next_round, EventType::kRound, 0, 0, 0});
+          events.push({next_round, EventType::kRound});
         break;
       }
       case EventType::kSnapshot: {
@@ -747,14 +711,14 @@ DynamicOutcome run_dynamic(const PerfTable& table,
         double next = ev.time + cfg.snapshots->interval_s();
         if (next > cfg.duration_s) next = cfg.duration_s;
         if (next > ev.time)
-          events.push({next, EventType::kSnapshot, 0, 0, 0});
+          events.push({next, EventType::kSnapshot});
         break;
       }
       case EventType::kRebalance: {
         run_rebalancer(ev.time);
         double next = ev.time + cfg.rebalancer->config().interval_s;
         if (next < cfg.duration_s)
-          events.push({next, EventType::kRebalance, 0, 0, 0});
+          events.push({next, EventType::kRebalance});
         break;
       }
     }

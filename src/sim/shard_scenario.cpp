@@ -165,6 +165,7 @@ ShardedOutcome run_dynamic_sharded(const PerfTable& table,
     d.seed = derive_stream_seed(cfg.seed, i);
     d.queue_capacity = cfg.queue_capacity;
     d.schedule_period_s = cfg.schedule_period_s;
+    d.candidate_index = cfg.candidate_index;
     s.scheduler = make_scheduler(i);
     TRACON_REQUIRE(s.scheduler != nullptr, "scheduler factory returned null");
   }

@@ -1,0 +1,91 @@
+#include "sim/slot_registry.hpp"
+
+#include <stdexcept>
+
+#include "util/error.hpp"
+
+namespace tracon::sim {
+
+SlotRegistry::SlotRegistry(std::size_t machines, std::size_t num_apps)
+    : key_(machines, kNone), stacks_(num_apps + 1), stale_(num_apps + 1, 0) {
+  TRACON_REQUIRE(machines > 0, "registry needs at least one machine");
+}
+
+void SlotRegistry::set_key(std::size_t machine, int key) {
+  const int old = key_[machine];
+  if (old == key) return;  // entry (if any) is still live
+  key_[machine] = key;
+  if (old != kNone) note_stale(static_cast<std::size_t>(old));
+  if (key != kNone) stacks_[static_cast<std::size_t>(key)].push_back(machine);
+}
+
+std::size_t SlotRegistry::pop(int key) {
+  const auto k = static_cast<std::size_t>(key);
+  auto& s = stacks_[k];
+  while (!s.empty()) {
+    std::size_t m = s.back();
+    s.pop_back();
+    if (key_[m] == key) {
+      key_[m] = kNone;
+      return m;
+    }
+    if (stale_[k] > 0) --stale_[k];
+  }
+  throw std::logic_error("SlotRegistry: no machine with requested key");
+}
+
+std::optional<std::size_t> SlotRegistry::try_pop_excluding(
+    int key, std::size_t excluded) {
+  const auto k = static_cast<std::size_t>(key);
+  auto& s = stacks_[k];
+  bool refile_excluded = false;
+  std::optional<std::size_t> out;
+  while (!s.empty()) {
+    std::size_t m = s.back();
+    s.pop_back();
+    if (key_[m] != key) {  // stale entry
+      if (stale_[k] > 0) --stale_[k];
+      continue;
+    }
+    if (m == excluded) {
+      refile_excluded = true;
+      continue;
+    }
+    key_[m] = kNone;
+    out = m;
+    break;
+  }
+  if (refile_excluded) s.push_back(excluded);
+  return out;
+}
+
+std::size_t SlotRegistry::stack_size(int key) const {
+  return stacks_[static_cast<std::size_t>(key)].size();
+}
+
+std::size_t SlotRegistry::stale_entries(int key) const {
+  return stale_[static_cast<std::size_t>(key)];
+}
+
+void SlotRegistry::note_stale(std::size_t key) {
+  ++stale_[key];
+  // Compact once stale entries exceed half the stack: O(live) per
+  // compaction, charged against the >= size/2 discarded entries.
+  if (stale_[key] * 2 > stacks_[key].size()) discard_stale(key);
+}
+
+void SlotRegistry::discard_stale(std::size_t key) {
+  auto& s = stacks_[key];
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < s.size(); ++r) {
+    const std::size_t m = s[r];
+    if (key_[m] == static_cast<int>(key)) s[w++] = m;
+  }
+  s.resize(w);
+  // A machine re-entering a key can leave an older entry that still
+  // looks live (it is popped-and-skipped later); the counter is
+  // therefore a lower bound, and resets with the stale mass it tracked.
+  stale_[key] = 0;
+}
+
+}  // namespace tracon::sim

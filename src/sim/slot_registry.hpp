@@ -1,0 +1,61 @@
+// Machines indexed by occupancy class, with lazy deletion and bounded
+// staleness.
+//
+// The dynamic scenario needs "some machine of occupancy class k" in
+// O(1): key 0 holds machines with both VMs idle, key 1+a machines whose
+// single resident runs application a. Entries are stacks with lazy
+// deletion — each machine remembers its current key, and stack entries
+// whose machine has since moved on are skipped (and discarded) at pop
+// time.
+//
+// Under migration churn a machine can change class many times without
+// being popped, so stale entries used to accumulate without bound. The
+// registry now counts the stale entries per stack and compacts a stack
+// in place (preserving relative order, so the pop sequence is
+// unchanged) as soon as stale entries exceed half its size; amortized
+// cost is O(1) per key change, and a stack's memory stays proportional
+// to its live population.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace tracon::sim {
+
+class SlotRegistry {
+ public:
+  static constexpr int kNone = -1;
+  SlotRegistry(std::size_t machines, std::size_t num_apps);
+
+  /// key 0 = empty machine; key 1+a = half-busy running app a; kNone =
+  /// fully busy (indexed nowhere). Re-keying counts the machine's old
+  /// entry as stale and may compact that stack.
+  void set_key(std::size_t machine, int key);
+
+  /// Pops a machine with the given key; throws std::logic_error when
+  /// none exists.
+  std::size_t pop(int key);
+
+  /// pop() variant for migration destinations: skips `excluded` (the
+  /// source machine is never a valid destination for its own task) and
+  /// returns nullopt instead of throwing when no other machine holds
+  /// the key — same-round churn can invalidate a planned class.
+  std::optional<std::size_t> try_pop_excluding(int key, std::size_t excluded);
+
+  int key_of(std::size_t machine) const { return key_[machine]; }
+
+  /// Introspection for tests and benchmarks: physical stack length and
+  /// the tracked stale-entry count for a key.
+  std::size_t stack_size(int key) const;
+  std::size_t stale_entries(int key) const;
+
+ private:
+  void note_stale(std::size_t key);
+  void discard_stale(std::size_t key);
+  std::vector<int> key_;
+  std::vector<std::vector<std::size_t>> stacks_;
+  std::vector<std::size_t> stale_;
+};
+
+}  // namespace tracon::sim

@@ -1,0 +1,317 @@
+#include "sched/candidate_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sched/fifo.hpp"
+#include "sched/mibs.hpp"
+#include "sched/mios.hpp"
+#include "sched/mix.hpp"
+#include "sched/prediction_cache.hpp"
+#include "sim/dynamic_scenario.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace tracon::sched {
+namespace {
+
+/// Three app classes with a crafted interference table: app 0 barely
+/// interferes, apps 1 and 2 destroy each other but tolerate app 0.
+TablePredictor crafted_predictor() {
+  stats::Matrix rt = {{55.0, 60.0, 60.0, 50.0},
+                      {110.0, 400.0, 420.0, 100.0},
+                      {115.0, 430.0, 410.0, 100.0}};
+  stats::Matrix io = {{95.0, 90.0, 90.0, 100.0},
+                      {180.0, 40.0, 35.0, 200.0},
+                      {170.0, 35.0, 45.0, 200.0}};
+  return TablePredictor(rt, io);
+}
+
+/// Same shape as crafted_predictor with shifted values, so a two-family
+/// ensemble over the pair has genuinely different per-family answers.
+TablePredictor crafted_predictor_alt() {
+  stats::Matrix rt = {{60.0, 58.0, 65.0, 52.0},
+                      {120.0, 380.0, 440.0, 105.0},
+                      {105.0, 450.0, 395.0, 95.0}};
+  stats::Matrix io = {{90.0, 95.0, 85.0, 105.0},
+                      {170.0, 45.0, 30.0, 190.0},
+                      {180.0, 30.0, 50.0, 210.0}};
+  return TablePredictor(rt, io);
+}
+
+const sim::PerfTable& paper_table() {
+  static sim::PerfTable t = [] {
+    model::Profiler prof(
+        virt::HostSimulator(virt::HostConfig::paper_testbed()), 42);
+    return sim::PerfTable::build(prof, workload::paper_benchmarks());
+  }();
+  return t;
+}
+
+TEST(ClassClustering, CoversEveryClass) {
+  TablePredictor pred = crafted_predictor();
+  ClassClustering c = ClassClustering::build(pred);
+  ASSERT_EQ(c.num_apps(), 3u);
+  EXPECT_GE(c.num_clusters(), 1u);
+  EXPECT_LE(c.num_clusters(), 3u);
+  for (std::size_t cl : c.cluster_of()) EXPECT_LT(cl, c.num_clusters());
+}
+
+TEST(ClassClustering, DeterministicAcrossBuilds) {
+  TablePredictor pred = paper_table().oracle_predictor();
+  ClassClustering a = ClassClustering::build(pred);
+  ClassClustering b = ClassClustering::build(pred);
+  EXPECT_EQ(a.cluster_of(), b.cluster_of());
+  EXPECT_EQ(a.num_clusters(), b.num_clusters());
+}
+
+/// Exhaustive equivalence: drive one clustered ClusterCounts through a
+/// deterministic churn of placements and departures, and at every step
+/// compare the indexed lookup against the flat scan for every task,
+/// objective, admission policy, and exclude_empty combination.
+TEST(CandidateIndex, BestSlotMatchesFlatScanUnderChurn) {
+  TablePredictor pred = paper_table().oracle_predictor();
+  const std::size_t n = pred.num_apps();
+  CandidateIndex index(pred);
+  ClusterCounts counts(n, 6);
+  index.attach(&counts);
+
+  PlacementPolicy strict;                    // beneficial joins only
+  PlacementPolicy open;
+  open.beneficial_joins_only = false;
+  const PlacementPolicy policies[] = {strict, open};
+
+  std::uint64_t state = 12345;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::size_t>(state >> 33);
+  };
+  // Explicit fleet mirror (each machine holds <=2 apps), so departures
+  // always report the CURRENT co-resident — a neighbour recorded at
+  // placement time goes stale once a later task joins the machine.
+  std::vector<std::vector<std::size_t>> fleet(6);
+  auto machine_with = [&fleet](std::optional<std::size_t> cls) {
+    for (std::size_t m = 0; m < fleet.size(); ++m) {
+      if (!cls.has_value() && fleet[m].empty()) return m;
+      if (cls.has_value() && fleet[m].size() == 1 && fleet[m][0] == *cls)
+        return m;
+    }
+    throw std::logic_error("no machine in the requested class");
+  };
+  for (int step = 0; step < 400; ++step) {
+    // Mutate: mostly place (greedily, onto the flat scan's choice so
+    // the states visited are scheduler-realistic), sometimes depart.
+    std::size_t occupied = 0;
+    for (const auto& m : fleet) occupied += m.size();
+    if (occupied > 0 && next() % 3 == 0) {
+      std::size_t victim = next() % occupied;
+      for (auto& m : fleet) {
+        if (victim >= m.size()) {
+          victim -= m.size();
+          continue;
+        }
+        std::size_t app = m[victim];
+        m.erase(m.begin() + static_cast<long>(victim));
+        counts.depart(app, m.empty() ? std::nullopt
+                                     : std::optional<std::size_t>{m[0]});
+        break;
+      }
+    } else {
+      std::size_t app = next() % n;
+      auto slot = mios_best_slot(app, counts, pred, Objective::kRuntime,
+                                 open);
+      if (slot.has_value()) {
+        counts.place(app, *slot);
+        fleet[machine_with(*slot)].push_back(app);
+      }
+    }
+    for (std::size_t task = 0; task < n; ++task) {
+      for (Objective obj : {Objective::kRuntime, Objective::kIops}) {
+        for (const PlacementPolicy& pol : policies) {
+          for (bool excl : {false, true}) {
+            auto exact = mios_best_slot(task, counts, pred, obj, pol, excl);
+            auto fast = mios_best_slot(task, counts, pred, obj, pol, excl,
+                                       &index);
+            ASSERT_EQ(exact, fast)
+                << "step " << step << " task " << task << " obj "
+                << static_cast<int>(obj) << " strict "
+                << pol.beneficial_joins_only << " excl " << excl;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(index.rebuilds(), 0u);  // table predictor: epoch never moves
+}
+
+struct SchedulerCase {
+  const char* name;
+  std::unique_ptr<Scheduler> (*make)(const Predictor& pred);
+};
+
+std::unique_ptr<Scheduler> make_fifo(const Predictor&) {
+  return std::make_unique<FifoScheduler>(17);
+}
+std::unique_ptr<Scheduler> make_mios(const Predictor& pred) {
+  PlacementPolicy policy;
+  policy.beneficial_joins_only = false;  // the core factory's MIOS
+  return std::make_unique<MiosScheduler>(pred, Objective::kRuntime, policy);
+}
+std::unique_ptr<Scheduler> make_mibs(const Predictor& pred) {
+  return std::make_unique<MibsScheduler>(pred, Objective::kRuntime);
+}
+std::unique_ptr<Scheduler> make_mix(const Predictor& pred) {
+  return std::make_unique<MixScheduler>(pred, Objective::kIops);
+}
+
+/// Property test for the determinism contract: every scheduler, over
+/// several seeds, produces byte-identical metrics, decision logs, and
+/// span logs when placements go through the candidate index plus a
+/// prediction cache instead of the flat scan over the raw predictor.
+TEST(CandidateIndex, DynamicRunsAreByteIdenticalAcrossSchedulersAndSeeds) {
+  const sim::PerfTable& table = paper_table();
+  TablePredictor pred = table.oracle_predictor();
+  CandidateIndex index(pred);
+  const SchedulerCase cases[] = {{"fifo", &make_fifo},
+                                 {"mios", &make_mios},
+                                 {"mibs", &make_mibs},
+                                 {"mix", &make_mix}};
+  for (const SchedulerCase& sc : cases) {
+    for (std::uint64_t seed : {3u, 5u, 9u}) {
+      sim::DynamicConfig cfg;
+      cfg.machines = 12;
+      cfg.lambda_per_min = 40.0;
+      cfg.duration_s = 1800.0;
+      cfg.seed = seed;
+
+      auto run = [&](bool indexed) {
+        obs::Telemetry tel;
+        tel.decisions.set_enabled(true);
+        tel.spans.set_enabled(true);
+        sim::DynamicConfig c = cfg;
+        c.telemetry = &tel;
+        PredictionCache cache(pred);
+        const Predictor& view = indexed ? static_cast<const Predictor&>(cache)
+                                        : static_cast<const Predictor&>(pred);
+        c.candidate_index = indexed ? &index : nullptr;
+        std::unique_ptr<Scheduler> sched = sc.make(view);
+        sched->set_telemetry(&tel);
+        sim::DynamicOutcome o = sim::run_dynamic(table, *sched, c);
+        std::ostringstream all;
+        tel.metrics.write_json(all);
+        tel.decisions.write(all);
+        tel.spans.write(all);
+        return std::pair<sim::DynamicOutcome, std::string>(o, all.str());
+      };
+      auto [exact, exact_bytes] = run(false);
+      auto [fast, fast_bytes] = run(true);
+      EXPECT_EQ(exact.completed, fast.completed) << sc.name << " " << seed;
+      EXPECT_EQ(exact.total_runtime, fast.total_runtime)
+          << sc.name << " " << seed;
+      EXPECT_EQ(exact.total_iops, fast.total_iops) << sc.name << " " << seed;
+      EXPECT_EQ(exact.mean_wait_s, fast.mean_wait_s)
+          << sc.name << " " << seed;
+      EXPECT_EQ(exact_bytes, fast_bytes) << sc.name << " seed " << seed;
+    }
+  }
+}
+
+TEST(PredictionCache, HitsAreBitIdenticalToTheBase) {
+  TablePredictor base = crafted_predictor();
+  PredictionCache cache(base);
+  const std::size_t n = base.num_apps();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t task = 0; task < n; ++task) {
+      for (std::size_t nb = 0; nb <= n; ++nb) {
+        std::optional<std::size_t> neighbour;
+        if (nb < n) neighbour = nb;
+        EXPECT_EQ(cache.predict_runtime(task, neighbour),
+                  base.predict_runtime(task, neighbour));
+        EXPECT_EQ(cache.predict_iops(task, neighbour),
+                  base.predict_iops(task, neighbour));
+      }
+    }
+  }
+  // Second pass answered entirely from the cache: 2 channels x n(n+1)
+  // unique pairs missed once each, everything else hit.
+  EXPECT_EQ(cache.misses(), 2 * n * (n + 1));
+  EXPECT_EQ(cache.hits(), cache.misses());
+  EXPECT_EQ(cache.invalidations(), 0u);
+}
+
+TEST(PredictionCache, BatchMatchesScalarAndFillsTheCache) {
+  TablePredictor base = crafted_predictor();
+  PredictionCache cache(base);
+  std::vector<PredictQuery> queries;
+  for (std::size_t task = 0; task < base.num_apps(); ++task) {
+    queries.push_back({task, std::nullopt});
+    queries.push_back({task, 1});
+    queries.push_back({task, 1});  // duplicate: second is a hit
+  }
+  std::vector<double> got(queries.size());
+  cache.predict_runtime_batch(queries, got);
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    EXPECT_EQ(got[q],
+              base.predict_runtime(queries[q].task, queries[q].neighbour));
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+ConfidenceWeightedPredictor ensemble(const TablePredictor& a,
+                                     const TablePredictor& b) {
+  return ConfidenceWeightedPredictor(
+      {{"oracle", &a}, {"crafted", &b}});
+}
+
+TEST(PredictionCache, EpochBumpInvalidatesAndTracksTheNewBlend) {
+  TablePredictor a = crafted_predictor();
+  TablePredictor b = crafted_predictor_alt();
+  ConfidenceWeightedPredictor base = ensemble(a, b);
+  PredictionCache cache(base);
+
+  double before = cache.predict_runtime(1, 2);
+  EXPECT_EQ(before, base.predict_runtime(1, 2));
+  // A completion feeds the error windows, advancing the model epoch;
+  // the next lookup must flush and re-consult the (re-weighted) blend.
+  base.on_completion(1, 2, 500.0, 30.0);
+  EXPECT_GT(base.model_epoch(), 0u);
+  double after = cache.predict_runtime(1, 2);
+  EXPECT_EQ(after, base.predict_runtime(1, 2));
+  EXPECT_EQ(cache.invalidations(), 1u);
+}
+
+TEST(CandidateIndex, RebuildsWhenTheModelEpochAdvances) {
+  TablePredictor a = crafted_predictor();
+  TablePredictor b = crafted_predictor_alt();
+  ConfidenceWeightedPredictor base = ensemble(a, b);
+  CandidateIndex index(base);
+  ClusterCounts counts(base.num_apps(), 4);
+  index.attach(&counts);
+  counts.place(0, std::nullopt);
+  counts.place(1, std::nullopt);
+
+  PlacementPolicy open;
+  open.beneficial_joins_only = false;
+  auto check_all = [&]() {
+    for (std::size_t task = 0; task < base.num_apps(); ++task)
+      for (Objective obj : {Objective::kRuntime, Objective::kIops})
+        ASSERT_EQ(mios_best_slot(task, counts, base, obj, open),
+                  mios_best_slot(task, counts, base, obj, open,
+                                 /*exclude_empty=*/false, &index));
+  };
+  check_all();
+  EXPECT_EQ(index.rebuilds(), 0u);
+  // Skew the windows hard enough to move the blend, then re-verify:
+  // the index must rebuild once (per epoch bump observed) and keep
+  // matching the flat scan over the new predictions.
+  for (int i = 0; i < 8; ++i) base.on_completion(2, 0, 60.0, 150.0);
+  check_all();
+  EXPECT_GE(index.rebuilds(), 1u);
+}
+
+}  // namespace
+}  // namespace tracon::sched

@@ -1,0 +1,124 @@
+#include "sim/slot_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tracon::sim {
+namespace {
+
+TEST(SlotRegistry, PopReturnsMostRecentLiveEntry) {
+  SlotRegistry reg(4, 2);
+  reg.set_key(0, 1);
+  reg.set_key(1, 1);
+  reg.set_key(2, 1);
+  EXPECT_EQ(reg.pop(1), 2u);
+  EXPECT_EQ(reg.pop(1), 1u);
+  EXPECT_EQ(reg.pop(1), 0u);
+  EXPECT_THROW(reg.pop(1), std::logic_error);
+}
+
+TEST(SlotRegistry, PopSkipsReKeyedMachines) {
+  SlotRegistry reg(4, 2);
+  reg.set_key(0, 1);
+  reg.set_key(1, 1);
+  reg.set_key(1, 2);  // machine 1 moves on; its key-1 entry is stale
+  EXPECT_EQ(reg.pop(1), 0u);
+  EXPECT_THROW(reg.pop(1), std::logic_error);
+  EXPECT_EQ(reg.pop(2), 1u);
+}
+
+TEST(SlotRegistry, KeyOfTracksCurrentState) {
+  SlotRegistry reg(2, 3);
+  EXPECT_EQ(reg.key_of(0), SlotRegistry::kNone);
+  reg.set_key(0, 2);
+  EXPECT_EQ(reg.key_of(0), 2);
+  reg.set_key(0, SlotRegistry::kNone);
+  EXPECT_EQ(reg.key_of(0), SlotRegistry::kNone);
+  std::size_t m = 1;
+  reg.set_key(m, 0);
+  EXPECT_EQ(reg.pop(0), m);
+  EXPECT_EQ(reg.key_of(m), SlotRegistry::kNone);  // pop consumes the key
+}
+
+TEST(SlotRegistry, TryPopExcludingSkipsAndRefilesTheExcluded) {
+  SlotRegistry reg(3, 1);
+  reg.set_key(0, 1);
+  reg.set_key(2, 1);
+  // Machine 2 is on top but excluded; machine 0 is returned and 2 stays
+  // registered for later pops.
+  auto got = reg.try_pop_excluding(1, 2);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 0u);
+  EXPECT_EQ(reg.key_of(2), 1);
+  EXPECT_EQ(reg.pop(1), 2u);
+}
+
+TEST(SlotRegistry, TryPopExcludingReturnsNulloptWhenOnlyExcludedHolds) {
+  SlotRegistry reg(2, 1);
+  reg.set_key(0, 1);
+  EXPECT_FALSE(reg.try_pop_excluding(1, 0).has_value());
+  // The excluded machine must still be poppable afterwards.
+  EXPECT_EQ(reg.pop(1), 0u);
+}
+
+TEST(SlotRegistry, RepeatedSetKeyToSameKeyDoesNotGrowTheStack) {
+  SlotRegistry reg(1, 1);
+  reg.set_key(0, 1);
+  for (int i = 0; i < 100; ++i) reg.set_key(0, 1);
+  EXPECT_EQ(reg.stack_size(1), 1u);
+}
+
+TEST(SlotRegistry, CompactionBoundsStackUnderChurn) {
+  // One machine ping-pongs between two occupancy classes — the
+  // migration-churn pattern that used to grow the stacks without
+  // bound. With stale entries capped at half the stack, each stack
+  // stays within a small constant of its live population (1).
+  SlotRegistry reg(4, 2);
+  for (int i = 0; i < 10'000; ++i) {
+    reg.set_key(0, 1 + (i & 1));
+  }
+  EXPECT_LE(reg.stack_size(1), 4u);
+  EXPECT_LE(reg.stack_size(2), 4u);
+  // The invariant itself: tracked stale mass never exceeds half.
+  for (int key = 1; key <= 2; ++key)
+    EXPECT_LE(reg.stale_entries(key) * 2, reg.stack_size(key));
+}
+
+TEST(SlotRegistry, CompactionPreservesPopOrder) {
+  SlotRegistry reg(8, 2);
+  for (std::size_t m = 0; m < 4; ++m) reg.set_key(m, 1);
+  // Machines 4..7 enter and leave key 1 many times, forcing the key-1
+  // stack through several compactions; the live entries 0..3 must keep
+  // their relative order throughout, so the pops stay pure LIFO over
+  // the survivors.
+  for (int round = 0; round < 50; ++round) {
+    for (std::size_t m = 4; m < 8; ++m) {
+      reg.set_key(m, 1);
+      reg.set_key(m, 2);
+    }
+  }
+  EXPECT_LE(reg.stack_size(1), 8u);  // compaction actually fired
+  for (std::size_t expect : {3u, 2u, 1u, 0u}) EXPECT_EQ(reg.pop(1), expect);
+  EXPECT_THROW(reg.pop(1), std::logic_error);
+}
+
+TEST(SlotRegistry, PopDecrementsStaleCounter) {
+  SlotRegistry reg(8, 1);
+  // Build a stack whose stale mass sits exactly at the threshold (not
+  // above), so compaction has not fired yet and pop does the cleanup.
+  for (std::size_t m = 0; m < 4; ++m) reg.set_key(m, 1);
+  reg.set_key(0, 0);
+  reg.set_key(1, 0);
+  ASSERT_EQ(reg.stack_size(1), 4u);
+  ASSERT_EQ(reg.stale_entries(1), 2u);
+  EXPECT_EQ(reg.pop(1), 3u);
+  EXPECT_EQ(reg.pop(1), 2u);
+  // The next pop walks over both stale entries and drains the counter.
+  EXPECT_THROW(reg.pop(1), std::logic_error);
+  EXPECT_EQ(reg.stale_entries(1), 0u);
+  EXPECT_EQ(reg.stack_size(1), 0u);
+}
+
+}  // namespace
+}  // namespace tracon::sim

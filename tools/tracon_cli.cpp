@@ -69,6 +69,13 @@
 //                                part of the simulated system's shape
 //   --prof requires --threads 1; --confidence-weighting is unsupported
 //   with the sharded engine.
+//   --candidate-index            place via the clustered candidate
+//                                shortlist index with per-scheduler
+//                                prediction memoization (dynamic, with
+//                                or without --threads). Placements are
+//                                bit-identical to the flat scan, so
+//                                every export keeps its exact bytes and
+//                                no fingerprint entry is stamped.
 //
 // Snapshot / confidence flags (dynamic, record, replay):
 //   --snapshot-interval S        sample a tracon.metrics_series window
@@ -152,8 +159,10 @@
 #include "replay/arrival_trace.hpp"
 #include "runstore/report.hpp"
 #include "runstore/runstore.hpp"
+#include "sched/candidate_index.hpp"
 #include "sched/fifo.hpp"
 #include "sched/mix.hpp"
+#include "sched/prediction_cache.hpp"
 #include "sim/dynamic_scenario.hpp"
 #include "sim/hierarchy.hpp"
 #include "sim/shard_scenario.hpp"
@@ -389,10 +398,10 @@ int cmd_predict(const ArgParser& args) {
   return 0;
 }
 
-std::unique_ptr<sched::Scheduler> scheduler_from(const ArgParser& args,
-                                                 const core::Tracon& sys,
-                                                 bool static_batch,
-                                                 std::size_t default_queue = 8) {
+std::unique_ptr<sched::Scheduler> scheduler_from(
+    const ArgParser& args, const core::Tracon& sys, bool static_batch,
+    std::size_t default_queue = 8,
+    const sched::Predictor* predictor_override = nullptr) {
   std::string s = args.get("scheduler", "mibs");
   auto objective = args.get("objective", "rt") == "io"
                        ? sched::Objective::kIops
@@ -408,7 +417,8 @@ std::unique_ptr<sched::Scheduler> scheduler_from(const ArgParser& args,
   else if (s == "mix") kind = core::SchedulerKind::kMix;
   else throw std::invalid_argument("unknown --scheduler '" + s + "'");
   return sys.make_scheduler(kind, objective, queue,
-                            static_batch ? 0.0 : 60.0, policy);
+                            static_batch ? 0.0 : 60.0, policy,
+                            predictor_override);
 }
 
 int cmd_static(const ArgParser& args) {
@@ -549,6 +559,18 @@ int cmd_dynamic_sharded(const ArgParser& args) {
                  "--prof requires --threads 1: the profiling accumulators "
                  "are not synchronized across shard workers");
 
+  // Sublinear placement: one shortlist index shared read-only by every
+  // shard (the table predictor's model epoch never changes mid-run)
+  // plus a per-shard prediction cache created serially by the factory.
+  // Placements are bit-identical to the flat scan, so no fingerprint
+  // entry is stamped and exports cmp-equal against exact-scan runs.
+  std::optional<sched::CandidateIndex> cindex;
+  std::vector<std::unique_ptr<sched::PredictionCache>> caches;
+  if (args.has("candidate-index")) {
+    cindex.emplace(sys.predictor());
+    cfg.candidate_index = &*cindex;
+  }
+
   const bool want_metrics = args.has("metrics-out") || args.has("metrics-csv");
   const bool want_trace = args.has("trace-out") || args.has("trace-jsonl");
   const bool want_series =
@@ -581,6 +603,7 @@ int cmd_dynamic_sharded(const ArgParser& args) {
   base_cfg.snapshot_interval_s = 0.0;
   base_cfg.rebalance = false;
   base_cfg.rebalance_predictor = nullptr;
+  base_cfg.candidate_index = nullptr;
   auto base = sim::run_dynamic_sharded(
       sys.perf_table(),
       [&](std::size_t shard) -> std::unique_ptr<sched::Scheduler> {
@@ -597,7 +620,10 @@ int cmd_dynamic_sharded(const ArgParser& args) {
       return std::make_unique<sched::FifoScheduler>(
           derive_stream_seed(cfg.seed + 1, shard));
     }
-    return scheduler_from(args, sys, false);
+    if (!cindex.has_value()) return scheduler_from(args, sys, false);
+    caches.push_back(
+        std::make_unique<sched::PredictionCache>(sys.predictor()));
+    return scheduler_from(args, sys, false, 8, caches.back().get());
   };
   std::string sched_name = factory(0)->name();
   auto o = sim::run_dynamic_sharded(sys.perf_table(), factory, cfg);
@@ -695,6 +721,21 @@ int cmd_dynamic(const ArgParser& args) {
   auto fifo = sys.make_scheduler(core::SchedulerKind::kFifo,
                                  sched::Objective::kRuntime);
   auto base = sim::run_dynamic(sys.perf_table(), *fifo, cfg);
+
+  // Sublinear placement (the FIFO normalization baseline above never
+  // consults an index, so it runs un-indexed either way). Bit-identical
+  // to the flat scan: no fingerprint entry, exports keep their bytes.
+  std::optional<sched::CandidateIndex> cindex;
+  std::optional<sched::PredictionCache> pcache;
+  if (args.has("candidate-index")) {
+    TRACON_REQUIRE(!args.has("confidence-weighting"),
+                   "--candidate-index is built over the trained table "
+                   "predictor and cannot wrap the confidence ensemble");
+    cindex.emplace(sys.predictor());
+    cfg.candidate_index = &*cindex;
+    pcache.emplace(sys.predictor());
+  }
+  const sched::Predictor* pover = pcache.has_value() ? &*pcache : nullptr;
   sim::TraceRecorder trace;
   if (args.has("trace") || args.has("events-jsonl")) cfg.trace = &trace;
 
@@ -729,8 +770,9 @@ int cmd_dynamic(const ArgParser& args) {
     cfg.accuracy_probe = &sys.predictor();
     cfg.accuracy_family = model::model_kind_name(sys.model_kind());
     instrument_run(args, sys, cfg, tel, 8, inst);
-    sched = inst.scheduler != nullptr ? std::move(inst.scheduler)
-                                      : scheduler_from(args, sys, false);
+    sched = inst.scheduler != nullptr
+                ? std::move(inst.scheduler)
+                : scheduler_from(args, sys, false, 8, pover);
     sched->set_telemetry(&tel);
     stamp_fingerprint(tel.metrics, cfg, args.get("host", "paper"),
                       args.get("model", "nlm"), sched->name(), "live");
@@ -739,7 +781,7 @@ int cmd_dynamic(const ArgParser& args) {
     if (want_decisions) stamp_decision_fingerprint(tel);
     if (want_spans) stamp_span_fingerprint(tel);
   } else {
-    sched = scheduler_from(args, sys, false);
+    sched = scheduler_from(args, sys, false, 8, pover);
   }
 
   auto o = sim::run_dynamic(sys.perf_table(), *sched, cfg);
